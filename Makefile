@@ -1,0 +1,36 @@
+# Convenience targets for the bgpc repository.
+
+GO ?= go
+
+.PHONY: all build test race bench artifacts experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure on stdout (~90 s).
+experiments:
+	$(GO) run ./cmd/bgpcbench -experiment all
+
+# Full artifact set: txt/csv/json tables + SVG figures.
+artifacts:
+	$(GO) run ./cmd/bgpcbench -outdir artifacts
+
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/mtx
+	$(GO) test -fuzz FuzzColor -fuzztime 30s ./internal/core
+
+clean:
+	rm -rf artifacts

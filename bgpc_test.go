@@ -1,0 +1,256 @@
+package bgpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeBGPCEndToEnd(t *testing.T) {
+	g, err := NewBipartiteFromNets(4, [][]int32{{0, 1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := Algorithm("N1-N2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Threads = 2
+	res, err := Color(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBGPC(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors < 3 {
+		t.Fatalf("NumColors = %d", res.NumColors)
+	}
+}
+
+func TestFacadeSequentialAndOrders(t *testing.T) {
+	g, err := Preset("channel", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := Sequential(g, NaturalOrder(g.NumVertices()))
+	sl := Sequential(g, SmallestLast(g))
+	lf := Sequential(g, LargestFirst(g))
+	rnd := Sequential(g, RandomOrder(g.NumVertices(), 1))
+	for _, res := range []*Result{nat, sl, lf, rnd} {
+		if err := VerifyBGPC(g, res.Colors); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeD2EndToEnd(t *testing.T) {
+	b, err := Preset("nlpkkt", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UndirectedFromBipartite(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := SequentialD2(g, nil)
+	if err := VerifyD2(g, seq.Colors); err != nil {
+		t.Fatal(err)
+	}
+	opts, _ := Algorithm("V-N2")
+	opts.Threads = 2
+	opts.Balance = BalanceB1
+	res, err := ColorD2(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyD2(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMatrixMarketRoundTrip(t *testing.T) {
+	g, err := NewBipartite(2, 3, []Edge{{Net: 0, Vtx: 0}, {Net: 1, Vtx: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g2.NumEdges())
+	}
+}
+
+func TestFacadeStatsAndPresets(t *testing.T) {
+	if len(PresetNames()) != 8 || len(SymmetricPresetNames()) != 5 {
+		t.Fatal("preset lists wrong")
+	}
+	if len(Algorithms()) != 8 {
+		t.Fatal("algorithm list wrong")
+	}
+	s := Stats([]int32{0, 0, 1})
+	if s.NumColors != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFacadeD1AndDistK(t *testing.T) {
+	b, err := Preset("channel", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UndirectedFromBipartite(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := SequentialD1(g, nil)
+	if err := VerifyD1(g, seq.Colors); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ColorD1(g, Options{Threads: 2, Chunk: 64, LazyQueues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyD1(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	k3, err := SequentialDistK(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDistK(g, 3, k3.Colors); err != nil {
+		t.Fatal(err)
+	}
+	k3p, err := ColorDistK(g, 3, Options{Threads: 2, Chunk: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDistK(g, 3, k3p.Colors); err != nil {
+		t.Fatal(err)
+	}
+	// Distance-k color counts are monotone in k.
+	if k3.NumColors < seq.NumColors {
+		t.Fatalf("k=3 used fewer colors (%d) than k=1 (%d)", k3.NumColors, seq.NumColors)
+	}
+}
+
+func TestFacadeIncidenceDegree(t *testing.T) {
+	g, err := Preset("nlpkkt", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := IncidenceDegree(g)
+	res := Sequential(g, ord)
+	if err := VerifyBGPC(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeJPBaselines(t *testing.T) {
+	g, err := NewUndirected(6, []UndirectedEdge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := JonesPlassmann(g, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyD1(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	mres, err := MISColoring(g, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyD1(g, mres.Colors); err != nil {
+		t.Fatal(err)
+	}
+	mis, err := MaximalIndependentSet(g, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) < 2 || len(mis) > 3 {
+		t.Fatalf("6-cycle MIS size = %d", len(mis))
+	}
+}
+
+func TestFacadeRMATAndRecolor(t *testing.T) {
+	g := RMAT(8, 6, 0.55, 0.2, 0.2, false, 9)
+	res := Sequential(g, nil)
+	compacted, count, err := Recolor(g, res.Colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBGPC(g, compacted); err != nil {
+		t.Fatal(err)
+	}
+	if count > res.NumColors {
+		t.Fatal("recolor increased colors")
+	}
+}
+
+func TestFacadeJacobianPattern(t *testing.T) {
+	g, err := NewBipartiteFromNets(3, [][]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Sequential(g, nil)
+	p, err := NewJacobianPattern(g, res.Colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(x, y []float64) {
+		y[0] = 2*x[0] + x[1]
+		y[1] = x[1] - 3*x[2]
+	}
+	jac, err := p.Forward(eval, []float64{1, 1, 1}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := jac.Value(1, 2); v > -2.9 || v < -3.1 {
+		t.Fatalf("J[1][2] = %v, want -3", v)
+	}
+}
+
+func TestFacadePlanAndParallelVerify(t *testing.T) {
+	g, err := Preset("nlpkkt", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Sequential(g, nil)
+	if err := VerifyBGPCParallel(g, res.Colors, 4); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(res.Colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumItems() != g.NumVertices() || plan.NumSets() != res.NumColors {
+		t.Fatalf("plan: %d items, %d sets (want %d, %d)",
+			plan.NumItems(), plan.NumSets(), g.NumVertices(), res.NumColors)
+	}
+	ug, err := UndirectedFromBipartite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2res := SequentialD2(ug, nil)
+	if err := VerifyD2Parallel(ug, d2res.Colors, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Transpose is available directly on the aliased type.
+	tr := g.Transpose()
+	if tr.NumNets() != g.NumVertices() {
+		t.Fatal("transpose dims wrong")
+	}
+	rowRes := Sequential(tr, nil) // row coloring = column coloring of Aᵀ
+	if err := VerifyBGPC(tr, rowRes.Colors); err != nil {
+		t.Fatal(err)
+	}
+}

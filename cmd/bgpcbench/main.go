@@ -1,0 +1,93 @@
+// Command bgpcbench regenerates the paper's evaluation artifacts —
+// Tables I–VI and Figures 1–3 — on the synthetic workload presets.
+//
+// Usage:
+//
+//	bgpcbench [-experiment all|table1|…|figure3] [-scale S]
+//	          [-threads 2,4,8,16] [-csv]
+//
+// With -csv the tables are emitted as CSV blocks (one per table),
+// convenient for external plotting of the figure series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bgpc/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"experiment to run: all, "+strings.Join(bench.ExperimentNames(), ", "))
+	scale := flag.Float64("scale", 1.0,
+		"workload scale factor (1.0 = default benchmark size, ≈1/40 of the paper's matrices)")
+	threads := flag.String("threads", "2,4,8,16", "comma-separated thread ladder")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per table")
+	outDir := flag.String("outdir", "", "write the complete artifact set (txt/csv/json tables + SVG figures) into this directory instead of stdout")
+	flag.Parse()
+
+	ladder, err := parseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := bench.Config{Scale: *scale, Threads: ladder}
+
+	if *outDir != "" {
+		if err := bench.WriteArtifacts(cfg, *outDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote all experiment artifacts to %s\n", *outDir)
+		return
+	}
+
+	names := bench.ExperimentNames()
+	if *experiment != "all" {
+		names = []string{*experiment}
+	}
+	for _, name := range names {
+		tables, err := bench.Run(name, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			if *jsonOut {
+				if err := t.JSON(os.Stdout); err != nil {
+					fatal(err)
+				}
+				continue
+			}
+			if *csv {
+				fmt.Printf("# %s: %s\n", t.ID, t.Title)
+				if err := t.CSV(os.Stdout); err != nil {
+					fatal(err)
+				}
+				fmt.Println()
+			} else if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad thread count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgpcbench:", err)
+	os.Exit(1)
+}

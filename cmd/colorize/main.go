@@ -1,0 +1,249 @@
+// Command colorize colors a sparse matrix — a MatrixMarket file or a
+// built-in synthetic preset — with any of the paper's BGPC or D2GC
+// algorithms, verifies the result, and prints coloring statistics.
+//
+// Usage:
+//
+//	colorize -mtx path/to/matrix.mtx -algorithm N1-N2 -threads 16
+//	colorize -preset copapers -scale 0.5 -algorithm V-N2 -balance B2
+//	colorize -preset channel -d2 -algorithm V-N1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bgpc"
+)
+
+func main() {
+	mtxPath := flag.String("mtx", "", "MatrixMarket file to color (rows = nets, cols = colored vertices)")
+	preset := flag.String("preset", "", "synthetic preset instead of -mtx: "+strings.Join(bgpc.PresetNames(), ", "))
+	scale := flag.Float64("scale", 1.0, "preset scale factor")
+	algorithm := flag.String("algorithm", "N1-N2", "algorithm: V-V, V-V-64, V-V-64D, V-Ninf, V-N1, V-N2, N1-N2, N2-N2, or seq")
+	threads := flag.Int("threads", 4, "worker threads")
+	ordering := flag.String("order", "natural", "vertex order: natural, random, largest-first, dynamic-largest-first, smallest-last, incidence-degree")
+	balance := flag.String("balance", "U", "balancing heuristic: U, B1, B2")
+	d2Mode := flag.Bool("d2", false, "distance-2 color the matrix (must be square, structurally symmetric)")
+	d1Mode := flag.Bool("d1", false, "distance-1 color the matrix (square symmetric; V-V* algorithms only)")
+	kDist := flag.Int("k", 0, "distance-k color the matrix for this k (square symmetric; V-V* algorithms only)")
+	perIter := flag.Bool("iters", false, "print per-iteration phase breakdown")
+	recolor := flag.Int("recolor", 0, "BGPC only: run up to N iterated-greedy recoloring passes to compact the colors")
+	colorsOut := flag.String("o", "", "write the final coloring to this file (one color id per line, vertex order)")
+	flag.Parse()
+
+	g, name, err := load(*mtxPath, *preset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	stats := g.ComputeStats()
+	fmt.Printf("matrix %s: %d rows (nets), %d cols (vertices), %d nnz, max net degree %d (color lower bound)\n",
+		name, stats.Rows, stats.Cols, stats.NNZ, stats.MaxNetDeg)
+
+	bal, err := parseBalance(*balance)
+	if err != nil {
+		fatal(err)
+	}
+	ord, err := makeOrder(g, *ordering)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *bgpc.Result
+	start := time.Now()
+	switch {
+	case *d1Mode || *kDist > 0:
+		ug, err := bgpc.UndirectedFromBipartite(g)
+		if err != nil {
+			fatal(err)
+		}
+		k := *kDist
+		if *d1Mode {
+			k = 1
+		}
+		if strings.EqualFold(*algorithm, "seq") {
+			if res, err = bgpc.SequentialDistK(ug, k, ord); err != nil {
+				fatal(err)
+			}
+		} else {
+			opts, err := bgpc.Algorithm(*algorithm)
+			if err != nil {
+				fatal(err)
+			}
+			if opts.NetColorIters != 0 || opts.NetCRIters != 0 {
+				fatal(fmt.Errorf("algorithm %s uses net-based phases, which are only defined for BGPC and -d2; use V-V, V-V-64 or V-V-64D", *algorithm))
+			}
+			opts.Threads = *threads
+			opts.Order = ord
+			opts.Balance = bal
+			opts.CollectPerIteration = *perIter
+			if k == 1 {
+				if res, err = bgpc.ColorD1(ug, opts); err != nil {
+					fatal(err)
+				}
+			} else if res, err = bgpc.ColorDistK(ug, k, opts); err != nil {
+				fatal(err)
+			}
+		}
+		if err := bgpc.VerifyDistK(ug, k, res.Colors); err != nil {
+			fatal(fmt.Errorf("result failed validation: %w", err))
+		}
+	case *d2Mode:
+		ug, err := bgpc.UndirectedFromBipartite(g)
+		if err != nil {
+			fatal(err)
+		}
+		if strings.EqualFold(*algorithm, "seq") {
+			res = bgpc.SequentialD2(ug, ord)
+		} else {
+			opts, err := bgpc.Algorithm(*algorithm)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Threads = *threads
+			opts.Order = ord
+			opts.Balance = bal
+			opts.CollectPerIteration = *perIter
+			if res, err = bgpc.ColorD2(ug, opts); err != nil {
+				fatal(err)
+			}
+		}
+		if err := bgpc.VerifyD2(ug, res.Colors); err != nil {
+			fatal(fmt.Errorf("result failed validation: %w", err))
+		}
+	default:
+		if strings.EqualFold(*algorithm, "seq") {
+			res = bgpc.Sequential(g, ord)
+		} else {
+			opts, err := bgpc.Algorithm(*algorithm)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Threads = *threads
+			opts.Order = ord
+			opts.Balance = bal
+			opts.CollectPerIteration = *perIter
+			if res, err = bgpc.Color(g, opts); err != nil {
+				fatal(err)
+			}
+		}
+		if err := bgpc.VerifyBGPC(g, res.Colors); err != nil {
+			fatal(fmt.Errorf("result failed validation: %w", err))
+		}
+	}
+	elapsed := time.Since(start)
+
+	if *recolor > 0 && !*d1Mode && !*d2Mode && *kDist == 0 {
+		compacted, count, rounds, err := bgpc.RecolorToConvergence(g, res.Colors, *recolor)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bgpc.VerifyBGPC(g, compacted); err != nil {
+			fatal(fmt.Errorf("recolored result failed validation: %w", err))
+		}
+		fmt.Printf("recolor: %d -> %d colors in %d pass(es)\n", res.NumColors, count, rounds)
+		res.Colors = compacted
+	}
+
+	if *colorsOut != "" {
+		if err := writeColors(*colorsOut, res.Colors); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote coloring to %s\n", *colorsOut)
+	}
+
+	cs := bgpc.Stats(res.Colors)
+	fmt.Printf("algorithm %s, %d threads, order %s, balance %s: VALID\n", *algorithm, *threads, *ordering, *balance)
+	fmt.Printf("  colors: %d (max id %d), iterations: %d\n", cs.NumColors, cs.MaxColor, res.Iterations)
+	fmt.Printf("  time: %.2f ms total (%.2f coloring, %.2f conflict removal; %.2f incl. verify)\n",
+		msf(res.Time), msf(res.ColoringTime), msf(res.ConflictTime), msf(elapsed))
+	fmt.Printf("  work: %d cells total, %d on the critical path\n", res.TotalWork, res.CriticalWork)
+	fmt.Printf("  color sets: avg %.1f, stddev %.1f, min %d, max %d\n", cs.Avg, cs.StdDev, cs.MinSet, cs.MaxSet)
+	if *perIter {
+		for i, it := range res.Iters {
+			kind := func(net bool) string {
+				if net {
+					return "net"
+				}
+				return "vtx"
+			}
+			fmt.Printf("  iter %d: |W|=%d color[%s]=%.2fms confl[%s]=%.2fms remaining=%d\n",
+				i+1, it.QueueLen, kind(it.NetColoring), msf(it.ColoringTime),
+				kind(it.NetCR), msf(it.ConflictTime), it.Conflicts)
+		}
+	}
+}
+
+func load(mtxPath, preset string, scale float64) (*bgpc.Bipartite, string, error) {
+	switch {
+	case mtxPath != "" && preset != "":
+		return nil, "", fmt.Errorf("give either -mtx or -preset, not both")
+	case mtxPath != "":
+		g, err := bgpc.ReadMatrixMarketFile(mtxPath)
+		return g, mtxPath, err
+	case preset != "":
+		g, err := bgpc.Preset(preset, scale)
+		return g, preset, err
+	default:
+		return nil, "", fmt.Errorf("give -mtx FILE or -preset NAME (presets: %s)", strings.Join(bgpc.PresetNames(), ", "))
+	}
+}
+
+func parseBalance(s string) (bgpc.Balance, error) {
+	switch strings.ToUpper(s) {
+	case "U", "", "NONE":
+		return bgpc.BalanceNone, nil
+	case "B1":
+		return bgpc.BalanceB1, nil
+	case "B2":
+		return bgpc.BalanceB2, nil
+	default:
+		return bgpc.BalanceNone, fmt.Errorf("unknown balance %q (want U, B1, or B2)", s)
+	}
+}
+
+func makeOrder(g *bgpc.Bipartite, name string) ([]int32, error) {
+	switch strings.ToLower(name) {
+	case "natural", "":
+		return nil, nil
+	case "random":
+		return bgpc.RandomOrder(g.NumVertices(), 1), nil
+	case "largest-first", "lf":
+		return bgpc.LargestFirst(g), nil
+	case "smallest-last", "sl":
+		return bgpc.SmallestLast(g), nil
+	case "incidence-degree", "id":
+		return bgpc.IncidenceDegree(g), nil
+	case "dynamic-largest-first", "dlf":
+		return bgpc.DynamicLargestFirst(g), nil
+	default:
+		return nil, fmt.Errorf("unknown order %q", name)
+	}
+}
+
+func writeColors(path string, colors []int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, c := range colors {
+		fmt.Fprintln(w, c)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "colorize:", err)
+	os.Exit(1)
+}

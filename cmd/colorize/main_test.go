@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bgpc"
+)
+
+func TestParseBalance(t *testing.T) {
+	cases := map[string]bgpc.Balance{
+		"U": bgpc.BalanceNone, "u": bgpc.BalanceNone, "": bgpc.BalanceNone,
+		"none": bgpc.BalanceNone, "B1": bgpc.BalanceB1, "b1": bgpc.BalanceB1,
+		"B2": bgpc.BalanceB2,
+	}
+	for in, want := range cases {
+		got, err := parseBalance(in)
+		if err != nil || got != want {
+			t.Errorf("parseBalance(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseBalance("B3"); err == nil {
+		t.Error("B3 accepted")
+	}
+}
+
+func TestMakeOrder(t *testing.T) {
+	g, err := bgpc.NewBipartiteFromNets(4, [][]int32{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"natural", "", "random", "largest-first", "lf", "smallest-last", "sl", "incidence-degree", "id"} {
+		ord, err := makeOrder(g, name)
+		if err != nil {
+			t.Errorf("makeOrder(%q): %v", name, err)
+		}
+		if name != "natural" && name != "" && len(ord) != 4 {
+			t.Errorf("makeOrder(%q) returned %d entries", name, len(ord))
+		}
+	}
+	if _, err := makeOrder(g, "zigzag"); err == nil {
+		t.Error("unknown order accepted")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	if _, _, err := load("", "", 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, _, err := load("a.mtx", "channel", 1); err == nil {
+		t.Error("both sources accepted")
+	}
+	g, name, err := load("", "channel", 0.02)
+	if err != nil || name != "channel" || g.NumEdges() == 0 {
+		t.Errorf("preset load: %v %s", err, name)
+	}
+	if _, _, err := load(filepath.Join(t.TempDir(), "missing.mtx"), "", 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteColors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "colors.txt")
+	if err := writeColors(path, []int32{0, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0\n2\n1\n" {
+		t.Fatalf("file contents %q", data)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bgpc"
+)
+
+func TestWritePreset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.mtx")
+	if err := write("channel", 0.02, path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bgpc.ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("empty matrix written")
+	}
+}
+
+func TestWriteUnknownPreset(t *testing.T) {
+	if err := write("nope", 1, filepath.Join(t.TempDir(), "x.mtx")); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestWriteBadPath(t *testing.T) {
+	if err := write("channel", 0.02, filepath.Join(t.TempDir(), "no", "dir", "x.mtx")); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Distance-2 coloring for lock-free neighbourhood updates on a mesh.
+//
+// In a distance-2 coloring, two same-colored vertices have disjoint
+// closed neighbourhoods: even read-modify-write operations that touch
+// a vertex AND all of its neighbours cannot race. The demo D2-colors a
+// 3-D channel mesh (one of the paper's symmetric matrices), then runs a
+// "scatter" kernel — every vertex adds a contribution into its whole
+// neighbourhood — concurrently within each color set, with no locks and
+// no atomics, and checks the result against a sequential run.
+//
+// Run with:
+//
+//	go run ./examples/d2channel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgpc"
+)
+
+func main() {
+	b, err := bgpc.Preset("channel", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := bgpc.UndirectedFromBipartite(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := g.NumVertices()
+	fmt.Printf("mesh: %d vertices, %d edges, max degree %d\n", n, g.NumEdges(), g.MaxDeg())
+
+	opts, err := bgpc.Algorithm("V-N1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Threads = 4
+	res, err := bgpc.ColorD2(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bgpc.VerifyD2(g, res.Colors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distance-2 coloring: %d colors (lower bound %d) in %d iterations\n",
+		res.NumColors, g.D2ColorLowerBound(), res.Iterations)
+
+	// Sequential reference: scatter contribution(v) into v and nbor(v).
+	contribution := func(v int32) float64 { return 1 + float64(v%7) }
+	want := make([]float64, n)
+	for v := int32(0); int(v) < n; v++ {
+		want[v] += contribution(v)
+		for _, u := range g.Nbors(v) {
+			want[u] += contribution(v)
+		}
+	}
+
+	// Parallel scatter through the library's execution plan: color sets
+	// run in order with one barrier each; same-colored vertices have
+	// disjoint closed neighbourhoods (that is the distance-2 guarantee),
+	// so their scatters write disjoint memory — no locks, no atomics.
+	plan, err := bgpc.NewPlan(res.Colors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := make([]float64, n)
+	plan.Run(4, func(v int32) {
+		got[v] += contribution(v)
+		for _, u := range g.Nbors(v) {
+			got[u] += contribution(v)
+		}
+	})
+
+	for v := range want {
+		if got[v] != want[v] {
+			log.Fatalf("vertex %d: parallel %v != sequential %v", v, got[v], want[v])
+		}
+	}
+	fmt.Printf("lock-free neighbourhood scatter over %d color batches matches the sequential result\n",
+		res.NumColors)
+}

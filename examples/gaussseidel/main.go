@@ -1,0 +1,121 @@
+// Parallel Gauss–Seidel via distance-1 coloring — the classic
+// "multi-color" smoother from iterative linear algebra, using the
+// library's D1GC implementation (the base case of the paper's
+// speculative framework).
+//
+// Gauss–Seidel updates x_i using the *latest* values of all other
+// entries, which serializes naively. Coloring the matrix graph lets all
+// same-colored unknowns update concurrently: they are mutually
+// non-adjacent, so none reads another's entry. The demo solves a
+// diagonally dominant system on a 3-D mesh with multi-color
+// Gauss–Seidel, checks it converges to the same solution as the
+// sequential sweep, and reports how few colors (parallel stages per
+// sweep) the mesh needs.
+//
+// Run with:
+//
+//	go run ./examples/gaussseidel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bgpc"
+)
+
+func main() {
+	b, err := bgpc.Preset("channel", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := bgpc.UndirectedFromBipartite(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := g.NumVertices()
+	fmt.Printf("mesh: %d unknowns, %d off-diagonal entries, max degree %d\n",
+		n, 2*g.NumEdges(), g.MaxDeg())
+
+	// System: A = D - L with a_ii = deg(i)+4, a_ij = -1 for mesh edges;
+	// strictly diagonally dominant, so Gauss-Seidel converges. RHS from
+	// a known solution x* so the error is measurable.
+	xStar := make([]float64, n)
+	for i := range xStar {
+		xStar[i] = math.Sin(float64(i) * 0.01)
+	}
+	diag := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := int32(0); int(i) < n; i++ {
+		diag[i] = float64(g.Deg(i)) + 4
+		s := diag[i] * xStar[i]
+		for _, j := range g.Nbors(i) {
+			s -= xStar[j]
+		}
+		rhs[i] = s
+	}
+
+	// Distance-1 color the unknowns.
+	opts := bgpc.Options{Threads: 4, Chunk: 64, LazyQueues: true}
+	res, err := bgpc.ColorD1(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bgpc.VerifyD1(g, res.Colors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distance-1 coloring: %d colors (parallel stages per sweep)\n", res.NumColors)
+
+	plan, err := bgpc.NewPlan(res.Colors)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	update := func(x []float64, i int32) {
+		s := rhs[i]
+		for _, j := range g.Nbors(i) {
+			s += x[j]
+		}
+		x[i] = s / diag[i]
+	}
+
+	const sweeps = 30
+	// Sequential Gauss-Seidel in color order (the reference ordering).
+	xSeq := make([]float64, n)
+	for s := 0; s < sweeps; s++ {
+		for k := 0; k < plan.NumSets(); k++ {
+			for _, i := range plan.Set(k) {
+				update(xSeq, i)
+			}
+		}
+	}
+
+	// Multi-color parallel Gauss-Seidel via the execution plan: same
+	// ordering semantics, but each color set updates concurrently —
+	// legal because same-colored unknowns never touch each other's
+	// entries.
+	xPar := make([]float64, n)
+	for s := 0; s < sweeps; s++ {
+		plan.Run(4, func(i int32) { update(xPar, i) })
+	}
+
+	// The parallel sweep must be bit-identical to the sequential
+	// color-ordered sweep (no races, no reordering within reads).
+	for i := range xSeq {
+		if xSeq[i] != xPar[i] {
+			log.Fatalf("unknown %d: parallel %v != sequential %v", i, xPar[i], xSeq[i])
+		}
+	}
+	errNorm := 0.0
+	for i := range xPar {
+		if d := math.Abs(xPar[i] - xStar[i]); d > errNorm {
+			errNorm = d
+		}
+	}
+	fmt.Printf("after %d multi-color sweeps: max error vs exact solution %.2e\n", sweeps, errNorm)
+	if errNorm > 1e-6 {
+		log.Fatalf("did not converge: %v", errNorm)
+	}
+	fmt.Println("parallel multi-color Gauss–Seidel matches the sequential sweep exactly")
+}

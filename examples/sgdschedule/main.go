@@ -1,0 +1,163 @@
+// Lock-free parallel matrix-factorization scheduling — the application
+// that motivated the paper's authors (20M_movielens in their test-bed).
+//
+// Stochastic gradient descent for matrix factorization updates one
+// user vector and one movie vector per rating; two ratings conflict
+// iff they share a user or a movie. Treating movies as nets and
+// BGPC-coloring the users guarantees that same-colored users rated
+// disjoint movie sets, so all their updates run in parallel without
+// locks or atomics. The demo factorizes a synthetic Zipf-skewed rating
+// matrix this way, shows the training loss decreasing, and compares
+// the schedule quality of the unbalanced coloring against the paper's
+// B2 balancing heuristic.
+//
+// Run with:
+//
+//	go run ./examples/sgdschedule
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bgpc"
+)
+
+const (
+	rank     = 8
+	learning = 0.05
+	reg      = 0.02
+	epochs   = 8
+	workers  = 4
+)
+
+// buildRatings creates a deterministic movies × users rating pattern
+// with Zipf-like movie popularity: movie m receives about
+// maxPop/(1+m/8) ratings from a spread of users.
+func buildRatings(movies, users int) (*bgpc.Bipartite, error) {
+	var edges []bgpc.Edge
+	state := uint64(0x853c49e6748fea9b)
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	maxPop := users / 40
+	for m := 0; m < movies; m++ {
+		pop := maxPop/(1+m/8) + 3
+		for k := 0; k < pop; k++ {
+			edges = append(edges, bgpc.Edge{Net: int32(m), Vtx: int32(next(users))})
+		}
+	}
+	return bgpc.NewBipartite(movies, users, edges)
+}
+
+func main() {
+	// Following the paper's 20M_movielens setup, the matrix is
+	// movies × users: each movie is a net, and the USERS are colored so
+	// that two users who rated the same movie never update concurrently.
+	const movies, users = 400, 3000
+	g, err := buildRatings(movies, users)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ratings: %d movies × %d users, %d ratings, most-rated movie: %d ratings\n",
+		movies, users, g.NumEdges(), g.ColorLowerBound())
+
+	// Deterministic "observed ratings" derived from latent structure so
+	// the factorization has something to find.
+	rating := func(m, u int32) float64 {
+		return 3 + math.Sin(float64(u)*0.7)*math.Cos(float64(m)*0.3) + 0.5*math.Sin(float64(u+m))
+	}
+
+	for _, balance := range []bgpc.Balance{bgpc.BalanceNone, bgpc.BalanceB2} {
+		opts, err := bgpc.Algorithm("V-N2")
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Threads = workers
+		opts.Balance = balance
+		res, err := bgpc.Color(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bgpc.VerifyBGPC(g, res.Colors); err != nil {
+			log.Fatal(err)
+		}
+		stats := bgpc.Stats(res.Colors)
+		fmt.Printf("\nbalance=%v: %d colors, set sizes avg %.1f / stddev %.1f / min %d / max %d\n",
+			balance, stats.NumColors, stats.Avg, stats.StdDev, stats.MinSet, stats.MaxSet)
+
+		// The execution plan: each color set is a lock-free parallel
+		// batch of users.
+		plan, err := bgpc.NewPlan(res.Colors)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		p := make([][]float64, users) // user factors
+		q := make([][]float64, movies)
+		for u := range p {
+			p[u] = constVec(0.1)
+		}
+		for m := range q {
+			q[m] = constVec(0.1)
+		}
+
+		for epoch := 1; epoch <= epochs; epoch++ {
+			// One epoch = all color sets, one barrier per set. Within a
+			// set, users run concurrently: the coloring guarantees
+			// their movie lists are disjoint, so all updates below
+			// write disjoint memory — no locks needed.
+			plan.Run(workers, func(user int32) {
+				pu := p[user]
+				for _, movie := range g.Nets(user) {
+					qm := q[movie]
+					e := rating(movie, user) - dot(pu, qm)
+					for d := 0; d < rank; d++ {
+						puD, qmD := pu[d], qm[d]
+						pu[d] += learning * (e*qmD - reg*puD)
+						qm[d] += learning * (e*puD - reg*qmD)
+					}
+				}
+			})
+			if epoch == 1 || epoch == epochs {
+				fmt.Printf("  epoch %d: RMSE %.4f\n", epoch, rmse(g, p, q, rating))
+			}
+		}
+	}
+	fmt.Println("\nB2 flattens the color-set cardinalities (smaller stddev and max)")
+	fmt.Println("at (nearly) no cost: fewer straggler batches, better many-core")
+	fmt.Println("utilization — the paper's Table VI / Figure 3 effect.")
+}
+
+func constVec(v float64) []float64 {
+	x := make([]float64, rank)
+	for i := range x {
+		x[i] = v
+	}
+	return x
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func rmse(g *bgpc.Bipartite, p, q [][]float64, rating func(m, u int32) float64) float64 {
+	var sum float64
+	var n int
+	for m := int32(0); int(m) < g.NumNets(); m++ {
+		for _, u := range g.Vtxs(m) {
+			e := rating(m, u) - dot(p[u], q[m])
+			sum += e * e
+			n++
+		}
+	}
+	return math.Sqrt(sum / float64(n))
+}

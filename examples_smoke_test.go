@@ -1,0 +1,42 @@
+package bgpc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and executes every example program; each one
+// self-verifies its coloring and exits non-zero on any violation, so a
+// passing run is an end-to-end integration test of the public API.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 6 {
+		t.Fatalf("expected at least 6 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if strings.TrimSpace(string(out)) == "" {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module bgpc
+
+go 1.22

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment names accepted by Run and the bgpcbench command.
+var experimentNames = []string{
+	"table1", "table2", "table3", "table4", "table5", "table6",
+	"figure1", "figure2", "figure3",
+	"ablation-sched", "ablation-d2balance", "ablation-netvariants", "ablation-dist", "ablation-recolor",
+}
+
+// ExperimentNames returns the valid experiment identifiers, sorted.
+func ExperimentNames() []string {
+	out := append([]string(nil), experimentNames...)
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one named experiment and returns its tables.
+func Run(name string, cfg Config) ([]*Table, error) {
+	one := func(t *Table, err error) ([]*Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+	switch strings.ToLower(name) {
+	case "table1":
+		return one(Table1(cfg))
+	case "table2":
+		return one(Table2(cfg))
+	case "table3":
+		return one(SpeedupTable(cfg, false))
+	case "table4":
+		return one(SpeedupTable(cfg, true))
+	case "table5":
+		return one(Table5(cfg))
+	case "table6":
+		return one(Table6(cfg))
+	case "figure1":
+		return one(Figure1(cfg))
+	case "figure2":
+		return Figure2(cfg)
+	case "figure3":
+		return Figure3(cfg)
+	case "ablation-sched":
+		return one(AblationSchedule(cfg))
+	case "ablation-d2balance":
+		return one(AblationD2Balance(cfg))
+	case "ablation-netvariants":
+		return one(AblationNetVariants(cfg))
+	case "ablation-dist":
+		return one(AblationDistributed(cfg))
+	case "ablation-recolor":
+		return one(AblationRecoloring(cfg))
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", name, strings.Join(ExperimentNames(), ", "))
+	}
+}
+
+// RunAll executes every experiment in paper order, rendering each table
+// to w as it completes.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, name := range experimentNames {
+		tables, err := Run(name, cfg)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", name, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"bgpc/internal/core"
+	"bgpc/internal/plot"
+)
+
+// Figure1SVG renders the Figure 1 per-iteration phase breakdown as a
+// grouped bar chart: one category per (algorithm, iteration), two
+// series (coloring and conflict-removal wall time).
+func Figure1SVG(cfg Config) (string, error) {
+	ws, err := LoadWorkloads(cfg.scale(), []string{"copapers"})
+	if err != nil {
+		return "", err
+	}
+	w := ws[0]
+	var categories []string
+	coloring := plot.Series{Name: "coloring"}
+	conflicts := plot.Series{Name: "conflict removal"}
+	for _, alg := range figure1Algorithms {
+		m, err := RunBGPC(w, alg, cfg.maxThreads(), nil, core.BalanceNone, true)
+		if err != nil {
+			return "", err
+		}
+		for i, it := range m.Iters {
+			categories = append(categories, fmt.Sprintf("%s #%d", alg, i+1))
+			coloring.Y = append(coloring.Y, float64(it.ColoringTime.Microseconds())/1000)
+			conflicts.Y = append(conflicts.Y, float64(it.ConflictTime.Microseconds())/1000)
+		}
+	}
+	return plot.GroupedBars(
+		fmt.Sprintf("Figure 1: per-iteration phase times, copapers, %d threads", cfg.maxThreads()),
+		"milliseconds", categories, []plot.Series{coloring, conflicts})
+}
+
+// Figure2SVG renders one Figure 2 panel (execution time per algorithm
+// across the thread ladder) for the named workload.
+func Figure2SVG(cfg Config, workload string) (string, error) {
+	ws, err := LoadWorkloads(cfg.scale(), []string{workload})
+	if err != nil {
+		return "", err
+	}
+	w := ws[0]
+	series := make([]plot.Series, len(cfg.threads()))
+	for i, th := range cfg.threads() {
+		series[i].Name = "t=" + strconv.Itoa(th)
+	}
+	categories := allAlgorithms()
+	for _, alg := range categories {
+		for i, th := range cfg.threads() {
+			m, err := RunBGPC(w, alg, th, nil, core.BalanceNone, false)
+			if err != nil {
+				return "", err
+			}
+			series[i].Y = append(series[i].Y, float64(m.Wall.Microseconds())/1000)
+		}
+	}
+	return plot.GroupedBars(
+		fmt.Sprintf("Figure 2: execution time on %s (paper: %s)", w.Name, w.Paper),
+		"milliseconds", categories, series)
+}
+
+// Figure3SVG renders one Figure 3 panel: sorted color-set cardinality
+// curves (log y) for the unbalanced and balanced runs of the given
+// algorithm on copapers.
+func Figure3SVG(cfg Config, algorithm string) (string, error) {
+	ws, err := LoadWorkloads(cfg.scale(), []string{"copapers"})
+	if err != nil {
+		return "", err
+	}
+	w := ws[0]
+	var series []plot.Series
+	maxLen := 0
+	for _, bc := range []struct {
+		name string
+		b    core.Balance
+	}{
+		{algorithm + "-U", core.BalanceNone},
+		{algorithm + "-B1", core.BalanceB1},
+		{algorithm + "-B2", core.BalanceB2},
+	} {
+		m, err := RunBGPC(w, algorithm, cfg.maxThreads(), nil, bc.b, false)
+		if err != nil {
+			return "", err
+		}
+		cards := m.ColorStats.SortedCardinalities()
+		ys := make([]float64, len(cards))
+		for i, c := range cards {
+			ys[i] = float64(c)
+		}
+		if len(ys) > maxLen {
+			maxLen = len(ys)
+		}
+		series = append(series, plot.Series{Name: bc.name, Y: ys})
+	}
+	// Pad shorter series with zeros (dropped on the log axis).
+	xs := make([]float64, maxLen)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	for i := range series {
+		for len(series[i].Y) < maxLen {
+			series[i].Y = append(series[i].Y, 0)
+		}
+	}
+	return plot.Lines(
+		fmt.Sprintf("Figure 3: color-set cardinalities, %s on copapers, %d threads", algorithm, cfg.maxThreads()),
+		"color set (sorted by cardinality)", "vertices in set (log scale)", xs, series, true)
+}
+
+// WriteArtifacts runs every experiment and writes the complete artifact
+// set into dir: aligned-text, CSV, and JSON for each table, plus SVG
+// renderings of the three figures. The table files double as the
+// accessible data view for the charts.
+func WriteArtifacts(cfg Config, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range ExperimentNames() {
+		tables, err := Run(name, cfg)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", name, err)
+		}
+		for i, t := range tables {
+			base := name
+			if len(tables) > 1 {
+				base = fmt.Sprintf("%s-%d", name, i+1)
+			}
+			if err := writeArtifact(dir, base+".txt", func(f *os.File) error { return t.Render(f) }); err != nil {
+				return err
+			}
+			if err := writeArtifact(dir, base+".csv", func(f *os.File) error { return t.CSV(f) }); err != nil {
+				return err
+			}
+			if err := writeArtifact(dir, base+".json", func(f *os.File) error { return t.JSON(f) }); err != nil {
+				return err
+			}
+		}
+	}
+	figures := map[string]func() (string, error){
+		"figure1.svg": func() (string, error) { return Figure1SVG(cfg) },
+	}
+	for _, wname := range []string{"movielens", "copapers", "channel"} {
+		wname := wname
+		figures["figure2-"+wname+".svg"] = func() (string, error) { return Figure2SVG(cfg, wname) }
+	}
+	for _, alg := range []string{"V-N2", "N1-N2"} {
+		alg := alg
+		figures["figure3-"+alg+".svg"] = func() (string, error) { return Figure3SVG(cfg, alg) }
+	}
+	for name, build := range figures {
+		svg, err := build()
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeArtifact(dir, name string, write func(*os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

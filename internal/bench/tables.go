@@ -1,0 +1,452 @@
+package bench
+
+import (
+	"fmt"
+
+	"bgpc/internal/core"
+)
+
+// Config parameterizes the experiment suite.
+type Config struct {
+	// Scale shrinks/grows the synthetic workloads; 1.0 is the default
+	// benchmark size.
+	Scale float64
+	// Threads is the thread ladder; defaults to {2, 4, 8, 16}, the
+	// paper's x-axis. The last entry is the headline thread count.
+	Threads []int
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1.0
+	}
+	return c.Scale
+}
+
+func (c Config) threads() []int {
+	if len(c.Threads) == 0 {
+		return []int{2, 4, 8, 16}
+	}
+	return c.Threads
+}
+
+func (c Config) maxThreads() int {
+	t := c.threads()
+	return t[len(t)-1]
+}
+
+// Table1 reproduces Table I: the number of uncolored (remaining)
+// vertices after the first iteration for the three net-based coloring
+// variants — Algorithm 6 (first-fit), Algorithm 6 with reverse
+// first-fit, and Algorithm 8 (two-pass) — on the bone010 and
+// coPapersDBLP stand-ins at the headline thread count.
+func Table1(cfg Config) (*Table, error) {
+	ws, err := LoadWorkloads(cfg.scale(), []string{"bone010", "copapers"})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "Table I",
+		Title: "Remaining |Wnext| after the first iteration (net-based coloring variants)",
+		Note: fmt.Sprintf("threads = %d; Alg 6 = single-pass first-fit, +reverse = reverse first-fit, Alg 8 = two-pass reverse first-fit",
+			cfg.maxThreads()),
+		Header: []string{"matrix", "paper", "|VB|", "Alg 6", "Alg 6 + reverse", "Alg 8"},
+	}
+	variants := []core.NetColorVariant{core.NetV1, core.NetV1Reverse, core.NetTwoPass}
+	for _, w := range ws {
+		row := []string{w.Name, w.Paper, fmt.Sprintf("%d", w.Graph.NumNets())}
+		for _, variant := range variants {
+			opts := core.Options{
+				Threads: cfg.maxThreads(), Chunk: 64, LazyQueues: true,
+				NetColorIters: 1, NetCRIters: 2, NetColorVariant: variant,
+				CollectPerIteration: true,
+			}
+			m, err := RunBGPCVariant(w, variant.String(), opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", m.Iters[0].Conflicts))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table II: structural properties of the eight
+// matrices plus the sequential BGPC execution time and color count
+// under the natural and smallest-last orders.
+func Table2(cfg Config) (*Table, error) {
+	ws, err := LoadWorkloads(cfg.scale(), nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "Table II",
+		Title: "Workloads: structure and sequential BGPC baselines",
+		Note:  "stand-ins for the paper's UFL matrices (see DESIGN.md); times in ms",
+		Header: []string{
+			"matrix", "paper", "#rows", "#cols", "#nnz",
+			"maxdeg", "stddev", "seq-nat ms", "colors", "seq-SL ms", "colors", "D2GC",
+		},
+	}
+	for _, w := range ws {
+		nat := RunBGPCSequential(w, nil)
+		sl := RunBGPCSequential(w, w.SmallestLast())
+		d2use := "no"
+		if w.Symmetric {
+			d2use = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			w.Name, w.Paper,
+			fmt.Sprintf("%d", w.Stats.Rows),
+			fmt.Sprintf("%d", w.Stats.Cols),
+			fmt.Sprintf("%d", w.Stats.NNZ),
+			fmt.Sprintf("%d", w.Stats.MaxNetDeg),
+			f2(w.Stats.StdDevNetDeg),
+			msStr(nat.Wall), fmt.Sprintf("%d", nat.NumColors),
+			msStr(sl.Wall), fmt.Sprintf("%d", sl.NumColors),
+			d2use,
+		})
+	}
+	return t, nil
+}
+
+// figure1Algorithms are the schedules Figure 1 breaks down by
+// iteration.
+var figure1Algorithms = []string{"V-V-64D", "V-Ninf", "V-N1", "V-N2", "N1-N2", "N2-N2"}
+
+// Figure1 reproduces Figure 1: per-iteration coloring and
+// conflict-removal times of six schedules on the coPapersDBLP stand-in
+// at the headline thread count.
+func Figure1(cfg Config) (*Table, error) {
+	ws, err := LoadWorkloads(cfg.scale(), []string{"copapers"})
+	if err != nil {
+		return nil, err
+	}
+	w := ws[0]
+	t := &Table{
+		ID:     "Figure 1",
+		Title:  "Per-iteration phase times on copapers (ms and work units)",
+		Note:   fmt.Sprintf("threads = %d; work = adjacency cells scanned", cfg.maxThreads()),
+		Header: []string{"algorithm", "iter", "|W|", "color ms", "confl ms", "color work", "confl work", "remaining"},
+	}
+	for _, alg := range figure1Algorithms {
+		m, err := RunBGPC(w, alg, cfg.maxThreads(), nil, core.BalanceNone, true)
+		if err != nil {
+			return nil, err
+		}
+		for i, it := range m.Iters {
+			t.Rows = append(t.Rows, []string{
+				alg, fmt.Sprintf("%d", i+1),
+				fmt.Sprintf("%d", it.QueueLen),
+				msStr(it.ColoringTime), msStr(it.ConflictTime),
+				fmt.Sprintf("%d", it.ColoringWork), fmt.Sprintf("%d", it.ConflictWork),
+				fmt.Sprintf("%d", it.Conflicts),
+			})
+		}
+	}
+	return t, nil
+}
+
+// allAlgorithms is the paper's eight-algorithm BGPC suite.
+func allAlgorithms() []string {
+	specs := core.NamedAlgorithms()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Figure2 reproduces Figure 2: per-workload execution times across the
+// thread ladder and the color counts, for all eight algorithms. One
+// table is produced per workload (one panel per matrix in the paper).
+func Figure2(cfg Config) ([]*Table, error) {
+	ws, err := LoadWorkloads(cfg.scale(), nil)
+	if err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for _, w := range ws {
+		t := &Table{
+			ID:    fmt.Sprintf("Figure 2 (%s)", w.Name),
+			Title: fmt.Sprintf("Execution time and colors on %s (paper: %s)", w.Name, w.Paper),
+			Note:  "wall ms per thread count; model = work-model speedup vs sequential at max threads",
+		}
+		t.Header = []string{"algorithm"}
+		for _, th := range cfg.threads() {
+			t.Header = append(t.Header, fmt.Sprintf("t=%d ms", th))
+		}
+		t.Header = append(t.Header, "model", "colors")
+		seq := RunBGPCSequential(w, nil)
+		for _, alg := range allAlgorithms() {
+			row := []string{alg}
+			var last Measurement
+			for _, th := range cfg.threads() {
+				m, err := RunBGPC(w, alg, th, nil, core.BalanceNone, false)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, msStr(m.Wall))
+				last = m
+			}
+			row = append(row, f2(last.ModelSpeedup(seq.TotalWork)), fmt.Sprintf("%d", last.NumColors))
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// SpeedupTable builds the Table III/IV layout: per algorithm, the
+// geometric-mean work-model speedup over the sequential baseline at
+// each thread count, the geomean wall-clock ratio at max threads, the
+// speedup over parallel V-V at max threads, and the color ratio vs
+// V-V. useSL switches the vertex order from natural (Table III) to
+// smallest-last (Table IV).
+func SpeedupTable(cfg Config, useSL bool) (*Table, error) {
+	ws, err := LoadWorkloads(cfg.scale(), nil)
+	if err != nil {
+		return nil, err
+	}
+	id, title := "Table III", "BGPC speedups, natural order (geometric means over the eight workloads)"
+	if useSL {
+		id, title = "Table IV", "BGPC speedups, smallest-last order (geometric means over the eight workloads)"
+	}
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Note:  "speedup = work-model T1/Tp vs sequential V-V; wall = wall-clock ratio at max threads; over V-V = model speedup normalized by parallel V-V at max threads",
+	}
+	t.Header = []string{"algorithm", "colors/V-V"}
+	for _, th := range cfg.threads() {
+		t.Header = append(t.Header, fmt.Sprintf("t=%d", th))
+	}
+	t.Header = append(t.Header, "wall", "over V-V")
+
+	maxT := cfg.maxThreads()
+	algs := allAlgorithms()
+
+	// Collect per-workload measurements.
+	perAlg := map[string]map[int][]float64{} // alg -> threads -> model speedups
+	wallRatio := map[string][]float64{}      // alg -> wall speedups at maxT
+	colorRatio := map[string][]float64{}     // alg -> colors / V-V colors
+	overVV := map[string][]float64{}         // alg -> model speedup ratio vs V-V at maxT
+	for _, alg := range algs {
+		perAlg[alg] = map[int][]float64{}
+	}
+	for _, w := range ws {
+		var ord []int32
+		if useSL {
+			ord = w.SmallestLast()
+		}
+		seq := RunBGPCSequential(w, ord)
+		vvColors := 0
+		vvModelAtMax := 0.0
+		for _, alg := range algs {
+			var mAtMax Measurement
+			for _, th := range cfg.threads() {
+				m, err := RunBGPC(w, alg, th, ord, core.BalanceNone, false)
+				if err != nil {
+					return nil, err
+				}
+				perAlg[alg][th] = append(perAlg[alg][th], m.ModelSpeedup(seq.TotalWork))
+				if th == maxT {
+					mAtMax = m
+				}
+			}
+			if alg == "V-V" {
+				vvColors = mAtMax.NumColors
+				vvModelAtMax = mAtMax.ModelSpeedup(seq.TotalWork)
+			}
+			wallRatio[alg] = append(wallRatio[alg], mAtMax.WallSpeedup(seq.Wall))
+			colorRatio[alg] = append(colorRatio[alg], float64(mAtMax.NumColors)/float64(vvColors))
+			overVV[alg] = append(overVV[alg], mAtMax.ModelSpeedup(seq.TotalWork)/vvModelAtMax)
+		}
+	}
+	for _, alg := range algs {
+		row := []string{alg, f2(GeoMean(colorRatio[alg]))}
+		for _, th := range cfg.threads() {
+			row = append(row, f2(GeoMean(perAlg[alg][th])))
+		}
+		row = append(row, f2(GeoMean(wallRatio[alg])), f2(GeoMean(overVV[alg])))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// table5Algorithms are the D2GC schedules reported in Table V.
+var table5Algorithms = []string{"V-V-64D", "V-N1", "V-N2", "N1-N2"}
+
+// Table5 reproduces Table V: D2GC speedups on the five structurally
+// symmetric workloads — work-model speedups over the sequential
+// baseline per thread count, plus the ratio over V-V-64D at max
+// threads and the color ratio vs the sequential coloring.
+func Table5(cfg Config) (*Table, error) {
+	ws, err := LoadWorkloads(cfg.scale(), nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "Table V",
+		Title: "D2GC speedups, natural order (geomeans over the five symmetric workloads)",
+		Note:  "speedup = work-model T1/Tp vs sequential; over 64D = normalized by V-V-64D at max threads",
+	}
+	t.Header = []string{"algorithm", "colors/seq"}
+	for _, th := range cfg.threads() {
+		t.Header = append(t.Header, fmt.Sprintf("t=%d", th))
+	}
+	t.Header = append(t.Header, "wall", "over 64D")
+
+	maxT := cfg.maxThreads()
+	perAlg := map[string]map[int][]float64{}
+	wallRatio := map[string][]float64{}
+	colorRatio := map[string][]float64{}
+	over64D := map[string][]float64{}
+	for _, alg := range table5Algorithms {
+		perAlg[alg] = map[int][]float64{}
+	}
+	for _, w := range ws {
+		if !w.Symmetric {
+			continue
+		}
+		g, err := w.Unipartite()
+		if err != nil {
+			return nil, err
+		}
+		seq := RunD2GCSequential(g, w.Name)
+		base64D := 0.0
+		for _, alg := range table5Algorithms {
+			var mAtMax Measurement
+			for _, th := range cfg.threads() {
+				m, err := RunD2GC(g, w.Name, alg, th, core.BalanceNone, false)
+				if err != nil {
+					return nil, err
+				}
+				perAlg[alg][th] = append(perAlg[alg][th], m.ModelSpeedup(seq.TotalWork))
+				if th == maxT {
+					mAtMax = m
+				}
+			}
+			if alg == "V-V-64D" {
+				base64D = mAtMax.ModelSpeedup(seq.TotalWork)
+			}
+			wallRatio[alg] = append(wallRatio[alg], mAtMax.WallSpeedup(seq.Wall))
+			colorRatio[alg] = append(colorRatio[alg], float64(mAtMax.NumColors)/float64(seq.NumColors))
+			over64D[alg] = append(over64D[alg], mAtMax.ModelSpeedup(seq.TotalWork)/base64D)
+		}
+	}
+	for _, alg := range table5Algorithms {
+		row := []string{alg, f2(GeoMean(colorRatio[alg]))}
+		for _, th := range cfg.threads() {
+			row = append(row, f2(GeoMean(perAlg[alg][th])))
+		}
+		row = append(row, f2(GeoMean(wallRatio[alg])), f2(GeoMean(over64D[alg])))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table6 reproduces Table VI: the impact of the B1/B2 balancing
+// heuristics on V-N2 and N1-N2 at the headline thread count, normalized
+// against the unbalanced runs — coloring time, number of color sets,
+// average cardinality, and cardinality standard deviation.
+func Table6(cfg Config) (*Table, error) {
+	ws, err := LoadWorkloads(cfg.scale(), nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Table VI",
+		Title:  "Balancing heuristics B1/B2 (normalized to the unbalanced run, geomeans over workloads)",
+		Note:   fmt.Sprintf("threads = %d", cfg.maxThreads()),
+		Header: []string{"algorithm", "coloring time", "work", "#color sets", "avg card", "std dev"},
+	}
+	for _, alg := range []string{"V-N2", "N1-N2"} {
+		type agg struct{ time, work, sets, avg, std []float64 }
+		byBalance := map[core.Balance]*agg{
+			core.BalanceNone: {}, core.BalanceB1: {}, core.BalanceB2: {},
+		}
+		for _, w := range ws {
+			var base Measurement
+			for _, b := range []core.Balance{core.BalanceNone, core.BalanceB1, core.BalanceB2} {
+				m, err := RunBGPC(w, alg, cfg.maxThreads(), nil, b, false)
+				if err != nil {
+					return nil, err
+				}
+				if b == core.BalanceNone {
+					base = m
+				}
+				a := byBalance[b]
+				a.time = append(a.time, safeRatio(float64(m.Wall), float64(base.Wall)))
+				a.work = append(a.work, safeRatio(float64(m.TotalWork), float64(base.TotalWork)))
+				a.sets = append(a.sets, safeRatio(float64(m.ColorStats.NumColors), float64(base.ColorStats.NumColors)))
+				a.avg = append(a.avg, safeRatio(m.ColorStats.Avg, base.ColorStats.Avg))
+				a.std = append(a.std, safeRatio(m.ColorStats.StdDev, base.ColorStats.StdDev))
+			}
+		}
+		for _, b := range []core.Balance{core.BalanceNone, core.BalanceB1, core.BalanceB2} {
+			a := byBalance[b]
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%s-%s", alg, b),
+				f2(GeoMean(a.time)), f2(GeoMean(a.work)), f2(GeoMean(a.sets)), f2(GeoMean(a.avg)), f2(GeoMean(a.std)),
+			})
+		}
+	}
+	return t, nil
+}
+
+func safeRatio(num, den float64) float64 {
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// Figure3 reproduces Figure 3: sorted color-set cardinalities of the
+// unbalanced and balanced V-N2 and N1-N2 runs on the coPapersDBLP
+// stand-in. Each row is one color set (rank-ordered by size); use CSV
+// output for plotting.
+func Figure3(cfg Config) ([]*Table, error) {
+	ws, err := LoadWorkloads(cfg.scale(), []string{"copapers"})
+	if err != nil {
+		return nil, err
+	}
+	w := ws[0]
+	var tables []*Table
+	for _, alg := range []string{"V-N2", "N1-N2"} {
+		t := &Table{
+			ID:     fmt.Sprintf("Figure 3 (%s)", alg),
+			Title:  fmt.Sprintf("Color-set cardinalities on copapers, %s, sorted descending", alg),
+			Note:   fmt.Sprintf("threads = %d; columns padded with 0 when a variant uses fewer colors", cfg.maxThreads()),
+			Header: []string{"rank", alg + "-U", alg + "-B1", alg + "-B2"},
+		}
+		series := make([][]int, 3)
+		for i, b := range []core.Balance{core.BalanceNone, core.BalanceB1, core.BalanceB2} {
+			m, err := RunBGPC(w, alg, cfg.maxThreads(), nil, b, false)
+			if err != nil {
+				return nil, err
+			}
+			series[i] = m.ColorStats.SortedCardinalities()
+		}
+		maxLen := 0
+		for _, s := range series {
+			if len(s) > maxLen {
+				maxLen = len(s)
+			}
+		}
+		for r := 0; r < maxLen; r++ {
+			row := []string{fmt.Sprintf("%d", r+1)}
+			for _, s := range series {
+				v := 0
+				if r < len(s) {
+					v = s[r]
+				}
+				row = append(row, fmt.Sprintf("%d", v))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

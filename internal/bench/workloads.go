@@ -1,0 +1,80 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation section (Tables I–VI, Figures
+// 1–3) on the synthetic workload presets, reporting wall-clock numbers
+// plus the machine-independent work-model speedups described in
+// DESIGN.md.
+package bench
+
+import (
+	"fmt"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/gen"
+	"bgpc/internal/graph"
+	"bgpc/internal/order"
+)
+
+// Workload is one loaded test matrix plus its derived structures.
+type Workload struct {
+	Name      string
+	Paper     string // the UFL matrix this preset stands in for
+	Graph     *bipartite.Graph
+	Stats     bipartite.Stats
+	Symmetric bool
+
+	slOrder []int32      // lazily computed smallest-last order
+	uni     *graph.Graph // lazily derived unipartite graph (symmetric only)
+}
+
+// LoadWorkloads builds the named presets (nil = all eight) at the given
+// scale.
+func LoadWorkloads(scale float64, names []string) ([]*Workload, error) {
+	if names == nil {
+		names = gen.PresetNames()
+	}
+	out := make([]*Workload, 0, len(names))
+	for _, name := range names {
+		info, err := gen.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := gen.Preset(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		w := &Workload{
+			Name:      name,
+			Paper:     info.Paper,
+			Graph:     g,
+			Stats:     g.ComputeStats(),
+			Symmetric: info.Symmetric,
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// SmallestLast returns (computing on first use) the smallest-last
+// vertex order for this workload.
+func (w *Workload) SmallestLast() []int32 {
+	if w.slOrder == nil {
+		w.slOrder = order.SmallestLast(w.Graph)
+	}
+	return w.slOrder
+}
+
+// Unipartite returns the workload as an undirected graph for D2GC.
+// It fails for non-symmetric workloads.
+func (w *Workload) Unipartite() (*graph.Graph, error) {
+	if !w.Symmetric {
+		return nil, fmt.Errorf("bench: workload %s is not structurally symmetric", w.Name)
+	}
+	if w.uni == nil {
+		g, err := graph.FromBipartite(w.Graph)
+		if err != nil {
+			return nil, err
+		}
+		w.uni = g
+	}
+	return w.uni, nil
+}

@@ -1,0 +1,101 @@
+// Package core implements the paper's bipartite-graph partial coloring
+// (BGPC) algorithms: the sequential greedy baseline, ColPack's
+// vertex-based speculative loop with the paper's scheduling fixes
+// (chunked dynamic scheduling, lazy queues), the proposed net-based
+// coloring and conflict-removal phases with the reverse first-fit
+// Policy, the hybrid V-N/N-N schedules, and the B1/B2 balancing
+// heuristics (paper Algorithms 1–8, 11, 12).
+package core
+
+import "sync/atomic"
+
+// Uncolored is the color of a not-yet-colored vertex, as in the paper.
+const Uncolored int32 = -1
+
+// Colors is a shared color array. The speculative phases intentionally
+// let threads overwrite each other's entries ("optimistic" coloring);
+// all access from parallel code goes through atomic Get/Set so the
+// library stays race-detector-clean while preserving that optimism.
+// Sequential code may use Raw directly.
+type Colors struct {
+	c []int32
+}
+
+// NewColors returns an all-Uncolored array for n vertices.
+func NewColors(n int) *Colors {
+	c := make([]int32, n)
+	for i := range c {
+		c[i] = Uncolored
+	}
+	return &Colors{c: c}
+}
+
+// Len returns the number of vertices.
+func (c *Colors) Len() int { return len(c.c) }
+
+// Get atomically loads vertex u's color.
+func (c *Colors) Get(u int32) int32 { return atomic.LoadInt32(&c.c[u]) }
+
+// Set atomically stores vertex u's color.
+func (c *Colors) Set(u int32, col int32) { atomic.StoreInt32(&c.c[u], col) }
+
+// Raw returns the underlying slice. Callers must not access it
+// concurrently with parallel phases.
+func (c *Colors) Raw() []int32 { return c.c }
+
+// Forbidden is a per-thread forbidden-color set realized as a stamped
+// array, following the paper's implementation notes: it is allocated
+// once, never cleared, and reset in O(1) by bumping the stamp.
+type Forbidden struct {
+	mark  []int32
+	stamp int32
+}
+
+// NewForbidden returns a forbidden set able to hold colors < size
+// without growing.
+func NewForbidden(size int) *Forbidden {
+	if size < 1 {
+		size = 1
+	}
+	return &Forbidden{mark: make([]int32, size), stamp: 0}
+}
+
+// Reset starts a new epoch. The zero-initialized mark array matches no
+// positive stamp, and on the (practically unreachable) stamp overflow
+// the array is re-zeroed.
+func (f *Forbidden) Reset() {
+	f.stamp++
+	if f.stamp <= 0 { // wrapped around
+		for i := range f.mark {
+			f.mark[i] = 0
+		}
+		f.stamp = 1
+	}
+}
+
+// Add marks col as forbidden in the current epoch, growing the array if
+// an adversarial balancing Policy walked past the sizing bound.
+func (f *Forbidden) Add(col int32) {
+	if int(col) >= len(f.mark) {
+		f.grow(int(col) + 1)
+	}
+	f.mark[col] = f.stamp
+}
+
+// Has reports whether col is forbidden in the current epoch.
+func (f *Forbidden) Has(col int32) bool {
+	if int(col) >= len(f.mark) {
+		return false
+	}
+	return f.mark[col] == f.stamp
+}
+
+func (f *Forbidden) grow(minLen int) {
+	newLen := 2 * len(f.mark)
+	if newLen < minLen {
+		newLen = minLen
+	}
+	next := make([]int32, newLen)
+	copy(next, f.mark)
+	f.mark = next
+}

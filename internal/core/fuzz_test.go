@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/rng"
+	"bgpc/internal/verify"
+)
+
+// FuzzColor drives the full speculative runner with fuzzer-chosen
+// graph structure and algorithm configuration; every accepted
+// configuration must yield a verified coloring.
+func FuzzColor(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(1), uint8(0), uint8(0), false)
+	f.Add(uint64(7), uint8(4), uint8(64), uint8(2), uint8(1), true)
+	f.Add(uint64(42), uint8(1), uint8(1), uint8(0), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed uint64, threads, chunk, netCR, netColor uint8, lazy bool) {
+		r := rng.New(seed)
+		numNet := r.Intn(12) + 1
+		numVtx := r.Intn(24) + 1
+		m := r.Intn(100)
+		edges := make([]bipartite.Edge, m)
+		for i := range edges {
+			edges[i] = bipartite.Edge{Net: int32(r.Intn(numNet)), Vtx: int32(r.Intn(numVtx))}
+		}
+		g, err := bipartite.FromEdges(numNet, numVtx, edges)
+		if err != nil {
+			t.Fatalf("generator produced invalid edges: %v", err)
+		}
+		opts := Options{
+			Threads:         int(threads%8) + 1,
+			Chunk:           int(chunk%128) + 1,
+			LazyQueues:      lazy,
+			NetCRIters:      int(netCR % 3),
+			NetColorIters:   int(netColor % 3),
+			Balance:         Balance(seed % 3),
+			NetColorVariant: NetColorVariant(seed / 3 % 3),
+		}
+		res, err := Color(g, opts)
+		if err != nil {
+			// Only the documented configuration error is acceptable.
+			if opts.NetColorIters > opts.NetCRIters {
+				return
+			}
+			t.Fatalf("Color failed on valid config %+v: %v", opts, err)
+		}
+		if err := verify.BGPC(g, res.Colors); err != nil {
+			t.Fatalf("invalid coloring from %+v: %v", opts, err)
+		}
+	})
+}

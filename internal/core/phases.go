@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bgpc/internal/bipartite"
+	"bgpc/internal/par"
+)
+
+// scratch bundles the per-thread state allocated once per run, per the
+// paper's implementation notes (forbidden arrays and local queues are
+// never freed or cleared between nets/vertices).
+type scratch struct {
+	forb []*Forbidden
+	wl   [][]int32 // per-thread W_local for the two-pass net coloring
+	pol  []Policy
+}
+
+func newScratch(threads, forbiddenSize int, balance Balance) *scratch {
+	s := &scratch{
+		forb: make([]*Forbidden, threads),
+		wl:   make([][]int32, threads),
+		pol:  make([]Policy, threads),
+	}
+	for i := 0; i < threads; i++ {
+		s.forb[i] = NewForbidden(forbiddenSize)
+		s.pol[i] = Policy{balance: balance}
+	}
+	return s
+}
+
+// resetPolicies reinitializes the thread-private balancing state at the
+// start of a coloring phase (colmax ← 0, colnext ← 0).
+func (s *scratch) resetPolicies(balance Balance) {
+	for i := range s.pol {
+		s.pol[i] = Policy{balance: balance}
+	}
+}
+
+func (o *Options) parOpts() par.Options {
+	sched := par.Dynamic
+	if o.Guided {
+		sched = par.Guided
+	}
+	return par.Options{Threads: o.threads(), Chunk: o.chunk(), Schedule: sched}
+}
+
+// colorVertexPhase is BGPC-COLORWORKQUEUE-VERTEX (Algorithm 4) with the
+// balancing policies of Algorithms 11/12: each vertex of W scans its
+// distance-2 neighbourhood through its nets, builds a private forbidden
+// set, and picks a color.
+func colorVertexPhase(g *bipartite.Graph, W []int32, c *Colors, s *scratch, o *Options, wc *WorkCounters) {
+	s.resetPolicies(o.Balance)
+	par.For(len(W), o.parOpts(), func(tid, lo, hi int) {
+		f := s.forb[tid]
+		pol := &s.pol[tid]
+		work := int64(DispatchCostUnits) * int64(o.threads())
+		for i := lo; i < hi; i++ {
+			w := W[i]
+			f.Reset()
+			for _, v := range g.Nets(w) {
+				vt := g.Vtxs(v)
+				work += int64(len(vt)) + 1
+				for _, u := range vt {
+					if u == w {
+						continue
+					}
+					if cu := c.Get(u); cu != Uncolored {
+						f.Add(cu)
+					}
+				}
+			}
+			c.Set(w, pol.Pick(f, w))
+		}
+		wc.AddChunk(work)
+	})
+}
+
+// conflictVertexShared is BGPC-REMOVECONFLICTS-VERTEX (Algorithm 5)
+// with ColPack's immediate shared next-iteration queue (V-V, V-V-64).
+func conflictVertexShared(g *bipartite.Graph, W []int32, c *Colors, q *par.SharedQueue, o *Options, wc *WorkCounters) {
+	par.For(len(W), o.parOpts(), func(tid, lo, hi int) {
+		work := int64(DispatchCostUnits) * int64(o.threads())
+		for i := lo; i < hi; i++ {
+			w := W[i]
+			if vertexConflicts(g, w, c, &work) {
+				q.Push(w)
+				work += int64(QueuePushCostUnits) * int64(o.threads())
+			}
+		}
+		wc.AddChunk(work)
+	})
+}
+
+// conflictVertexLazy is the same detection with per-thread queues
+// merged at the barrier (the lazy "D" construction of V-V-64D).
+func conflictVertexLazy(g *bipartite.Graph, W []int32, c *Colors, l *par.LocalQueues, o *Options, wc *WorkCounters) {
+	par.For(len(W), o.parOpts(), func(tid, lo, hi int) {
+		work := int64(DispatchCostUnits) * int64(o.threads())
+		for i := lo; i < hi; i++ {
+			w := W[i]
+			if vertexConflicts(g, w, c, &work) {
+				l.Push(tid, w)
+			}
+		}
+		wc.AddChunk(work)
+	})
+}
+
+// vertexConflicts scans w's neighbourhood and reports whether w must be
+// recolored: some u with c[u] = c[w] and w > u exists (Algorithm 3's
+// tie-break keeps the smaller id). Early-exits on the first conflict.
+func vertexConflicts(g *bipartite.Graph, w int32, c *Colors, work *int64) bool {
+	cw := c.Get(w)
+	for _, v := range g.Nets(w) {
+		vt := g.Vtxs(v)
+		scanned := int64(1)
+		for _, u := range vt {
+			scanned++
+			if u != w && u < w && c.Get(u) == cw {
+				*work += scanned
+				return true
+			}
+		}
+		*work += scanned
+	}
+	return false
+}
+
+// conflictNetPhase is BGPC-REMOVECONFLICTS-NET (Algorithm 7): every net
+// keeps the first occurrence of each color and uncolors later
+// duplicates in place. The caller gathers the uncolored vertices into
+// the next work queue afterwards.
+func conflictNetPhase(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters) {
+	par.For(g.NumNets(), o.parOpts(), func(tid, lo, hi int) {
+		f := s.forb[tid]
+		work := int64(DispatchCostUnits) * int64(o.threads())
+		for v := lo; v < hi; v++ {
+			f.Reset()
+			vt := g.Vtxs(int32(v))
+			work += int64(len(vt)) + 1
+			for _, u := range vt {
+				cu := c.Get(u)
+				if cu == Uncolored {
+					continue
+				}
+				if f.Has(cu) {
+					c.Set(u, Uncolored)
+				} else {
+					f.Add(cu)
+				}
+			}
+		}
+		wc.AddChunk(work)
+	})
+}
+
+// colorNetPhase dispatches to the configured net-based coloring
+// variant over all nets.
+func colorNetPhase(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters) {
+	s.resetPolicies(o.Balance)
+	switch o.NetColorVariant {
+	case NetV1:
+		colorNetV1(g, c, s, o, wc, false)
+	case NetV1Reverse:
+		colorNetV1(g, c, s, o, wc, true)
+	default:
+		colorNetTwoPass(g, c, s, o, wc)
+	}
+}
+
+// colorNetTwoPass is BGPC-COLORWORKQUEUE-NET (Algorithm 8): pass one
+// marks the colors already present in the net and collects the vertices
+// to (re)color; pass two colors them with reverse first-fit from
+// |vtxs(v)|−1 (or the B1/B2 Policy when balancing).
+func colorNetTwoPass(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters) {
+	par.For(g.NumNets(), o.parOpts(), func(tid, lo, hi int) {
+		f := s.forb[tid]
+		pol := &s.pol[tid]
+		wl := s.wl[tid]
+		work := int64(DispatchCostUnits) * int64(o.threads())
+		for v := lo; v < hi; v++ {
+			vt := g.Vtxs(int32(v))
+			work += int64(len(vt)) + 1
+			f.Reset()
+			wl = wl[:0]
+			for _, u := range vt {
+				cu := c.Get(u)
+				if cu != Uncolored && !f.Has(cu) {
+					f.Add(cu)
+				} else {
+					wl = append(wl, u)
+				}
+			}
+			if len(wl) == 0 {
+				continue
+			}
+			work += int64(len(wl))
+			if o.Balance == BalanceNone {
+				col := int32(len(vt)) - 1
+				for _, u := range wl {
+					col = ReverseFit(f, col)
+					if col < 0 {
+						// Unreachable per Lemma 1; kept as a safety
+						// net for adversarially corrupted inputs.
+						col = FirstFitFrom(f, int32(len(vt)))
+					}
+					c.Set(u, col)
+					f.Add(col)
+					col--
+				}
+			} else {
+				for _, u := range wl {
+					col := pol.Pick(f, u)
+					c.Set(u, col)
+					f.Add(col)
+				}
+			}
+		}
+		s.wl[tid] = wl // keep the grown buffer
+		wc.AddChunk(work)
+	})
+}
+
+// colorNetV1 is BGPC-COLORWORKQUEUE-NET-V1 (Algorithm 6): a single
+// pass that recolors conflicting or uncolored vertices on the fly with
+// a net-local monotone first-fit (reverse=false) or the "Alg 6 +
+// reverse" first-fit from |vtxs(v)|−1 (reverse=true), the two upper
+// rows of Table I.
+func colorNetV1(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters, reverse bool) {
+	par.For(g.NumNets(), o.parOpts(), func(tid, lo, hi int) {
+		f := s.forb[tid]
+		work := int64(DispatchCostUnits) * int64(o.threads())
+		for v := lo; v < hi; v++ {
+			vt := g.Vtxs(int32(v))
+			work += int64(len(vt)) + 1
+			f.Reset()
+			var col int32
+			if reverse {
+				col = int32(len(vt)) - 1
+			}
+			for _, u := range vt {
+				cu := c.Get(u)
+				if cu == Uncolored || f.Has(cu) {
+					if reverse {
+						col = ReverseFit(f, col)
+						if col < 0 {
+							col = FirstFitFrom(f, int32(len(vt)))
+						}
+					} else {
+						col = FirstFitFrom(f, col)
+					}
+					cu = col
+					c.Set(u, cu)
+				}
+				f.Add(cu)
+			}
+		}
+		wc.AddChunk(work)
+	})
+}
+
+// gatherUncolored rebuilds the work queue after a net-based conflict
+// removal: all vertices left Uncolored, in ascending id order. Isolated
+// vertices are pre-colored by the runner and so never reappear.
+func gatherUncolored(g *bipartite.Graph, c *Colors, o *Options) []int32 {
+	return par.GatherInt32(g.NumVertices(), par.Options{Threads: o.threads(), Schedule: par.Static},
+		func(u int32) bool { return c.Get(u) == Uncolored })
+}

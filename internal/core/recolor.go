@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"bgpc/internal/bipartite"
+)
+
+// Recolor performs one Culberson-style iterated-greedy pass over an
+// existing valid BGPC coloring: vertices are re-colored sequentially,
+// color classes visited from the largest color id downwards (vertices
+// within a class in ascending id). Re-coloring whole classes together
+// guarantees the new coloring never uses more colors than the old one,
+// and in practice compacts colorings produced by the optimistic
+// parallel algorithms — the shared-memory analogue of the iterative
+// recoloring studied for distributed coloring (Sarıyüce, Saule,
+// Çatalyürek, 2011/2014, cited in the paper's related work).
+//
+// The input slice is not modified; the improved coloring is returned
+// with its distinct-color count.
+func Recolor(g *bipartite.Graph, colors []int32) ([]int32, int, error) {
+	n := g.NumVertices()
+	if len(colors) != n {
+		return nil, 0, fmt.Errorf("core: Recolor: %d colors for %d vertices", len(colors), n)
+	}
+	maxColor := int32(-1)
+	for u, c := range colors {
+		if c < 0 {
+			return nil, 0, fmt.Errorf("core: Recolor: vertex %d uncolored", u)
+		}
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+
+	// Bucket vertices by color, then emit classes from the highest
+	// color downwards. Greedy re-coloring in this order can only reuse
+	// or lower ids (proof: when a class-c vertex is processed, every
+	// previously processed vertex held a color ≥ c in the old coloring,
+	// so first-fit below c stays available unless blocked by vertices
+	// that themselves fit below their old color).
+	counts := make([]int, maxColor+1)
+	for _, c := range colors {
+		counts[c]++
+	}
+	offsets := make([]int, maxColor+2)
+	for c := int32(0); c <= maxColor; c++ {
+		offsets[c+1] = offsets[c] + counts[c]
+	}
+	order := make([]int32, n)
+	fill := make([]int, maxColor+1)
+	for u := int32(0); int(u) < n; u++ {
+		c := colors[u]
+		order[offsets[c]+fill[c]] = u
+		fill[c]++
+	}
+	// Reverse class order: highest color first.
+	reversed := make([]int32, 0, n)
+	for c := maxColor; c >= 0; c-- {
+		reversed = append(reversed, order[offsets[c]:offsets[c]+counts[c]]...)
+	}
+
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = Uncolored
+	}
+	f := NewForbidden(int(maxColor) + 2)
+	for _, u := range reversed {
+		f.Reset()
+		for _, v := range g.Nets(u) {
+			for _, w := range g.Vtxs(v) {
+				if w != u && out[w] != Uncolored {
+					f.Add(out[w])
+				}
+			}
+		}
+		out[u] = FirstFit(f)
+	}
+
+	distinct := countDistinct(out)
+	return out, distinct, nil
+}
+
+// RecolorToConvergence applies Recolor repeatedly until the color count
+// stops improving or maxRounds passes complete, returning the final
+// coloring, its color count, and the number of rounds executed.
+func RecolorToConvergence(g *bipartite.Graph, colors []int32, maxRounds int) ([]int32, int, int, error) {
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
+	cur := colors
+	best := countDistinct(colors)
+	rounds := 0
+	for r := 0; r < maxRounds; r++ {
+		next, count, err := Recolor(g, cur)
+		if err != nil {
+			return nil, 0, rounds, err
+		}
+		rounds++
+		cur = next
+		if count >= best {
+			best = count
+			break
+		}
+		best = count
+	}
+	return cur, best, rounds, nil
+}
+
+func countDistinct(colors []int32) int {
+	maxCol := int32(-1)
+	for _, c := range colors {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
+	if maxCol < 0 {
+		return 0
+	}
+	seen := make([]bool, maxCol+1)
+	n := 0
+	for _, c := range colors {
+		if c >= 0 && !seen[c] {
+			seen[c] = true
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/gen"
+	"bgpc/internal/rng"
+	"bgpc/internal/verify"
+)
+
+func TestRecolorNeverIncreasesColors(t *testing.T) {
+	for _, name := range []string{"copapers", "movielens", "nlpkkt"} {
+		g, err := gen.Preset(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts, _ := ParseAlgorithm("N1-N2")
+		opts.Threads = 4
+		res, err := Color(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recolored, count, err := Recolor(g, res.Colors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.BGPC(g, recolored); err != nil {
+			t.Fatalf("%s: recolored invalid: %v", name, err)
+		}
+		if count > res.NumColors {
+			t.Fatalf("%s: recolor increased colors %d -> %d", name, res.NumColors, count)
+		}
+		t.Logf("%s: %d -> %d colors", name, res.NumColors, count)
+	}
+}
+
+func TestRecolorImprovesInflatedColoring(t *testing.T) {
+	// A deliberately wasteful coloring (every vertex its own color)
+	// must compact dramatically.
+	g, err := gen.Preset("channel", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	wasteful := make([]int32, n)
+	for i := range wasteful {
+		wasteful[i] = int32(i)
+	}
+	recolored, count, err := Recolor(g, wasteful)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.BGPC(g, recolored); err != nil {
+		t.Fatal(err)
+	}
+	if count >= n/2 {
+		t.Fatalf("recolor left %d colors for %d vertices", count, n)
+	}
+}
+
+func TestRecolorRejectsInvalidInput(t *testing.T) {
+	g, err := bipartite.FromNetLists(3, [][]int32{{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recolor(g, []int32{0, 1}); err == nil {
+		t.Fatal("short slice accepted")
+	}
+	if _, _, err := Recolor(g, []int32{0, -1, 1}); err == nil {
+		t.Fatal("uncolored accepted")
+	}
+}
+
+func TestRecolorEmptyGraph(t *testing.T) {
+	g, err := bipartite.FromEdges(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, count, err := Recolor(g, nil)
+	if err != nil || count != 0 || len(out) != 0 {
+		t.Fatalf("empty: %v %d %v", out, count, err)
+	}
+}
+
+func TestRecolorToConvergence(t *testing.T) {
+	g, err := gen.Preset("copapers", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, _ := ParseAlgorithm("N1-N2")
+	opts.Threads = 4
+	res, err := Color(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, count, rounds, err := RecolorToConvergence(g, res.Colors, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.BGPC(g, final); err != nil {
+		t.Fatal(err)
+	}
+	if count > res.NumColors {
+		t.Fatalf("convergence increased colors")
+	}
+	if rounds < 1 || rounds > 10 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
+func TestRecolorPropertyMonotone(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		numNet := r.Intn(15) + 1
+		numVtx := r.Intn(25) + 1
+		m := r.Intn(100)
+		edges := make([]bipartite.Edge, m)
+		for i := range edges {
+			edges[i] = bipartite.Edge{Net: int32(r.Intn(numNet)), Vtx: int32(r.Intn(numVtx))}
+		}
+		g, err := bipartite.FromEdges(numNet, numVtx, edges)
+		if err != nil {
+			return false
+		}
+		res := Sequential(g, rng.New(seed+1).Perm(numVtx))
+		out, count, err := Recolor(g, res.Colors)
+		if err != nil {
+			return false
+		}
+		return verify.BGPC(g, out) == nil && count <= res.NumColors
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

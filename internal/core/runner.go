@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/par"
+)
+
+// Color runs the speculative parallel BGPC loop (Algorithm 1) with the
+// phase schedule, scheduling parameters, and balancing Policy described
+// by opts, and returns a valid partial coloring of g's VA vertices.
+//
+// Iteration k uses net-based coloring while k ≤ opts.NetColorIters and
+// net-based conflict removal while k ≤ opts.NetCRIters, then falls back
+// to the vertex-based phases — exactly the paper's X-Y naming: V-N2 is
+// {NetColorIters: 0, NetCRIters: 2}, N1-N2 is {1, 2}, and so on.
+func Color(g *bipartite.Graph, opts Options) (*Result, error) {
+	if err := opts.validate(g.NumVertices()); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := g.NumVertices()
+	threads := opts.threads()
+	c := NewColors(n)
+	wc := NewWorkCounters(threads)
+	scr := newScratch(threads, g.MaxColorUpperBound()+1, opts.Balance)
+
+	// Build the initial work queue. Vertices incident to no net cannot
+	// conflict; they take color 0 immediately (as first-fit would) and
+	// never enter the queue, which keeps the net-based phases' gather
+	// step (that only sees vertices reachable through nets) sound.
+	W := make([]int32, 0, n)
+	appendVertex := func(u int32) {
+		if g.VtxDeg(u) == 0 {
+			c.Set(u, 0)
+		} else {
+			W = append(W, u)
+		}
+	}
+	if opts.Order == nil {
+		for u := int32(0); int(u) < n; u++ {
+			appendVertex(u)
+		}
+	} else {
+		for _, u := range opts.Order {
+			appendVertex(u)
+		}
+	}
+
+	// Queues for the vertex-based conflict removal.
+	var shared *par.SharedQueue
+	var local *par.LocalQueues
+	if opts.LazyQueues {
+		local = par.NewLocalQueues(threads, len(W))
+	} else {
+		shared = par.NewSharedQueue(len(W))
+	}
+	var wnext []int32 // reused buffer for the lazy merge
+
+	res := &Result{Iterations: 0}
+	maxIters := opts.maxIters()
+	for iter := 1; len(W) > 0; iter++ {
+		if iter > maxIters {
+			return nil, fmt.Errorf("core: no fixed point after %d iterations (%d vertices still queued)", maxIters, len(W))
+		}
+		res.Iterations = iter
+		netColor := iter <= opts.NetColorIters
+		netCR := iter <= opts.NetCRIters
+
+		it := IterStats{QueueLen: len(W), NetColoring: netColor, NetCR: netCR}
+
+		t0 := time.Now()
+		if netColor {
+			colorNetPhase(g, c, scr, &opts, wc)
+		} else {
+			colorVertexPhase(g, W, c, scr, &opts, wc)
+		}
+		it.ColoringTime = time.Since(t0)
+		it.ColoringWork, it.ColoringMaxWork = wc.TotalAndMax()
+
+		t1 := time.Now()
+		if netCR {
+			conflictNetPhase(g, c, scr, &opts, wc)
+			W = gatherUncolored(g, c, &opts)
+		} else {
+			if opts.LazyQueues {
+				local.Reset()
+				conflictVertexLazy(g, W, c, local, &opts, wc)
+				wnext = local.MergeInto(wnext)
+				W = append(W[:0], wnext...)
+			} else {
+				shared.Reset()
+				conflictVertexShared(g, W, c, shared, &opts, wc)
+				W = append(W[:0], shared.Items()...)
+			}
+		}
+		it.ConflictTime = time.Since(t1)
+		it.ConflictWork, it.ConflictMaxWork = wc.TotalAndMax()
+		it.Conflicts = len(W)
+
+		res.ColoringTime += it.ColoringTime
+		res.ConflictTime += it.ConflictTime
+		res.TotalWork += it.ColoringWork + it.ConflictWork
+		res.CriticalWork += it.ColoringMaxWork + it.ConflictMaxWork
+		if opts.CollectPerIteration {
+			res.Iters = append(res.Iters, it)
+		}
+	}
+
+	res.Colors = c.Raw()
+	res.Time = time.Since(start)
+	res.countColors()
+	return res, nil
+}

@@ -1,0 +1,246 @@
+// Package d2 implements the paper's distance-2 graph coloring (D2GC)
+// algorithms (Section IV): the sequential greedy baseline, vertex-based
+// speculative coloring and conflict removal over the distance-2
+// neighbourhood, and the proposed net-based phases (Algorithms 9
+// and 10) in which every vertex acts as the "net" covering its closed
+// neighbourhood. The scheduling options, hybrid V-N/N-N schedules, and
+// B1/B2 balancing heuristics are shared with the BGPC implementation in
+// internal/core.
+package d2
+
+import (
+	"fmt"
+	"time"
+
+	"bgpc/internal/core"
+	"bgpc/internal/graph"
+	"bgpc/internal/par"
+)
+
+// Options reuses the BGPC option set; NetColorVariant is ignored (the
+// paper defines a single net-based D2GC coloring, Algorithm 9).
+type Options = core.Options
+
+// Sequential runs single-threaded greedy D2GC in the given order
+// (nil = natural) with first-fit. Its TotalWork is the T₁ baseline of
+// the cost model.
+func Sequential(g *graph.Graph, vertexOrder []int32) *core.Result {
+	n := g.NumVertices()
+	start := time.Now()
+	c := make([]int32, n)
+	for i := range c {
+		c[i] = core.Uncolored
+	}
+	f := core.NewForbidden(g.MaxColorUpperBound() + 1)
+	var work int64
+	colorOne := func(v int32) {
+		f.Reset()
+		nb := g.Nbors(v)
+		work += int64(len(nb)) + 1
+		for _, u := range nb {
+			if c[u] != core.Uncolored {
+				f.Add(c[u])
+			}
+			nb2 := g.Nbors(u)
+			work += int64(len(nb2)) + 1
+			for _, w := range nb2 {
+				if w != v && c[w] != core.Uncolored {
+					f.Add(c[w])
+				}
+			}
+		}
+		c[v] = core.FirstFit(f)
+	}
+	if vertexOrder == nil {
+		for v := int32(0); int(v) < n; v++ {
+			colorOne(v)
+		}
+	} else {
+		for _, v := range vertexOrder {
+			colorOne(v)
+		}
+	}
+	res := &core.Result{
+		Colors:       c,
+		Iterations:   1,
+		Time:         time.Since(start),
+		TotalWork:    work,
+		CriticalWork: work,
+	}
+	res.ColoringTime = res.Time
+	countColors(res)
+	return res
+}
+
+// Color runs the speculative parallel D2GC loop with the schedule
+// described by opts (see core.Options; the same algorithm names V-V-64D,
+// V-N1, V-N2, N1-N2 … apply, per the paper's Table V).
+func Color(g *graph.Graph, opts Options) (*core.Result, error) {
+	if err := validate(&opts, g.NumVertices()); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := g.NumVertices()
+	threads := threadsOf(&opts)
+	c := core.NewColors(n)
+	wc := core.NewWorkCounters(threads)
+	scr := newScratch(threads, g.MaxColorUpperBound()+1, opts.Balance)
+
+	// Isolated vertices have an empty distance-2 neighbourhood: they
+	// take color 0 directly and never enter the queue.
+	W := make([]int32, 0, n)
+	appendVertex := func(u int32) {
+		if g.Deg(u) == 0 {
+			c.Set(u, 0)
+		} else {
+			W = append(W, u)
+		}
+	}
+	if opts.Order == nil {
+		for u := int32(0); int(u) < n; u++ {
+			appendVertex(u)
+		}
+	} else {
+		for _, u := range opts.Order {
+			appendVertex(u)
+		}
+	}
+
+	var shared *par.SharedQueue
+	var local *par.LocalQueues
+	if opts.LazyQueues {
+		local = par.NewLocalQueues(threads, len(W))
+	} else {
+		shared = par.NewSharedQueue(len(W))
+	}
+	var wnext []int32
+
+	res := &core.Result{}
+	maxIters := maxItersOf(&opts)
+	for iter := 1; len(W) > 0; iter++ {
+		if iter > maxIters {
+			return nil, fmt.Errorf("d2: no fixed point after %d iterations (%d vertices still queued)", maxIters, len(W))
+		}
+		res.Iterations = iter
+		netColor := iter <= opts.NetColorIters
+		netCR := iter <= opts.NetCRIters
+		it := core.IterStats{QueueLen: len(W), NetColoring: netColor, NetCR: netCR}
+
+		t0 := time.Now()
+		if netColor {
+			colorNetPhase(g, c, scr, &opts, wc)
+		} else {
+			colorVertexPhase(g, W, c, scr, &opts, wc)
+		}
+		it.ColoringTime = time.Since(t0)
+		it.ColoringWork, it.ColoringMaxWork = wc.TotalAndMax()
+
+		t1 := time.Now()
+		if netCR {
+			conflictNetPhase(g, c, scr, &opts, wc)
+			W = gatherUncolored(g, c, &opts)
+		} else {
+			if opts.LazyQueues {
+				local.Reset()
+				conflictVertexLazy(g, W, c, local, &opts, wc)
+				wnext = local.MergeInto(wnext)
+				W = append(W[:0], wnext...)
+			} else {
+				shared.Reset()
+				conflictVertexShared(g, W, c, shared, &opts, wc)
+				W = append(W[:0], shared.Items()...)
+			}
+		}
+		it.ConflictTime = time.Since(t1)
+		it.ConflictWork, it.ConflictMaxWork = wc.TotalAndMax()
+		it.Conflicts = len(W)
+
+		res.ColoringTime += it.ColoringTime
+		res.ConflictTime += it.ConflictTime
+		res.TotalWork += it.ColoringWork + it.ConflictWork
+		res.CriticalWork += it.ColoringMaxWork + it.ConflictMaxWork
+		if opts.CollectPerIteration {
+			res.Iters = append(res.Iters, it)
+		}
+	}
+
+	res.Colors = rawColors(c)
+	res.Time = time.Since(start)
+	countColors(res)
+	return res, nil
+}
+
+func rawColors(c *core.Colors) []int32 { return c.Raw() }
+
+func threadsOf(o *Options) int {
+	if o.Threads < 1 {
+		return 1
+	}
+	return o.Threads
+}
+
+func chunkOf(o *Options) int {
+	if o.Chunk < 1 {
+		return 1
+	}
+	return o.Chunk
+}
+
+func maxItersOf(o *Options) int {
+	if o.MaxIters <= 0 {
+		return 1000
+	}
+	return o.MaxIters
+}
+
+func validate(o *Options, n int) error {
+	if o.NetColorIters < 0 || o.NetCRIters < 0 {
+		return fmt.Errorf("d2: negative phase iteration counts (%d, %d)", o.NetColorIters, o.NetCRIters)
+	}
+	if o.NetColorIters > o.NetCRIters {
+		return fmt.Errorf("d2: NetColorIters (%d) > NetCRIters (%d)", o.NetColorIters, o.NetCRIters)
+	}
+	if o.Order != nil {
+		if len(o.Order) != n {
+			return fmt.Errorf("d2: Order has length %d, graph has %d vertices", len(o.Order), n)
+		}
+		seen := make([]bool, n)
+		for _, u := range o.Order {
+			if u < 0 || int(u) >= n || seen[u] {
+				return fmt.Errorf("d2: Order is not a permutation of [0,%d)", n)
+			}
+			seen[u] = true
+		}
+	}
+	switch o.Balance {
+	case core.BalanceNone, core.BalanceB1, core.BalanceB2:
+	default:
+		return fmt.Errorf("d2: unknown Balance %d", o.Balance)
+	}
+	return nil
+}
+
+// countColors fills NumColors/MaxColor (mirror of core's unexported
+// helper).
+func countColors(r *core.Result) {
+	maxCol := int32(-1)
+	for _, c := range r.Colors {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
+	r.MaxColor = maxCol
+	if maxCol < 0 {
+		r.NumColors = 0
+		return
+	}
+	seen := make([]bool, maxCol+1)
+	n := 0
+	for _, c := range r.Colors {
+		if c >= 0 && !seen[c] {
+			seen[c] = true
+			n++
+		}
+	}
+	r.NumColors = n
+}

@@ -1,0 +1,225 @@
+package d2
+
+import (
+	"bgpc/internal/core"
+	"bgpc/internal/graph"
+	"bgpc/internal/par"
+)
+
+// scratch is the per-thread state, allocated once per run.
+type scratch struct {
+	forb []*core.Forbidden
+	wl   [][]int32
+	pol  []core.Policy
+}
+
+func newScratch(threads, forbiddenSize int, balance core.Balance) *scratch {
+	s := &scratch{
+		forb: make([]*core.Forbidden, threads),
+		wl:   make([][]int32, threads),
+		pol:  make([]core.Policy, threads),
+	}
+	for i := 0; i < threads; i++ {
+		s.forb[i] = core.NewForbidden(forbiddenSize)
+		s.pol[i] = core.NewPolicy(balance)
+	}
+	return s
+}
+
+func (s *scratch) resetPolicies(balance core.Balance) {
+	for i := range s.pol {
+		s.pol[i] = core.NewPolicy(balance)
+	}
+}
+
+func parOpts(o *Options) par.Options {
+	sched := par.Dynamic
+	if o.Guided {
+		sched = par.Guided
+	}
+	return par.Options{Threads: threadsOf(o), Chunk: chunkOf(o), Schedule: sched}
+}
+
+// colorVertexPhase colors each queued vertex against its full
+// distance-≤2 neighbourhood (the vertex-based D2GC coloring the paper
+// derives from ColPack's sequential implementation).
+func colorVertexPhase(g *graph.Graph, W []int32, c *core.Colors, s *scratch, o *Options, wc *core.WorkCounters) {
+	s.resetPolicies(o.Balance)
+	par.For(len(W), parOpts(o), func(tid, lo, hi int) {
+		f := s.forb[tid]
+		pol := &s.pol[tid]
+		work := int64(core.DispatchCostUnits) * int64(threadsOf(o))
+		for i := lo; i < hi; i++ {
+			w := W[i]
+			f.Reset()
+			nb := g.Nbors(w)
+			work += int64(len(nb)) + 1
+			for _, u := range nb {
+				if cu := c.Get(u); cu != core.Uncolored {
+					f.Add(cu)
+				}
+				nb2 := g.Nbors(u)
+				work += int64(len(nb2)) + 1
+				for _, x := range nb2 {
+					if x == w {
+						continue
+					}
+					if cx := c.Get(x); cx != core.Uncolored {
+						f.Add(cx)
+					}
+				}
+			}
+			c.Set(w, pol.Pick(f, w))
+		}
+		wc.AddChunk(work)
+	})
+}
+
+// vertexConflicts reports whether w conflicts with a smaller-id vertex
+// within distance two.
+func vertexConflicts(g *graph.Graph, w int32, c *core.Colors, work *int64) bool {
+	cw := c.Get(w)
+	nb := g.Nbors(w)
+	*work += int64(len(nb)) + 1
+	for _, u := range nb {
+		if u < w && c.Get(u) == cw {
+			return true
+		}
+	}
+	for _, u := range nb {
+		nb2 := g.Nbors(u)
+		scanned := int64(1)
+		for _, x := range nb2 {
+			scanned++
+			if x != w && x < w && c.Get(x) == cw {
+				*work += scanned
+				return true
+			}
+		}
+		*work += scanned
+	}
+	return false
+}
+
+func conflictVertexShared(g *graph.Graph, W []int32, c *core.Colors, q *par.SharedQueue, o *Options, wc *core.WorkCounters) {
+	par.For(len(W), parOpts(o), func(tid, lo, hi int) {
+		work := int64(core.DispatchCostUnits) * int64(threadsOf(o))
+		for i := lo; i < hi; i++ {
+			if vertexConflicts(g, W[i], c, &work) {
+				q.Push(W[i])
+				work += int64(core.QueuePushCostUnits) * int64(threadsOf(o))
+			}
+		}
+		wc.AddChunk(work)
+	})
+}
+
+func conflictVertexLazy(g *graph.Graph, W []int32, c *core.Colors, l *par.LocalQueues, o *Options, wc *core.WorkCounters) {
+	par.For(len(W), parOpts(o), func(tid, lo, hi int) {
+		work := int64(core.DispatchCostUnits) * int64(threadsOf(o))
+		for i := lo; i < hi; i++ {
+			if vertexConflicts(g, W[i], c, &work) {
+				l.Push(tid, W[i])
+			}
+		}
+		wc.AddChunk(work)
+	})
+}
+
+// colorNetPhase is D2GC-COLORWORKQUEUE-NET (Algorithm 9): each vertex v
+// acts as the net covering {v} ∪ nbor(v); uncolored or locally
+// conflicting members are recolored with reverse first-fit from
+// |nbor(v)| (one above the BGPC start, since v itself also needs a
+// color), or with the B1/B2 policy when balancing.
+func colorNetPhase(g *graph.Graph, c *core.Colors, s *scratch, o *Options, wc *core.WorkCounters) {
+	s.resetPolicies(o.Balance)
+	par.For(g.NumVertices(), parOpts(o), func(tid, lo, hi int) {
+		f := s.forb[tid]
+		pol := &s.pol[tid]
+		wl := s.wl[tid]
+		work := int64(core.DispatchCostUnits) * int64(threadsOf(o))
+		for vi := lo; vi < hi; vi++ {
+			v := int32(vi)
+			nb := g.Nbors(v)
+			work += int64(len(nb)) + 2
+			f.Reset()
+			wl = wl[:0]
+			if cv := c.Get(v); cv != core.Uncolored {
+				f.Add(cv)
+			} else {
+				wl = append(wl, v)
+			}
+			for _, u := range nb {
+				cu := c.Get(u)
+				if cu != core.Uncolored && !f.Has(cu) {
+					f.Add(cu)
+				} else {
+					wl = append(wl, u)
+				}
+			}
+			if len(wl) == 0 {
+				continue
+			}
+			work += int64(len(wl))
+			if o.Balance == core.BalanceNone {
+				col := int32(len(nb))
+				for _, u := range wl {
+					col = core.ReverseFit(f, col)
+					if col < 0 {
+						// Unreachable by the Lemma 1 argument
+						// (|wl| ≤ |nbor(v)|+1 candidates fit in
+						// [0, |nbor(v)|]); defensive fallback.
+						col = core.FirstFitFrom(f, int32(len(nb))+1)
+					}
+					c.Set(u, col)
+					f.Add(col)
+					col--
+				}
+			} else {
+				for _, u := range wl {
+					col := pol.Pick(f, u)
+					c.Set(u, col)
+					f.Add(col)
+				}
+			}
+		}
+		s.wl[tid] = wl
+		wc.AddChunk(work)
+	})
+}
+
+// conflictNetPhase is D2GC-REMOVECONFLICTS-NET (Algorithm 10): each
+// vertex v checks {v} ∪ nbor(v) for duplicate colors, keeping first
+// occurrences (v itself first) and uncoloring later ones.
+func conflictNetPhase(g *graph.Graph, c *core.Colors, s *scratch, o *Options, wc *core.WorkCounters) {
+	par.For(g.NumVertices(), parOpts(o), func(tid, lo, hi int) {
+		f := s.forb[tid]
+		work := int64(core.DispatchCostUnits) * int64(threadsOf(o))
+		for vi := lo; vi < hi; vi++ {
+			v := int32(vi)
+			f.Reset()
+			nb := g.Nbors(v)
+			work += int64(len(nb)) + 2
+			if cv := c.Get(v); cv != core.Uncolored {
+				f.Add(cv)
+			}
+			for _, u := range nb {
+				cu := c.Get(u)
+				if cu == core.Uncolored {
+					continue
+				}
+				if f.Has(cu) {
+					c.Set(u, core.Uncolored)
+				} else {
+					f.Add(cu)
+				}
+			}
+		}
+		wc.AddChunk(work)
+	})
+}
+
+func gatherUncolored(g *graph.Graph, c *core.Colors, o *Options) []int32 {
+	return par.GatherInt32(g.NumVertices(), par.Options{Threads: threadsOf(o), Schedule: par.Static},
+		func(u int32) bool { return c.Get(u) == core.Uncolored })
+}

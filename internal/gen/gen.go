@@ -1,0 +1,376 @@
+// Package gen builds deterministic synthetic sparse matrices (as
+// bipartite graphs) that stand in for the paper's eight UFL/SuiteSparse
+// test matrices. The module is offline, so the real collections cannot
+// be downloaded; each generator instead matches the *structural class*
+// that drives coloring behaviour — net-degree maximum and skew,
+// regularity, and structural symmetry — at roughly 1/40 of the original
+// scale (see DESIGN.md §2). Real matrices in MatrixMarket form drop in
+// via internal/mtx without code changes.
+//
+// All generators are deterministic functions of their seed.
+package gen
+
+import (
+	"math"
+	"sort"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/rng"
+)
+
+// Stencil3D returns the symmetric sparse matrix of a finite-difference
+// operator on an nx×ny×nz grid. Each grid point is connected to the
+// `points` nearest offsets in L∞/L1 order (including the origin when
+// includeSelf is set), truncated at the domain boundary. points counts
+// neighbour offsets excluding the origin.
+func Stencil3D(nx, ny, nz, points int, includeSelf bool) *bipartite.Graph {
+	offs := offsetsByNorm(points)
+	n := nx * ny * nz
+	id := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	var edges []bipartite.Edge
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := id(x, y, z)
+				if includeSelf {
+					edges = append(edges, bipartite.Edge{Net: v, Vtx: v})
+				}
+				for _, o := range offs {
+					xx, yy, zz := x+o[0], y+o[1], z+o[2]
+					if xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 || zz >= nz {
+						continue
+					}
+					edges = append(edges, bipartite.Edge{Net: v, Vtx: id(xx, yy, zz)})
+				}
+			}
+		}
+	}
+	g, err := bipartite.FromEdges(n, n, edges)
+	if err != nil {
+		panic("gen: stencil construction failed: " + err.Error())
+	}
+	return g
+}
+
+// offsetsByNorm enumerates non-zero integer offsets in the [-2,2]³ box
+// ordered by (L1 norm, L∞ norm, lexicographic) and returns the first
+// `points` of them. The ordering is symmetric: if o is among the first
+// k offsets then so is −o whenever k is even at each norm boundary; the
+// generators below rely on near-symmetry only, since stencils built
+// from any fixed offset set o and its reflections remain structurally
+// symmetric when o and −o are both present. To guarantee that, offsets
+// are emitted in ± pairs.
+func offsetsByNorm(points int) [][3]int {
+	type off struct {
+		d    [3]int
+		l1   int
+		linf int
+	}
+	// Enumerate one canonical representative per ± pair: the offset
+	// whose first non-zero component is positive. Emitting o and −o
+	// together guarantees any even-length prefix is symmetric.
+	var reps []off
+	for z := -2; z <= 2; z++ {
+		for y := -2; y <= 2; y++ {
+			for x := -2; x <= 2; x++ {
+				if x == 0 && y == 0 && z == 0 {
+					continue
+				}
+				if x < 0 || (x == 0 && y < 0) || (x == 0 && y == 0 && z < 0) {
+					continue // the negation is the canonical one
+				}
+				l1 := abs(x) + abs(y) + abs(z)
+				linf := max3(abs(x), abs(y), abs(z))
+				reps = append(reps, off{[3]int{x, y, z}, l1, linf})
+			}
+		}
+	}
+	sort.Slice(reps, func(i, j int) bool {
+		if reps[i].l1 != reps[j].l1 {
+			return reps[i].l1 < reps[j].l1
+		}
+		if reps[i].linf != reps[j].linf {
+			return reps[i].linf < reps[j].linf
+		}
+		return lexLess(reps[i].d, reps[j].d)
+	})
+	pairs := points / 2 // round odd counts down: symmetry over exact count
+	if pairs > len(reps) {
+		pairs = len(reps)
+	}
+	out := make([][3]int, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		d := reps[i].d
+		out = append(out, d, [3]int{-d[0], -d[1], -d[2]})
+	}
+	return out
+}
+
+func lexLess(a, b [3]int) bool {
+	for i := 0; i < 3; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// JitteredStencil3D builds Stencil3D(nx, ny, nz, basePoints, true) and
+// then, for a fraction hubFrac of grid points, adds extraPairs random
+// symmetric incidences to vertices within an L∞ radius-2 box. The
+// result models semi-structured FEM meshes (bone010-like): regular
+// core degree with a heavy local tail.
+func JitteredStencil3D(nx, ny, nz, basePoints int, hubFrac float64, extraPairs int, seed uint64) *bipartite.Graph {
+	base := Stencil3D(nx, ny, nz, basePoints, true)
+	r := rng.New(seed)
+	n := nx * ny * nz
+	edges := base.Edges()
+	id := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	hubs := int(float64(n) * hubFrac)
+	for h := 0; h < hubs; h++ {
+		x, y, z := r.Intn(nx), r.Intn(ny), r.Intn(nz)
+		v := id(x, y, z)
+		for k := 0; k < extraPairs; k++ {
+			xx := clamp(x+r.Intn(5)-2, 0, nx-1)
+			yy := clamp(y+r.Intn(5)-2, 0, ny-1)
+			zz := clamp(z+r.Intn(5)-2, 0, nz-1)
+			u := id(xx, yy, zz)
+			edges = append(edges,
+				bipartite.Edge{Net: v, Vtx: u},
+				bipartite.Edge{Net: u, Vtx: v})
+		}
+	}
+	g, err := bipartite.FromEdges(n, n, edges)
+	if err != nil {
+		panic("gen: jittered stencil failed: " + err.Error())
+	}
+	return g
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ZipfBipartite returns a rows×cols rectangular bipartite graph whose
+// net (row) degrees follow a truncated power law in [minDeg, maxDeg]
+// with exponent rowS, and whose incidences pick columns from a Zipf
+// distribution with exponent colS over a randomly permuted column
+// order. It models rating matrices (movielens-like): both popular
+// items and prolific users.
+func ZipfBipartite(rows, cols, minDeg, maxDeg int, rowS, colS float64, seed uint64) *bipartite.Graph {
+	r := rng.New(seed)
+	if maxDeg > cols {
+		maxDeg = cols
+	}
+	degs, total := rng.PowerLawDegrees(r, rows, minDeg, maxDeg, rowS)
+	colPerm := r.Perm(cols) // decouple popularity rank from column id
+	colZipf := rng.NewZipf(r, colS, cols)
+	edges := make([]bipartite.Edge, 0, total)
+	for v := 0; v < rows; v++ {
+		d := int(degs[v])
+		for k := 0; k < d; k++ {
+			u := colPerm[colZipf.Next()]
+			edges = append(edges, bipartite.Edge{Net: int32(v), Vtx: u})
+		}
+	}
+	g, err := bipartite.FromEdges(rows, cols, edges)
+	if err != nil {
+		panic("gen: zipf bipartite failed: " + err.Error())
+	}
+	return g
+}
+
+// ChungLu returns a square, structurally symmetric graph-with-diagonal
+// in which vertex i has expected degree proportional to
+// (i+i0)^(−1/(exponent−1)) — the Chung–Lu model of a power-law graph
+// (coPapersDBLP/uk-2002 style). avgDeg controls the edge budget. When
+// symmetric is false, source and destination popularity ranks are
+// permuted independently, breaking structural symmetry (web-graph
+// style) while keeping power-law in/out degrees.
+func ChungLu(n, avgDeg int, exponent float64, symmetric bool, seed uint64) *bipartite.Graph {
+	r := rng.New(seed)
+	// Power-law weights w_i = (i+i0)^(-alpha), alpha = 1/(exponent-1).
+	alpha := 1 / (exponent - 1)
+	cum := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + powNeg(float64(i+10), alpha)
+	}
+	total := cum[n]
+	sample := func() int32 {
+		x := r.Float64() * total
+		// Binary search the cumulative weights.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	m := n * avgDeg / 2
+	permA := r.Perm(n)
+	permB := permA
+	if !symmetric {
+		permB = r.Perm(n)
+	}
+	edges := make([]bipartite.Edge, 0, 2*m+n)
+	// Diagonal: these are matrices, and FEM/graph matrices carry one.
+	for i := 0; i < n; i++ {
+		edges = append(edges, bipartite.Edge{Net: int32(i), Vtx: int32(i)})
+	}
+	for k := 0; k < m; k++ {
+		i := permA[sample()]
+		j := permB[sample()]
+		if i == j {
+			continue
+		}
+		edges = append(edges, bipartite.Edge{Net: i, Vtx: j})
+		if symmetric {
+			edges = append(edges, bipartite.Edge{Net: j, Vtx: i})
+		}
+	}
+	g, err := bipartite.FromEdges(n, n, edges)
+	if err != nil {
+		panic("gen: chung-lu failed: " + err.Error())
+	}
+	return g
+}
+
+func powNeg(x, alpha float64) float64 {
+	return math.Pow(x, -alpha)
+}
+
+// BandedRandom returns a square, generally non-symmetric matrix whose
+// net degrees are drawn from a clamped normal distribution and whose
+// incidences cluster in a band around the diagonal — the profile of
+// unstructured-CFD matrices such as HV15R.
+func BandedRandom(n int, meanDeg, stdDeg, maxDeg, bandwidth int, seed uint64) *bipartite.Graph {
+	r := rng.New(seed)
+	var edges []bipartite.Edge
+	for v := 0; v < n; v++ {
+		d := int(float64(meanDeg) + float64(stdDeg)*r.NormFloat64())
+		if d < 1 {
+			d = 1
+		}
+		if d > maxDeg {
+			d = maxDeg
+		}
+		edges = append(edges, bipartite.Edge{Net: int32(v), Vtx: int32(v)})
+		for k := 0; k < d; k++ {
+			off := int(float64(bandwidth) * r.NormFloat64())
+			u := clamp(v+off, 0, n-1)
+			edges = append(edges, bipartite.Edge{Net: int32(v), Vtx: int32(u)})
+		}
+	}
+	g, err := bipartite.FromEdges(n, n, edges)
+	if err != nil {
+		panic("gen: banded random failed: " + err.Error())
+	}
+	return g
+}
+
+// KKT returns the structurally symmetric saddle-point pattern
+//
+//	[ H  Aᵀ ]
+//	[ A  0  ]
+//
+// with H a 3D stencil of hPoints neighbour offsets on an nx×ny×nz grid
+// (plus diagonal) and A coupling each of the nDual constraints to
+// `couple` consecutive primal variables. This mirrors the nlpkkt
+// family: two vertex classes with distinct regular degrees.
+func KKT(nx, ny, nz, hPoints, couple int, seed uint64) *bipartite.Graph {
+	h := Stencil3D(nx, ny, nz, hPoints, true)
+	n1 := nx * ny * nz
+	nDual := n1 / 2
+	n := n1 + nDual
+	r := rng.New(seed)
+	edges := h.Edges() // H block occupies [0,n1)×[0,n1)
+	for i := 0; i < nDual; i++ {
+		dual := int32(n1 + i)
+		start := r.Intn(n1)
+		for k := 0; k < couple; k++ {
+			primal := int32((start + k) % n1)
+			edges = append(edges,
+				bipartite.Edge{Net: dual, Vtx: primal},
+				bipartite.Edge{Net: primal, Vtx: dual})
+		}
+	}
+	g, err := bipartite.FromEdges(n, n, edges)
+	if err != nil {
+		panic("gen: kkt failed: " + err.Error())
+	}
+	return g
+}
+
+// RMAT returns a square matrix sampled with the recursive-matrix
+// (R-MAT/Graph500) model: 2^scaleExp vertices, edgeFactor·2^scaleExp
+// sampled edges distributed by recursively descending into quadrants
+// with probabilities (a, b, c, 1−a−b−c). When symmetric is set, each
+// sampled edge is mirrored. The diagonal is always included.
+func RMAT(scaleExp, edgeFactor int, a, b, c float64, symmetric bool, seed uint64) *bipartite.Graph {
+	if scaleExp < 1 || scaleExp > 30 {
+		panic("gen: RMAT scaleExp out of range [1,30]")
+	}
+	if a <= 0 || b < 0 || c < 0 || a+b+c >= 1 {
+		panic("gen: RMAT probabilities invalid")
+	}
+	n := 1 << scaleExp
+	m := edgeFactor * n
+	r := rng.New(seed)
+	edges := make([]bipartite.Edge, 0, 2*m+n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, bipartite.Edge{Net: int32(i), Vtx: int32(i)})
+	}
+	for k := 0; k < m; k++ {
+		row, col := 0, 0
+		for bit := scaleExp - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: nothing to add
+			case p < a+b:
+				col |= 1 << bit
+			case p < a+b+c:
+				row |= 1 << bit
+			default:
+				row |= 1 << bit
+				col |= 1 << bit
+			}
+		}
+		edges = append(edges, bipartite.Edge{Net: int32(row), Vtx: int32(col)})
+		if symmetric {
+			edges = append(edges, bipartite.Edge{Net: int32(col), Vtx: int32(row)})
+		}
+	}
+	g, err := bipartite.FromEdges(n, n, edges)
+	if err != nil {
+		panic("gen: rmat failed: " + err.Error())
+	}
+	return g
+}

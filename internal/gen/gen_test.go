@@ -1,0 +1,276 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestOffsetsByNorm(t *testing.T) {
+	offs := offsetsByNorm(6)
+	if len(offs) != 6 {
+		t.Fatalf("len = %d", len(offs))
+	}
+	// First six offsets must be the ±unit vectors (L1 = 1).
+	for _, o := range offs {
+		if abs(o[0])+abs(o[1])+abs(o[2]) != 1 {
+			t.Fatalf("offset %v has L1 != 1", o)
+		}
+	}
+	// Pairing invariant: for every offset, its negation is included.
+	for _, k := range []int{2, 6, 18, 26, 34} {
+		offs := offsetsByNorm(k)
+		set := map[[3]int]bool{}
+		for _, o := range offs {
+			set[o] = true
+		}
+		for _, o := range offs {
+			if !set[[3]int{-o[0], -o[1], -o[2]}] {
+				t.Fatalf("offsetsByNorm(%d): %v present without its negation", k, o)
+			}
+		}
+	}
+}
+
+func TestOffsetsByNormOddRoundsDown(t *testing.T) {
+	if got := len(offsetsByNorm(7)); got != 6 {
+		t.Fatalf("offsetsByNorm(7) returned %d offsets, want 6", got)
+	}
+	if got := len(offsetsByNorm(1000)); got != 124 {
+		t.Fatalf("offsetsByNorm(1000) returned %d offsets, want 124 (full box)", got)
+	}
+}
+
+func TestStencil3DStructure(t *testing.T) {
+	g := Stencil3D(5, 4, 3, 6, true)
+	if g.NumVertices() != 60 || g.NumNets() != 60 {
+		t.Fatalf("dims = %d x %d", g.NumNets(), g.NumVertices())
+	}
+	if !g.IsStructurallySymmetric() {
+		t.Fatal("stencil not symmetric")
+	}
+	s := g.ComputeStats()
+	if s.MaxNetDeg != 7 { // 6 neighbours + self for interior points
+		t.Fatalf("MaxNetDeg = %d, want 7", s.MaxNetDeg)
+	}
+	// Corner points have 3 neighbours + self.
+	if d := g.NetDeg(0); d != 4 {
+		t.Fatalf("corner degree = %d, want 4", d)
+	}
+}
+
+func TestStencil3DNoSelf(t *testing.T) {
+	g := Stencil3D(3, 3, 3, 6, false)
+	s := g.ComputeStats()
+	if s.MaxNetDeg != 6 {
+		t.Fatalf("MaxNetDeg = %d, want 6", s.MaxNetDeg)
+	}
+}
+
+func TestJitteredStencilSymmetricWithTail(t *testing.T) {
+	g := JitteredStencil3D(8, 8, 8, 26, 0.1, 8, 42)
+	if !g.IsStructurallySymmetric() {
+		t.Fatal("jittered stencil lost symmetry")
+	}
+	s := g.ComputeStats()
+	if s.MaxNetDeg <= 27 {
+		t.Fatalf("MaxNetDeg = %d, expected a tail above the 27-pt base", s.MaxNetDeg)
+	}
+}
+
+func TestZipfBipartiteShape(t *testing.T) {
+	g := ZipfBipartite(200, 1000, 4, 500, 1.1, 0.9, 7)
+	if g.NumNets() != 200 || g.NumVertices() != 1000 {
+		t.Fatalf("dims = %d x %d", g.NumNets(), g.NumVertices())
+	}
+	s := g.ComputeStats()
+	if s.MaxNetDeg < 50 {
+		t.Fatalf("MaxNetDeg = %d, expected heavy tail", s.MaxNetDeg)
+	}
+	if s.StdDevNetDeg < float64(s.MaxNetDeg)/20 {
+		t.Fatalf("StdDevNetDeg = %v too small for a Zipf tail (max %d)", s.StdDevNetDeg, s.MaxNetDeg)
+	}
+}
+
+func TestZipfBipartiteDeterministic(t *testing.T) {
+	a := ZipfBipartite(50, 200, 2, 100, 1.2, 1.0, 99)
+	b := ZipfBipartite(50, 200, 2, 100, 1.2, 1.0, 99)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for v := int32(0); int(v) < a.NumNets(); v++ {
+		av, bv := a.Vtxs(v), b.Vtxs(v)
+		if len(av) != len(bv) {
+			t.Fatalf("net %d degree differs", v)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("net %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestChungLuSymmetric(t *testing.T) {
+	g := ChungLu(500, 10, 2.2, true, 3)
+	if !g.IsStructurallySymmetric() {
+		t.Fatal("symmetric Chung-Lu not symmetric")
+	}
+	s := g.ComputeStats()
+	if s.MaxNetDeg < 3*int(s.AvgNetDeg) {
+		t.Fatalf("MaxNetDeg = %d vs avg %.1f: no power-law hubs", s.MaxNetDeg, s.AvgNetDeg)
+	}
+}
+
+func TestChungLuAsymmetric(t *testing.T) {
+	g := ChungLu(400, 12, 2.0, false, 4)
+	if g.IsStructurallySymmetric() {
+		t.Fatal("asymmetric Chung-Lu reported symmetric")
+	}
+	if g.NumNets() != 400 || g.NumVertices() != 400 {
+		t.Fatal("not square")
+	}
+}
+
+func TestBandedRandom(t *testing.T) {
+	g := BandedRandom(1000, 20, 5, 60, 30, 5)
+	s := g.ComputeStats()
+	if s.MaxNetDeg > 62 {
+		t.Fatalf("MaxNetDeg = %d exceeds cap+diag", s.MaxNetDeg)
+	}
+	if s.AvgNetDeg < 8 {
+		t.Fatalf("AvgNetDeg = %v suspiciously low", s.AvgNetDeg)
+	}
+	// Diagonal must be present.
+	for v := int32(0); v < 1000; v += 137 {
+		found := false
+		for _, u := range g.Vtxs(v) {
+			if u == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing diagonal at %d", v)
+		}
+	}
+}
+
+func TestKKTSymmetricTwoClasses(t *testing.T) {
+	g := KKT(6, 6, 6, 22, 3, 9)
+	if !g.IsStructurallySymmetric() {
+		t.Fatal("KKT not symmetric")
+	}
+	n1 := 216
+	if g.NumVertices() != n1+n1/2 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Dual rows must have degree == couple (no diagonal in zero block).
+	for v := int32(n1); int(v) < g.NumNets(); v++ {
+		if d := g.NetDeg(v); d > 3 || d < 1 {
+			t.Fatalf("dual net %d degree %d", v, d)
+		}
+	}
+}
+
+func TestPresetsAllBuildAtSmallScale(t *testing.T) {
+	for _, info := range Presets() {
+		g, err := Preset(info.Name, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", info.Name)
+		}
+		if got := g.IsStructurallySymmetric(); got != info.Symmetric {
+			t.Fatalf("%s: symmetric = %v, declared %v", info.Name, got, info.Symmetric)
+		}
+	}
+}
+
+func TestPresetErrors(t *testing.T) {
+	if _, err := Preset("nope", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := Preset("afshell", 0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown lookup accepted")
+	}
+}
+
+func TestPresetNameLists(t *testing.T) {
+	names := PresetNames()
+	if len(names) != 8 {
+		t.Fatalf("preset count = %d, want 8 (Table II)", len(names))
+	}
+	sym := SymmetricPresetNames()
+	if len(sym) != 5 {
+		t.Fatalf("symmetric preset count = %d, want 5 (paper's D2GC set)", len(sym))
+	}
+}
+
+func TestPresetDeterminism(t *testing.T) {
+	for _, name := range []string{"movielens", "copapers"} {
+		a, err := Preset(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Preset(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s not deterministic", name)
+		}
+	}
+}
+
+func BenchmarkPresetAfshell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Preset("afshell", 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, false, 42)
+	if g.NumVertices() != 1024 || g.NumNets() != 1024 {
+		t.Fatalf("dims %dx%d", g.NumNets(), g.NumVertices())
+	}
+	s := g.ComputeStats()
+	if s.MaxNetDeg < 4*int(s.AvgNetDeg) {
+		t.Fatalf("RMAT without skew: max %d avg %.1f", s.MaxNetDeg, s.AvgNetDeg)
+	}
+}
+
+func TestRMATSymmetric(t *testing.T) {
+	g := RMAT(8, 8, 0.45, 0.22, 0.22, true, 7)
+	if !g.IsStructurallySymmetric() {
+		t.Fatal("symmetric RMAT not symmetric")
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(8, 4, 0.5, 0.2, 0.2, false, 3)
+	b := RMAT(8, 4, 0.5, 0.2, 0.2, false, 3)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("RMAT not deterministic")
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RMAT(0, 4, 0.5, 0.2, 0.2, false, 1) },
+		func() { RMAT(8, 4, 0.5, 0.5, 0.2, false, 1) },
+		func() { RMAT(8, 4, 0, 0.2, 0.2, false, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid RMAT parameters accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,160 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"bgpc/internal/bipartite"
+)
+
+// PresetInfo describes one synthetic stand-in for a paper matrix.
+type PresetInfo struct {
+	// Name is the preset identifier used on command lines.
+	Name string
+	// Paper is the UFL matrix the preset models (Table II row).
+	Paper string
+	// Symmetric marks presets usable for the D2GC experiments
+	// (the paper's five structurally symmetric matrices).
+	Symmetric bool
+	// Description summarizes the structural class.
+	Description string
+
+	build func(scale float64) *bipartite.Graph
+}
+
+// presets are ordered as the paper's Table II.
+var presets = []PresetInfo{
+	{
+		Name: "movielens", Paper: "20M_movielens", Symmetric: false,
+		Description: "rectangular rating matrix; extreme Zipf net-degree skew",
+		build: func(s float64) *bipartite.Graph {
+			rows := scaleInt(800, s)
+			cols := scaleInt(4000, s)
+			return ZipfBipartite(rows, cols, 8, cols/2, 1.05, 0.8, 0x20BEEF)
+		},
+	},
+	{
+		Name: "afshell", Paper: "af_shell10", Symmetric: true,
+		Description: "3D shell FEM; regular 34-neighbour stencil, stddev≈1",
+		build: func(s float64) *bipartite.Graph {
+			side := scaleSide(24, s)
+			return Stencil3D(side, side, side, 34, true)
+		},
+	},
+	{
+		Name: "bone010", Paper: "bone010", Symmetric: true,
+		Description: "3D trabecular-bone FEM; 26-pt stencil with heavy local tail",
+		build: func(s float64) *bipartite.Graph {
+			side := scaleSide(20, s)
+			return JitteredStencil3D(side, side, side, 26, 0.10, 16, 0xB0E010)
+		},
+	},
+	{
+		Name: "channel", Paper: "channel-500x100x100-b050", Symmetric: true,
+		Description: "3D channel-flow mesh; slim 18-pt stencil, stddev≈1",
+		build: func(s float64) *bipartite.Graph {
+			side := scaleSide(16, s)
+			return Stencil3D(2*side, side, side, 17, true)
+		},
+	},
+	{
+		Name: "copapers", Paper: "coPapersDBLP", Symmetric: true,
+		Description: "co-authorship network; symmetric power law with large hubs",
+		build: func(s float64) *bipartite.Graph {
+			n := scaleInt(8000, s)
+			return ChungLu(n, 28, 2.1, true, 0xC0DB)
+		},
+	},
+	{
+		Name: "hv15r", Paper: "HV15R", Symmetric: false,
+		Description: "unstructured CFD; dense banded rows, non-symmetric",
+		build: func(s float64) *bipartite.Graph {
+			n := scaleInt(6000, s)
+			return BandedRandom(n, 56, 22, 200, 80, 0x115)
+		},
+	},
+	{
+		Name: "nlpkkt", Paper: "nlpkkt120", Symmetric: true,
+		Description: "optimization KKT system; two regular vertex classes",
+		build: func(s float64) *bipartite.Graph {
+			side := scaleSide(16, s)
+			return KKT(side, side, side, 22, 3, 0x1201)
+		},
+	},
+	{
+		Name: "uk2002", Paper: "uk-2002", Symmetric: false,
+		Description: "web crawl; directed power law, non-symmetric",
+		build: func(s float64) *bipartite.Graph {
+			n := scaleInt(20000, s)
+			return ChungLu(n, 16, 2.0, false, 0x2002)
+		},
+	},
+}
+
+func scaleInt(base int, s float64) int {
+	v := int(float64(base) * s)
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+func scaleSide(base int, s float64) int {
+	v := int(float64(base) * math.Cbrt(s))
+	if v < 3 {
+		v = 3
+	}
+	return v
+}
+
+// PresetNames returns all preset names in Table II order.
+func PresetNames() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// SymmetricPresetNames returns the presets usable for D2GC, i.e. the
+// stand-ins for the paper's five structurally symmetric matrices.
+func SymmetricPresetNames() []string {
+	var out []string
+	for _, p := range presets {
+		if p.Symmetric {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// Lookup returns the metadata for a preset name.
+func Lookup(name string) (PresetInfo, error) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return PresetInfo{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, PresetNames())
+}
+
+// Preset builds the named synthetic matrix at the given scale.
+// scale = 1 is the repository's default benchmark size (roughly 1/40 of
+// the paper's matrices); smaller values shrink the instance for tests.
+func Preset(name string, scale float64) (*bipartite.Graph, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("gen: non-positive scale %v", scale)
+	}
+	p, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.build(scale), nil
+}
+
+// Presets returns metadata for all presets in Table II order.
+func Presets() []PresetInfo {
+	out := make([]PresetInfo, len(presets))
+	copy(out, presets)
+	return out
+}

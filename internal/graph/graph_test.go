@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/rng"
+)
+
+// path returns the path graph 0-1-2-3.
+func path(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBasics(t *testing.T) {
+	g := path(t)
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("dims: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.MaxDeg() != 2 {
+		t.Fatalf("MaxDeg = %d", g.MaxDeg())
+	}
+	want := [][]int32{{1}, {0, 2}, {1, 3}, {2}}
+	for v := range want {
+		if !equalInt32(g.Nbors(int32(v)), want[v]) {
+			t.Errorf("Nbors(%d) = %v, want %v", v, g.Nbors(int32(v)), want[v])
+		}
+	}
+}
+
+func TestFromEdgesDedupAndBothDirections(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 0}, {0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("adjacency missing a direction")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge (0,2)")
+	}
+}
+
+func TestFromEdgesRejects(t *testing.T) {
+	if _, err := FromEdges(3, []Edge{{0, 0}}); !errors.Is(err, ErrInvalidEdge) {
+		t.Errorf("self-loop: err = %v", err)
+	}
+	if _, err := FromEdges(3, []Edge{{0, 3}}); !errors.Is(err, ErrInvalidEdge) {
+		t.Errorf("out of range: err = %v", err)
+	}
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestD2ColorLowerBound(t *testing.T) {
+	g := path(t)
+	if lb := g.D2ColorLowerBound(); lb != 3 {
+		t.Fatalf("D2 lower bound = %d, want 3", lb)
+	}
+	empty, _ := FromEdges(0, nil)
+	if lb := empty.D2ColorLowerBound(); lb != 0 {
+		t.Fatalf("empty D2 lower bound = %d", lb)
+	}
+}
+
+func TestMaxColorUpperBound(t *testing.T) {
+	g := path(t)
+	ub := g.MaxColorUpperBound()
+	if ub < g.D2ColorLowerBound() {
+		t.Fatalf("upper %d < lower %d", ub, g.D2ColorLowerBound())
+	}
+	if ub > g.NumVertices() {
+		t.Fatalf("upper %d > n", ub)
+	}
+}
+
+func TestFromBipartiteTriangle(t *testing.T) {
+	// Adjacency matrix (with diagonal) of a triangle.
+	b, err := bipartite.FromNetLists(3, [][]int32{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromBipartite(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 (diagonal dropped)", g.NumEdges())
+	}
+	for v := int32(0); v < 3; v++ {
+		if g.HasEdge(v, v) {
+			t.Fatal("self-loop survived")
+		}
+	}
+}
+
+func TestFromBipartiteRejectsAsymmetric(t *testing.T) {
+	b, err := bipartite.FromNetLists(2, [][]int32{{1}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromBipartite(b); !errors.Is(err, ErrNotSymmetric) {
+		t.Fatalf("err = %v, want ErrNotSymmetric", err)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := path(t)
+	edges := g.Edges()
+	g2, err := FromEdges(g.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed edge count")
+	}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if !equalInt32(g.Nbors(v), g2.Nbors(v)) {
+			t.Fatalf("round trip changed Nbors(%d)", v)
+		}
+	}
+}
+
+func TestPropertySymmetryInvariant(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(30) + 2
+		m := r.Intn(120)
+		edges := make([]Edge, 0, m)
+		for i := 0; i < m; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u != v {
+				edges = append(edges, Edge{u, v})
+			}
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		var half int64
+		for v := int32(0); int(v) < n; v++ {
+			prev := int32(-1)
+			for _, u := range g.Nbors(v) {
+				if u <= prev || u == v || !g.HasEdge(u, v) {
+					return false
+				}
+				prev = u
+				half++
+			}
+		}
+		return half == 2*g.NumEdges()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(t)
+	dist := g.BFSDistances(0)
+	want := []int32{0, 1, 2, 3}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+	// Disconnected vertex.
+	g2, err := FromEdges(3, []Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g2.BFSDistances(0)
+	if d[2] != -1 {
+		t.Fatalf("unreachable vertex got distance %d", d[2])
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g, err := FromEdges(6, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, n := g.ConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("component ids: %v", comp)
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatalf("component ids: %v", comp)
+	}
+}

@@ -1,0 +1,300 @@
+// Package jp implements the older generation of parallel coloring
+// algorithms the paper's related-work section contrasts with the
+// speculative approach: Luby-style maximal-independent-set extraction
+// (Luby 1986) and the Jones–Plassmann algorithm (Jones & Plassmann
+// 1993). Both color distance-1 conflicts; they serve as historically
+// faithful baselines for the ablation comparing MIS-driven and
+// speculative parallel coloring.
+package jp
+
+import (
+	"fmt"
+
+	"bgpc/internal/core"
+	"bgpc/internal/graph"
+	"bgpc/internal/par"
+	"bgpc/internal/rng"
+)
+
+// Options configures the MIS-based algorithms.
+type Options struct {
+	// Threads is the number of workers (values < 1 mean 1).
+	Threads int
+	// Seed drives the random vertex weights; runs with equal seeds are
+	// deterministic regardless of thread count.
+	Seed uint64
+	// MaxRounds caps the round count (0 = 4·(maxdeg+1) + 16, ample for
+	// Jones–Plassmann, whose expected round count is O(log n / log log n)
+	// on bounded-degree graphs).
+	MaxRounds int
+}
+
+func (o Options) threads() int {
+	if o.Threads < 1 {
+		return 1
+	}
+	return o.Threads
+}
+
+func (o Options) maxRounds(g *graph.Graph) int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 4*(g.MaxDeg()+1) + 16
+}
+
+// weights returns deterministic pseudo-random priorities with distinct
+// tie-break by id.
+func weights(n int, seed uint64) []uint64 {
+	r := rng.New(seed)
+	w := make([]uint64, n)
+	for i := range w {
+		// Mix the id into the low bits so ties are impossible.
+		w[i] = r.Uint64()<<20 | uint64(i)&0xfffff
+	}
+	return w
+}
+
+// JonesPlassmann colors g so adjacent vertices differ, by rounds: in
+// each round every uncolored vertex whose weight exceeds that of all
+// its uncolored neighbours picks the smallest color unused in its
+// neighbourhood. Vertices decide independently per round (no
+// speculation, no conflicts) at the cost of more rounds.
+func JonesPlassmann(g *graph.Graph, opts Options) (*core.Result, error) {
+	n := g.NumVertices()
+	w := weights(n, opts.Seed)
+	c := core.NewColors(n)
+	po := par.Options{Threads: opts.threads(), Chunk: 64}
+
+	// Active vertices, rebuilt per round.
+	active := make([]int32, 0, n)
+	for v := int32(0); int(v) < n; v++ {
+		active = append(active, v)
+	}
+	forb := make([]*core.Forbidden, opts.threads())
+	for i := range forb {
+		forb[i] = core.NewForbidden(g.MaxDeg() + 2)
+	}
+	res := &core.Result{}
+	maxRounds := opts.maxRounds(g)
+	for round := 1; len(active) > 0; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("jp: no fixed point after %d rounds (%d vertices left)", maxRounds, len(active))
+		}
+		res.Iterations = round
+		// Phase 1: mark local maxima (their colors commit this round).
+		winners := par.GatherInt32(len(active), po, func(i int32) bool {
+			v := active[i]
+			for _, u := range g.Nbors(v) {
+				if c.Get(u) == core.Uncolored && w[u] > w[v] {
+					return false
+				}
+			}
+			return true
+		})
+		// Phase 2: color the winners (reads only committed colors, so
+		// no two winners conflict: adjacent winners are impossible —
+		// one of them would out-weigh the other).
+		par.For(len(winners), po, func(tid, lo, hi int) {
+			f := forb[tid]
+			for i := lo; i < hi; i++ {
+				v := active[winners[i]]
+				f.Reset()
+				for _, u := range g.Nbors(v) {
+					if cu := c.Get(u); cu != core.Uncolored {
+						f.Add(cu)
+					}
+				}
+				c.Set(v, core.FirstFit(f))
+			}
+		})
+		// Phase 3: shrink the active set.
+		next := active[:0]
+		for _, v := range active {
+			if c.Get(v) == core.Uncolored {
+				next = append(next, v)
+			}
+		}
+		active = next
+	}
+	res.Colors = c.Raw()
+	countColors(res)
+	return res, nil
+}
+
+// LubyMIS returns a maximal independent set of g using Luby's
+// randomized algorithm with the given seed: repeatedly select local
+// weight maxima among the remaining vertices, add them to the set, and
+// remove them and their neighbours.
+func LubyMIS(g *graph.Graph, opts Options) ([]int32, error) {
+	n := g.NumVertices()
+	w := weights(n, opts.Seed)
+	po := par.Options{Threads: opts.threads(), Chunk: 64}
+
+	const (
+		undecided int32 = 0
+		inSet     int32 = 1
+		excluded  int32 = 2
+	)
+	state := core.NewColors(n) // reuse the atomic int32 array
+	for v := int32(0); int(v) < n; v++ {
+		state.Set(v, undecided)
+	}
+	remaining := make([]int32, 0, n)
+	for v := int32(0); int(v) < n; v++ {
+		remaining = append(remaining, v)
+	}
+	maxRounds := opts.maxRounds(g)
+	for round := 1; len(remaining) > 0; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("jp: Luby MIS did not converge after %d rounds", maxRounds)
+		}
+		winners := par.GatherInt32(len(remaining), po, func(i int32) bool {
+			v := remaining[i]
+			for _, u := range g.Nbors(v) {
+				if state.Get(u) == undecided && w[u] > w[v] {
+					return false
+				}
+			}
+			return true
+		})
+		par.ForEach(len(winners), po, func(tid, i int) {
+			v := remaining[winners[i]]
+			state.Set(v, inSet)
+			for _, u := range g.Nbors(v) {
+				state.Set(u, excluded)
+			}
+		})
+		next := remaining[:0]
+		for _, v := range remaining {
+			if state.Get(v) == undecided {
+				next = append(next, v)
+			}
+		}
+		remaining = next
+	}
+	var mis []int32
+	for v := int32(0); int(v) < n; v++ {
+		if state.Get(v) == inSet {
+			mis = append(mis, v)
+		}
+	}
+	return mis, nil
+}
+
+// MISColoring colors g by repeated MIS extraction (the pre-speculative
+// parallel coloring recipe): color class k is a maximal independent
+// set of the vertices still uncolored after k classes.
+func MISColoring(g *graph.Graph, opts Options) (*core.Result, error) {
+	n := g.NumVertices()
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = core.Uncolored
+	}
+	remaining := n
+	res := &core.Result{}
+	for color := int32(0); remaining > 0; color++ {
+		if int(color) > n {
+			return nil, fmt.Errorf("jp: MIS coloring failed to terminate")
+		}
+		res.Iterations++
+		// Build the residual graph implicitly: Luby on the subgraph of
+		// uncolored vertices via a filtered neighbourhood check.
+		sub := opts
+		sub.Seed = opts.Seed + uint64(color)*0x9e3779b97f4a7c15
+		mis, err := lubyOnUncolored(g, colors, sub)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range mis {
+			colors[v] = color
+			remaining--
+		}
+	}
+	res.Colors = colors
+	countColors(res)
+	return res, nil
+}
+
+// lubyOnUncolored runs one Luby MIS restricted to uncolored vertices.
+func lubyOnUncolored(g *graph.Graph, colors []int32, opts Options) ([]int32, error) {
+	n := g.NumVertices()
+	w := weights(n, opts.Seed)
+	po := par.Options{Threads: opts.threads(), Chunk: 64}
+	const (
+		undecided int32 = 0
+		inSet     int32 = 1
+		excluded  int32 = 2
+	)
+	state := core.NewColors(n)
+	remaining := make([]int32, 0, n)
+	for v := int32(0); int(v) < n; v++ {
+		if colors[v] == core.Uncolored {
+			state.Set(v, undecided)
+			remaining = append(remaining, v)
+		} else {
+			state.Set(v, excluded)
+		}
+	}
+	maxRounds := opts.maxRounds(g)
+	for round := 1; len(remaining) > 0; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("jp: Luby round limit exceeded")
+		}
+		winners := par.GatherInt32(len(remaining), po, func(i int32) bool {
+			v := remaining[i]
+			for _, u := range g.Nbors(v) {
+				if state.Get(u) == undecided && w[u] > w[v] {
+					return false
+				}
+			}
+			return true
+		})
+		par.ForEach(len(winners), po, func(tid, i int) {
+			v := remaining[winners[i]]
+			state.Set(v, inSet)
+			for _, u := range g.Nbors(v) {
+				if state.Get(u) == undecided {
+					state.Set(u, excluded)
+				}
+			}
+		})
+		next := remaining[:0]
+		for _, v := range remaining {
+			if state.Get(v) == undecided {
+				next = append(next, v)
+			}
+		}
+		remaining = next
+	}
+	var mis []int32
+	for v := int32(0); int(v) < n; v++ {
+		if state.Get(v) == inSet {
+			mis = append(mis, v)
+		}
+	}
+	return mis, nil
+}
+
+func countColors(r *core.Result) {
+	maxCol := int32(-1)
+	for _, c := range r.Colors {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
+	r.MaxColor = maxCol
+	if maxCol < 0 {
+		r.NumColors = 0
+		return
+	}
+	seen := make([]bool, maxCol+1)
+	n := 0
+	for _, c := range r.Colors {
+		if c >= 0 && !seen[c] {
+			seen[c] = true
+			n++
+		}
+	}
+	r.NumColors = n
+}

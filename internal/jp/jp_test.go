@@ -1,0 +1,198 @@
+package jp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bgpc/internal/d1"
+	"bgpc/internal/gen"
+	"bgpc/internal/graph"
+	"bgpc/internal/rng"
+)
+
+func meshGraph(t testing.TB, scale float64) *graph.Graph {
+	t.Helper()
+	b, err := gen.Preset("channel", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromBipartite(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestJonesPlassmannValid(t *testing.T) {
+	g := meshGraph(t, 0.05)
+	for _, threads := range []int{1, 4} {
+		res, err := JonesPlassmann(g, Options{Threads: threads, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d1.Verify(g, res.Colors); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if res.NumColors > g.MaxDeg()+1 {
+			t.Fatalf("threads=%d: %d colors > Δ+1", threads, res.NumColors)
+		}
+	}
+}
+
+func TestJonesPlassmannDeterministicAcrossThreads(t *testing.T) {
+	// JP has no speculation: the result depends only on the weights,
+	// so any thread count yields the same coloring.
+	g := meshGraph(t, 0.04)
+	a, err := JonesPlassmann(g, Options{Threads: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JonesPlassmann(g, Options{Threads: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatalf("vertex %d: %d vs %d", v, a.Colors[v], b.Colors[v])
+		}
+	}
+}
+
+func TestJonesPlassmannRoundLimit(t *testing.T) {
+	g := meshGraph(t, 0.03)
+	if _, err := JonesPlassmann(g, Options{Threads: 2, Seed: 1, MaxRounds: 1}); err == nil {
+		t.Skip("converged in one round; nothing to assert")
+	}
+}
+
+func TestLubyMISIsIndependentAndMaximal(t *testing.T) {
+	g := meshGraph(t, 0.04)
+	mis, err := LubyMIS(g, Options{Threads: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]bool, g.NumVertices())
+	for _, v := range mis {
+		in[v] = true
+	}
+	// Independent: no two set members adjacent.
+	for _, v := range mis {
+		for _, u := range g.Nbors(v) {
+			if in[u] {
+				t.Fatalf("MIS contains adjacent pair (%d,%d)", v, u)
+			}
+		}
+	}
+	// Maximal: every non-member has a member neighbour.
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if in[v] {
+			continue
+		}
+		hasMember := false
+		for _, u := range g.Nbors(v) {
+			if in[u] {
+				hasMember = true
+				break
+			}
+		}
+		if !hasMember && g.Deg(v) > 0 {
+			t.Fatalf("vertex %d could be added to the MIS", v)
+		}
+		if g.Deg(v) == 0 && !in[v] {
+			t.Fatalf("isolated vertex %d not in MIS", v)
+		}
+	}
+}
+
+func TestMISColoringValid(t *testing.T) {
+	g := meshGraph(t, 0.04)
+	res, err := MISColoring(g, Options{Threads: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Verify(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	// Each color class of an MIS coloring is maximal, so the count is
+	// at most Δ+1.
+	if res.NumColors > g.MaxDeg()+1 {
+		t.Fatalf("%d colors > Δ+1 = %d", res.NumColors, g.MaxDeg()+1)
+	}
+}
+
+func TestJPPropertyRandomGraphs(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(40) + 2
+		m := r.Intn(150)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		opts := Options{Threads: r.Intn(3) + 1, Seed: seed}
+		res, err := JonesPlassmann(g, opts)
+		if err != nil {
+			return false
+		}
+		if d1.Verify(g, res.Colors) != nil {
+			return false
+		}
+		mres, err := MISColoring(g, opts)
+		if err != nil {
+			return false
+		}
+		return d1.Verify(g, mres.Colors) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraphs(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := JonesPlassmann(g, Options{}); err != nil || res.NumColors != 0 {
+		t.Fatalf("JP empty: %v %+v", err, res)
+	}
+	if mis, err := LubyMIS(g, Options{}); err != nil || len(mis) != 0 {
+		t.Fatalf("Luby empty: %v %v", err, mis)
+	}
+}
+
+// BenchmarkJPvsSpeculative is the MIS-vs-speculative baseline ablation:
+// the speculative loop typically does less total work per vertex than
+// JP's repeated readiness checks.
+func BenchmarkJPvsSpeculative(b *testing.B) {
+	g := meshGraph(b, 0.1)
+	b.Run("JonesPlassmann", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := JonesPlassmann(g, Options{Threads: 4, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MISColoring", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MISColoring(g, Options{Threads: 4, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SpeculativeD1", func(b *testing.B) {
+		opts := d1.Options{Threads: 4, Chunk: 64, LazyQueues: true}
+		for i := 0; i < b.N; i++ {
+			if _, err := d1.Color(g, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package mtx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the MatrixMarket parser: arbitrary input must never
+// panic, and any input that parses must round-trip through Write/Read
+// to an identical structure.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 1\n2 3\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1.5\n3 1 -2\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 0 1\n",
+		"%%MatrixMarket matrix coordinate integer skew-symmetric\n2 2 1\n2 1 7\n",
+		"% not a banner\n1 1 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n0 0 0\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if g2.NumNets() != g.NumNets() || g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed dimensions: %dx%d/%d vs %dx%d/%d",
+				g.NumNets(), g.NumVertices(), g.NumEdges(),
+				g2.NumNets(), g2.NumVertices(), g2.NumEdges())
+		}
+	})
+}

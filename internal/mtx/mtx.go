@@ -1,0 +1,217 @@
+// Package mtx reads and writes sparse matrices in the NIST MatrixMarket
+// coordinate format, the interchange format of the SuiteSparse/UFL
+// collection the paper's test-bed comes from. Only the structure
+// (pattern) matters for coloring, so numerical values are parsed and
+// discarded; pattern, real, integer, and complex fields are accepted,
+// as are general, symmetric, and skew-symmetric symmetry modes
+// (symmetric entries are expanded).
+package mtx
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"bgpc/internal/bipartite"
+)
+
+// ErrFormat reports malformed MatrixMarket input.
+var ErrFormat = errors.New("mtx: malformed MatrixMarket input")
+
+// header describes the parsed banner + size line.
+type header struct {
+	field     string // pattern | real | integer | complex
+	symmetry  string // general | symmetric | skew-symmetric | hermitian
+	rows      int
+	cols      int
+	nnz       int
+	valueCols int // numbers after the two indices on each entry line
+}
+
+// Read parses MatrixMarket coordinate input into a bipartite graph with
+// rows as nets and columns as vertices.
+func Read(r io.Reader) (*bipartite.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]bipartite.Edge, 0, h.nnz*expandFactor(h.symmetry))
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	seen := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '%' {
+			continue
+		}
+		if seen >= h.nnz {
+			return nil, fmt.Errorf("%w: more than %d declared entries", ErrFormat, h.nnz)
+		}
+		row, col, err := parseEntry(line, h)
+		if err != nil {
+			return nil, err
+		}
+		if row < 1 || row > h.rows || col < 1 || col > h.cols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrFormat, row, col, h.rows, h.cols)
+		}
+		edges = append(edges, bipartite.Edge{Net: int32(row - 1), Vtx: int32(col - 1)})
+		if h.symmetry != "general" && row != col {
+			edges = append(edges, bipartite.Edge{Net: int32(col - 1), Vtx: int32(row - 1)})
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if seen != h.nnz {
+		return nil, fmt.Errorf("%w: declared %d entries, found %d", ErrFormat, h.nnz, seen)
+	}
+	return bipartite.FromEdges(h.rows, h.cols, edges)
+}
+
+func expandFactor(symmetry string) int {
+	if symmetry == "general" {
+		return 1
+	}
+	return 2
+}
+
+func readHeader(br *bufio.Reader) (header, error) {
+	var h header
+	banner, err := br.ReadString('\n')
+	if err != nil && !errors.Is(err, io.EOF) {
+		return h, err
+	}
+	fields := strings.Fields(strings.ToLower(banner))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+		return h, fmt.Errorf("%w: bad banner %q", ErrFormat, strings.TrimSpace(banner))
+	}
+	if fields[2] != "coordinate" {
+		return h, fmt.Errorf("%w: only coordinate format is supported, got %q", ErrFormat, fields[2])
+	}
+	h.field, h.symmetry = fields[3], fields[4]
+	switch h.field {
+	case "pattern":
+		h.valueCols = 0
+	case "real", "integer":
+		h.valueCols = 1
+	case "complex":
+		h.valueCols = 2
+	default:
+		return h, fmt.Errorf("%w: unknown field %q", ErrFormat, h.field)
+	}
+	switch h.symmetry {
+	case "general", "symmetric", "skew-symmetric", "hermitian":
+	default:
+		return h, fmt.Errorf("%w: unknown symmetry %q", ErrFormat, h.symmetry)
+	}
+	// Skip comments, then read the size line.
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && !errors.Is(err, io.EOF) {
+			return h, err
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || trimmed[0] == '%' {
+			if errors.Is(err, io.EOF) {
+				return h, fmt.Errorf("%w: missing size line", ErrFormat)
+			}
+			continue
+		}
+		parts := strings.Fields(trimmed)
+		if len(parts) != 3 {
+			return h, fmt.Errorf("%w: bad size line %q", ErrFormat, trimmed)
+		}
+		dims := make([]int, 3)
+		for i, p := range parts {
+			v, convErr := strconv.Atoi(p)
+			if convErr != nil || v < 0 {
+				return h, fmt.Errorf("%w: bad size line %q", ErrFormat, trimmed)
+			}
+			dims[i] = v
+		}
+		h.rows, h.cols, h.nnz = dims[0], dims[1], dims[2]
+		return h, nil
+	}
+}
+
+func parseEntry(line string, h header) (row, col int, err error) {
+	parts := strings.Fields(line)
+	want := 2 + h.valueCols
+	if len(parts) != want {
+		return 0, 0, fmt.Errorf("%w: entry %q has %d fields, want %d", ErrFormat, line, len(parts), want)
+	}
+	row, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad row index in %q", ErrFormat, line)
+	}
+	col, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad column index in %q", ErrFormat, line)
+	}
+	for _, p := range parts[2:] {
+		if _, err := strconv.ParseFloat(p, 64); err != nil {
+			return 0, 0, fmt.Errorf("%w: bad value in %q", ErrFormat, line)
+		}
+	}
+	return row, col, nil
+}
+
+// ReadFile parses the MatrixMarket file at path. Files ending in .gz
+// are decompressed transparently (SuiteSparse distributes compressed
+// MatrixMarket archives).
+func ReadFile(path string) (*bipartite.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("mtx: %s: %w", path, err)
+		}
+		defer zr.Close()
+		return Read(zr)
+	}
+	return Read(f)
+}
+
+// Write emits g in MatrixMarket "coordinate pattern general" form with
+// rows as nets and columns as vertices.
+func Write(w io.Writer, g *bipartite.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern general"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", g.NumNets(), g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := int32(0); int(v) < g.NumNets(); v++ {
+		for _, u := range g.Vtxs(v) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v+1, u+1); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes g to path in MatrixMarket form.
+func WriteFile(path string, g *bipartite.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,61 @@
+package order
+
+// bucketList is an array of doubly linked lists of vertices keyed by a
+// small integer (a degree or an incidence count). It supports O(1)
+// unlink and relink, which is all the Matula–Beck style orderings
+// need. Keys must stay in [0, maxKey].
+type bucketList struct {
+	head  []int32 // head[k] = first vertex with key k, or -1
+	next  []int32
+	prev  []int32
+	where []int32 // where[u] = u's current key
+}
+
+func newBucketList(n int, maxKey int32, keys []int32) *bucketList {
+	b := &bucketList{
+		head:  make([]int32, maxKey+1),
+		next:  make([]int32, n),
+		prev:  make([]int32, n),
+		where: keys,
+	}
+	for i := range b.head {
+		b.head[i] = -1
+	}
+	for u := int32(n - 1); u >= 0; u-- {
+		b.push(u, keys[u])
+	}
+	return b
+}
+
+// push links u at the front of bucket k (u must be unlinked).
+func (b *bucketList) push(u, k int32) {
+	b.where[u] = k
+	b.next[u] = b.head[k]
+	b.prev[u] = -1
+	if b.head[k] != -1 {
+		b.prev[b.head[k]] = u
+	}
+	b.head[k] = u
+}
+
+// unlink removes u from its bucket.
+func (b *bucketList) unlink(u int32) {
+	k := b.where[u]
+	if b.prev[u] != -1 {
+		b.next[b.prev[u]] = b.next[u]
+	} else {
+		b.head[k] = b.next[u]
+	}
+	if b.next[u] != -1 {
+		b.prev[b.next[u]] = b.prev[u]
+	}
+}
+
+// move relinks u into bucket k.
+func (b *bucketList) move(u, k int32) {
+	b.unlink(u)
+	b.push(u, k)
+}
+
+// key returns u's current bucket key.
+func (b *bucketList) key(u int32) int32 { return b.where[u] }

@@ -1,0 +1,190 @@
+// Package par is a small shared-memory parallel runtime that mirrors
+// the OpenMP constructs the paper's algorithms are written against:
+// a parallel-for with static or dynamic (chunk self-scheduling)
+// schedules, a shared concurrent work queue (ColPack's "immediate"
+// next-iteration queue), lazy per-thread queues merged at a barrier
+// (the paper's "64D" variant), and parallel gather/prefix-sum helpers.
+//
+// Thread identity is explicit: every body receives a tid in
+// [0, Threads) so that callers can keep per-thread scratch state
+// (forbidden-color arrays, local queues) exactly as the paper's
+// implementation notes prescribe. The runtime spawns goroutines rather
+// than pinning OS threads; on a machine with enough cores the Go
+// scheduler maps them 1:1, and on smaller machines the algorithms still
+// execute the same decision sequence, which is what the repository's
+// machine-independent cost model measures.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how loop iterations are handed to threads.
+type Schedule int
+
+const (
+	// Dynamic hands out chunks of iterations from a shared atomic
+	// counter, first-come first-served — OpenMP schedule(dynamic,chunk).
+	Dynamic Schedule = iota
+	// Static pre-partitions the range into Threads contiguous blocks —
+	// OpenMP schedule(static).
+	Static
+	// Guided hands out geometrically shrinking chunks (half the
+	// remaining work divided by the thread count, floored at Chunk) —
+	// OpenMP schedule(guided,chunk). Fewer dispatches than Dynamic for
+	// the bulk of the range, dynamic balance for the tail.
+	Guided
+)
+
+// Options configures a parallel loop.
+type Options struct {
+	// Threads is the number of workers. Values < 1 mean GOMAXPROCS.
+	Threads int
+	// Schedule picks the iteration hand-out policy. Default Dynamic.
+	Schedule Schedule
+	// Chunk is the dynamic-schedule grain. Values < 1 mean 1, which is
+	// OpenMP's default for schedule(dynamic) and deliberately expensive
+	// — the paper's V-V baseline depends on it.
+	Chunk int
+}
+
+func (o Options) threads() int {
+	if o.Threads < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Threads
+}
+
+func (o Options) chunk() int {
+	if o.Chunk < 1 {
+		return 1
+	}
+	return o.Chunk
+}
+
+// For runs body(tid, lo, hi) over subranges that exactly cover [0, n).
+// Each invocation's [lo, hi) is non-empty and disjoint from every other
+// invocation's. It returns after all workers finish (implicit barrier).
+func For(n int, opts Options, body func(tid, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	t := opts.threads()
+	if t > n {
+		t = n
+	}
+	if t == 1 {
+		body(0, 0, n)
+		return
+	}
+	switch opts.Schedule {
+	case Static:
+		staticFor(n, t, body)
+	case Guided:
+		guidedFor(n, t, opts.chunk(), body)
+	default:
+		dynamicFor(n, t, opts.chunk(), body)
+	}
+}
+
+func staticFor(n, threads int, body func(tid, lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for tid := 0; tid < threads; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			lo := tid * n / threads
+			hi := (tid + 1) * n / threads
+			if lo < hi {
+				body(tid, lo, hi)
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func dynamicFor(n, threads, chunk int, body func(tid, lo, hi int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for tid := 0; tid < threads; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(tid, lo, hi)
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func guidedFor(n, threads, minChunk int, body func(tid, lo, hi int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for tid := 0; tid < threads; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				// Reserve a chunk sized to half the remaining work per
+				// thread via compare-and-swap, so the computed size and
+				// the reservation are consistent.
+				lo := int(next.Load())
+				if lo >= n {
+					return
+				}
+				chunk := (n - lo) / (2 * threads)
+				if chunk < minChunk {
+					chunk = minChunk
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if !next.CompareAndSwap(int64(lo), int64(hi)) {
+					continue
+				}
+				body(tid, lo, hi)
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// ForEach is a convenience wrapper that invokes body once per index.
+func ForEach(n int, opts Options, body func(tid, i int)) {
+	For(n, opts, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(tid, i)
+		}
+	})
+}
+
+// Run executes fn(tid) on each of opts.Threads workers concurrently and
+// waits for all of them — OpenMP's bare parallel region.
+func Run(opts Options, fn func(tid int)) {
+	t := opts.threads()
+	if t == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for tid := 0; tid < t; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			fn(tid)
+		}(tid)
+	}
+	wg.Wait()
+}

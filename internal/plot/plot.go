@@ -1,0 +1,334 @@
+// Package plot renders the experiment figures as static SVG files —
+// grouped bar charts (paper Figures 1 and 2) and log-scale line charts
+// (Figure 3). It is deliberately minimal: stdlib only, light-mode
+// static artifacts meant to sit next to the tabular output (which
+// doubles as the accessible table view for the chart).
+//
+// Visual rules follow the repository's data-viz conventions: a fixed
+// categorical hue order (never cycled), thin marks with a 2px surface
+// gap, recessive grid and axes, text in ink colors rather than series
+// colors, and a legend whenever two or more series are shown.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Fixed categorical palette (validated order; see DESIGN notes). Series
+// beyond the eighth fold into "other" gray — callers should not get
+// there.
+var categorical = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+const (
+	surface   = "#fcfcfb"
+	inkText   = "#0b0b0b"
+	inkMuted  = "#52514e"
+	gridColor = "#e4e3df"
+	axisColor = "#b7b5ad"
+)
+
+// Series is one named data series; Y values align with the chart's
+// category labels (bars) or X values (lines).
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// seriesColor returns the fixed-slot color for series index i.
+func seriesColor(i int) string {
+	if i < len(categorical) {
+		return categorical[i]
+	}
+	return "#8a8984"
+}
+
+type svgBuilder struct {
+	b strings.Builder
+}
+
+func (s *svgBuilder) f(format string, args ...any) {
+	fmt.Fprintf(&s.b, format, args...)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceTicks returns ~n rounded tick values covering [0, max].
+func niceTicks(max float64, n int) []float64 {
+	if max <= 0 {
+		return []float64{0, 1}
+	}
+	rawStep := max / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag < 1.5:
+		step = mag
+	case rawStep/mag < 3.5:
+		step = 2 * mag
+	case rawStep/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ticks []float64
+	for v := 0.0; v <= max+step/2; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case math.Abs(v) < 10 && v != math.Trunc(v):
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// GroupedBars renders one bar group per category with one thin bar per
+// series, a shared zero baseline, and a legend. yLabel names the unit.
+func GroupedBars(title, yLabel string, categories []string, series []Series) (string, error) {
+	if len(series) == 0 || len(categories) == 0 {
+		return "", fmt.Errorf("plot: empty chart")
+	}
+	if len(series) > len(categorical) {
+		return "", fmt.Errorf("plot: %d series exceed the fixed palette (%d); fold the tail into small multiples", len(series), len(categorical))
+	}
+	for _, s := range series {
+		if len(s.Y) != len(categories) {
+			return "", fmt.Errorf("plot: series %q has %d values for %d categories", s.Name, len(s.Y), len(categories))
+		}
+	}
+	maxY := 0.0
+	for _, s := range series {
+		for _, v := range s.Y {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	ticks := niceTicks(maxY, 5)
+	top := ticks[len(ticks)-1]
+
+	const (
+		width      = 860.0
+		height     = 420.0
+		marginL    = 64.0
+		marginR    = 16.0
+		marginT    = 56.0
+		marginB    = 72.0
+		barGap     = 2.0 // surface gap between adjacent bars
+		groupInner = 0.72
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	yPos := func(v float64) float64 { return marginT + plotH*(1-v/top) }
+
+	var s svgBuilder
+	s.f(`<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" role="img" aria-label="%s">`,
+		width, height, width, height, esc(title))
+	s.f(`<rect width="%g" height="%g" fill="%s"/>`, width, height, surface)
+	s.f(`<text x="%g" y="24" font-family="sans-serif" font-size="15" font-weight="600" fill="%s">%s</text>`,
+		marginL, inkText, esc(title))
+	s.f(`<text x="%g" y="42" font-family="sans-serif" font-size="11" fill="%s">%s</text>`,
+		marginL, inkMuted, esc(yLabel))
+
+	// Recessive grid + y ticks.
+	for _, tv := range ticks {
+		y := yPos(tv)
+		s.f(`<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			marginL, y, width-marginR, y, gridColor)
+		s.f(`<text x="%g" y="%.1f" font-family="sans-serif" font-size="10" fill="%s" text-anchor="end">%s</text>`,
+			marginL-6, y+3.5, inkMuted, formatTick(tv))
+	}
+	// Baseline.
+	s.f(`<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+		marginL, yPos(0), width-marginR, yPos(0), axisColor)
+
+	groupW := plotW / float64(len(categories))
+	innerW := groupW * groupInner
+	barW := (innerW - barGap*float64(len(series)-1)) / float64(len(series))
+	for ci, cat := range categories {
+		gx := marginL + groupW*float64(ci) + (groupW-innerW)/2
+		for si, sr := range series {
+			v := sr.Y[ci]
+			if v < 0 {
+				v = 0
+			}
+			x := gx + float64(si)*(barW+barGap)
+			y := yPos(v)
+			h := yPos(0) - y
+			if h < 0.5 && v > 0 {
+				h = 0.5
+				y = yPos(0) - h
+			}
+			// Rounded data end (top), square baseline end.
+			r := math.Min(4, math.Min(barW/2, h))
+			s.f(`<path d="M%.2f %.2f v%.2f q0 %.2f %.2f %.2f h%.2f q%.2f 0 %.2f %.2f v%.2f z" fill="%s"><title>%s, %s: %s</title></path>`,
+				x, yPos(0), -(h - r), -r, r, -r, barW-2*r, r, r, r, h-r, seriesColor(si),
+				esc(cat), esc(sr.Name), formatTick(sr.Y[ci]))
+		}
+		s.f(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" fill="%s" text-anchor="end" transform="rotate(-35 %.1f %.1f)">%s</text>`,
+			gx+innerW/2, yPos(0)+14, inkMuted, gx+innerW/2, yPos(0)+14, esc(cat))
+	}
+
+	legend(&s, series, width, marginR)
+	s.f(`</svg>`)
+	return s.b.String(), nil
+}
+
+// Lines renders one polyline per series over shared x values; logY
+// switches the y axis to log10 (all values must then be ≥ 1 or 0,
+// zeros are dropped). Used for the Figure 3 cardinality curves.
+func Lines(title, xLabel, yLabel string, xs []float64, series []Series, logY bool) (string, error) {
+	if len(series) == 0 || len(xs) == 0 {
+		return "", fmt.Errorf("plot: empty chart")
+	}
+	if len(series) > len(categorical) {
+		return "", fmt.Errorf("plot: %d series exceed the fixed palette", len(series))
+	}
+	maxY, minX, maxX := 0.0, xs[0], xs[0]
+	for _, x := range xs {
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+	}
+	for _, s := range series {
+		if len(s.Y) != len(xs) {
+			return "", fmt.Errorf("plot: series %q has %d values for %d xs", s.Name, len(s.Y), len(xs))
+		}
+		for _, v := range s.Y {
+			maxY = math.Max(maxY, v)
+		}
+	}
+	const (
+		width   = 860.0
+		height  = 420.0
+		marginL = 64.0
+		marginR = 16.0
+		marginT = 56.0
+		marginB = 56.0
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	var yTop float64
+	var yPos func(v float64) (float64, bool)
+	var yTicks []float64
+	if logY {
+		yTop = math.Pow(10, math.Ceil(math.Log10(math.Max(maxY, 1))))
+		decades := int(math.Log10(yTop))
+		if decades < 1 {
+			decades = 1
+		}
+		for d := 0; d <= decades; d++ {
+			yTicks = append(yTicks, math.Pow(10, float64(d)))
+		}
+		yPos = func(v float64) (float64, bool) {
+			if v < 1 {
+				return 0, false // dropped on a log axis
+			}
+			frac := math.Log10(v) / math.Log10(yTop)
+			return marginT + plotH*(1-frac), true
+		}
+	} else {
+		yTicks = niceTicks(maxY, 5)
+		yTop = yTicks[len(yTicks)-1]
+		yPos = func(v float64) (float64, bool) {
+			return marginT + plotH*(1-v/yTop), true
+		}
+	}
+	xPos := func(x float64) float64 {
+		if maxX == minX {
+			return marginL + plotW/2
+		}
+		return marginL + plotW*(x-minX)/(maxX-minX)
+	}
+
+	var s svgBuilder
+	s.f(`<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" role="img" aria-label="%s">`,
+		width, height, width, height, esc(title))
+	s.f(`<rect width="%g" height="%g" fill="%s"/>`, width, height, surface)
+	s.f(`<text x="%g" y="24" font-family="sans-serif" font-size="15" font-weight="600" fill="%s">%s</text>`,
+		marginL, inkText, esc(title))
+	s.f(`<text x="%g" y="42" font-family="sans-serif" font-size="11" fill="%s">%s</text>`,
+		marginL, inkMuted, esc(yLabel))
+
+	for _, tv := range yTicks {
+		y, ok := yPos(tv)
+		if !ok {
+			continue
+		}
+		s.f(`<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			marginL, y, width-marginR, y, gridColor)
+		s.f(`<text x="%g" y="%.1f" font-family="sans-serif" font-size="10" fill="%s" text-anchor="end">%s</text>`,
+			marginL-6, y+3.5, inkMuted, formatTick(tv))
+	}
+	s.f(`<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+		marginL, marginT+plotH, width-marginR, marginT+plotH, axisColor)
+	// A few x ticks.
+	for i := 0; i <= 4; i++ {
+		x := minX + (maxX-minX)*float64(i)/4
+		s.f(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+			xPos(x), marginT+plotH+16, inkMuted, formatTick(x))
+	}
+	s.f(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-8, inkMuted, esc(xLabel))
+
+	for si, sr := range series {
+		var pts []string
+		for i, x := range xs {
+			y, ok := yPos(sr.Y[i])
+			if !ok {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPos(x), y))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		s.f(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"><title>%s</title></polyline>`,
+			strings.Join(pts, " "), seriesColor(si), esc(sr.Name))
+	}
+
+	legend(&s, series, width, marginR)
+	s.f(`</svg>`)
+	return s.b.String(), nil
+}
+
+// legend draws swatch + name rows top-right; identity is also carried
+// by the fixed slot order, never by color alone (tables accompany every
+// figure).
+func legend(s *svgBuilder, series []Series, width, marginR float64) {
+	if len(series) < 2 {
+		return
+	}
+	x := width - marginR - 150
+	y := 16.0
+	for si, sr := range series {
+		s.f(`<rect x="%.1f" y="%.1f" width="10" height="10" rx="2" fill="%s"/>`, x, y, seriesColor(si))
+		s.f(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" fill="%s">%s</text>`,
+			x+15, y+9, inkText, esc(sr.Name))
+		y += 15
+	}
+}

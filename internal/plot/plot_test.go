@@ -1,0 +1,228 @@
+package plot
+
+import (
+	"encoding/xml"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseSVG asserts the output is well-formed XML and returns it.
+func parseSVG(t *testing.T, svg string) string {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+	return svg
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGroupedBarsBasic(t *testing.T) {
+	svg, err := GroupedBars("Demo chart", "time (ms)",
+		[]string{"A", "B", "C"},
+		[]Series{
+			{Name: "coloring", Y: []float64{10, 20, 5}},
+			{Name: "conflicts", Y: []float64{3, 1, 8}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	// 3 categories × 2 series = 6 bars.
+	if got := strings.Count(svg, "<path "); got != 6 {
+		t.Fatalf("bar count = %d, want 6", got)
+	}
+	// Legend present for ≥2 series: one swatch per series.
+	if got := strings.Count(svg, "<rect "); got != 1+2 { // surface + 2 swatches
+		t.Fatalf("rect count = %d, want 3", got)
+	}
+	for _, want := range []string{"Demo chart", "coloring", "conflicts", "time (ms)"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// Fixed slot order: series 1 blue, series 2 aqua.
+	if !strings.Contains(svg, "#2a78d6") || !strings.Contains(svg, "#1baf7a") {
+		t.Fatal("fixed categorical slots not used")
+	}
+}
+
+func TestGroupedBarsSingleSeriesNoLegend(t *testing.T) {
+	svg, err := GroupedBars("One", "y", []string{"A"}, []Series{{Name: "only", Y: []float64{4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	if strings.Count(svg, "<rect ") != 1 { // surface only, no swatches
+		t.Fatal("single series should not get a legend box")
+	}
+}
+
+func TestGroupedBarsValidation(t *testing.T) {
+	if _, err := GroupedBars("t", "y", nil, []Series{{Name: "a", Y: nil}}); err == nil {
+		t.Fatal("empty categories accepted")
+	}
+	if _, err := GroupedBars("t", "y", []string{"A"}, nil); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if _, err := GroupedBars("t", "y", []string{"A", "B"}, []Series{{Name: "a", Y: []float64{1}}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	nine := make([]Series, 9)
+	for i := range nine {
+		nine[i] = Series{Name: "s", Y: []float64{1}}
+	}
+	if _, err := GroupedBars("t", "y", []string{"A"}, nine); err == nil {
+		t.Fatal("9 series accepted (palette must not cycle)")
+	}
+}
+
+func TestGroupedBarsEscapesText(t *testing.T) {
+	svg, err := GroupedBars(`a<b&"c"`, "y", []string{"<cat>"}, []Series{
+		{Name: "s&1", Y: []float64{1}},
+		{Name: "s2", Y: []float64{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	if strings.Contains(svg, "a<b&\"") {
+		t.Fatal("unescaped title")
+	}
+}
+
+func TestLinesLinear(t *testing.T) {
+	svg, err := Lines("L", "x", "y", []float64{0, 1, 2, 3},
+		[]Series{
+			{Name: "u", Y: []float64{1, 2, 3, 4}},
+			{Name: "v", Y: []float64{4, 3, 2, 1}},
+		}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	if got := strings.Count(svg, "<polyline "); got != 2 {
+		t.Fatalf("polyline count = %d", got)
+	}
+}
+
+func TestLinesLogDropsSubUnit(t *testing.T) {
+	svg, err := Lines("log", "rank", "size", []float64{1, 2, 3},
+		[]Series{{Name: "a", Y: []float64{1000, 10, 0}}, {Name: "b", Y: []float64{100, 100, 100}}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	// Series a has only 2 plottable points (the 0 is dropped on log).
+	start := strings.Index(svg, "<polyline ")
+	end := strings.Index(svg[start:], "</polyline>") + start
+	seg := svg[start:end]
+	if strings.Count(seg, ",") != 2 {
+		t.Fatalf("log axis did not drop sub-unit point: %s", seg)
+	}
+	// Log decade ticks 1, 10, 100, 1000 present.
+	for _, tick := range []string{">1<", ">10<", ">100<", ">1k<"} {
+		if !strings.Contains(svg, tick) {
+			t.Fatalf("missing log tick %s", tick)
+		}
+	}
+}
+
+func TestLinesValidation(t *testing.T) {
+	if _, err := Lines("t", "x", "y", nil, []Series{{Name: "a"}}, false); err == nil {
+		t.Fatal("empty xs accepted")
+	}
+	if _, err := Lines("t", "x", "y", []float64{1}, []Series{{Name: "a", Y: []float64{1, 2}}}, false); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(97, 5)
+	if ticks[0] != 0 {
+		t.Fatalf("ticks start at %v", ticks[0])
+	}
+	if last := ticks[len(ticks)-1]; last < 97 {
+		t.Fatalf("ticks top %v below max", last)
+	}
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Fatalf("tick count %d", len(ticks))
+	}
+	if got := niceTicks(0, 5); len(got) != 2 {
+		t.Fatalf("zero-max ticks = %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0: "0", 5: "5", 1500: "1.5k", 2500000: "2.5M", 0.25: "0.25",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Fatalf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestGeometryWithinCanvas substitutes for a visual pass in the
+// headless build environment: every drawn coordinate must lie inside
+// the canvas, and bars within one group must not overlap.
+func TestGeometryWithinCanvas(t *testing.T) {
+	categories := make([]string, 13)
+	for i := range categories {
+		categories[i] = fmt.Sprintf("algo-%d #%d", i%7, i%3+1)
+	}
+	series := make([]Series, 4)
+	for si := range series {
+		series[si].Name = fmt.Sprintf("t=%d", 1<<si)
+		series[si].Y = make([]float64, len(categories))
+		for i := range series[si].Y {
+			series[si].Y[i] = float64((si+1)*(i+3)) * 7.3
+		}
+	}
+	svg, err := GroupedBars("Geometry audit", "ms", categories, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, svg)
+	// Extract all path x-coordinates (bar left edges) and ensure they
+	// sit inside [0, 860] with bar width positive.
+	re := regexp.MustCompile(`M([0-9.]+) ([0-9.]+) v(-?[0-9.]+)`)
+	matches := re.FindAllStringSubmatch(svg, -1)
+	if len(matches) != len(categories)*len(series) {
+		t.Fatalf("bar count = %d, want %d", len(matches), len(categories)*len(series))
+	}
+	var xs []float64
+	for _, m := range matches {
+		x, _ := strconv.ParseFloat(m[1], 64)
+		y, _ := strconv.ParseFloat(m[2], 64)
+		if x < 0 || x > 860 || y < 0 || y > 420 {
+			t.Fatalf("bar anchor (%v,%v) outside canvas", x, y)
+		}
+		xs = append(xs, x)
+	}
+	// Bars are emitted left-to-right within each group; check strict
+	// monotone x within each consecutive group of len(series).
+	for g := 0; g+len(series) <= len(xs); g += len(series) {
+		for i := 1; i < len(series); i++ {
+			if xs[g+i] <= xs[g+i-1] {
+				t.Fatalf("bars overlap or misordered in group %d: %v", g/len(series), xs[g:g+len(series)])
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package rng provides a small, deterministic, dependency-free random
+// number generator toolkit used by the synthetic workload generators.
+//
+// Determinism across Go releases matters here: the experiment harness
+// must regenerate byte-identical graphs for a given seed so that paper
+// tables are reproducible. The standard library's math/rand does not
+// promise stream stability across versions, so the generators below are
+// implemented from first principles (SplitMix64 core, Lemire bounded
+// integers, rejection-sampled Zipf).
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 is a tiny, fast, high-quality 64-bit PRNG (Steele, Lea,
+// Flood; "Fast splittable pseudorandom number generators", OOPSLA'14).
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state     uint64
+	spare     float64 // cached second Box–Muller variate
+	haveSpare bool
+}
+
+// New returns a SplitMix64 generator seeded with seed.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Seed resets the generator state.
+func (r *SplitMix64) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64 pseudorandom bits.
+func (r *SplitMix64) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split returns a new generator whose stream is statistically
+// independent from the receiver's continuation. It is the idiomatic way
+// to hand independent streams to concurrent workers.
+func (r *SplitMix64) Split() *SplitMix64 {
+	return New(r.Uint64() ^ 0x6a09e667f3bcc909)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift bounded generation (unbiased via
+// rejection on the low word).
+func (r *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (r *SplitMix64) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with zero n")
+	}
+	// Lemire's method: multiply a 64-bit random value by n and keep the
+	// high word; reject the small biased region of the low word.
+	threshold := -n % n // == (2^64 - n) % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box–Muller transform. The second
+// variate of each pair is cached.
+func (r *SplitMix64) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		radius := math.Sqrt(-2 * math.Log(u))
+		theta := 2 * math.Pi * v
+		r.spare = radius * math.Sin(theta)
+		r.haveSpare = true
+		return radius * math.Cos(theta)
+	}
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using the
+// provided swap function (Fisher–Yates).
+func (r *SplitMix64) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *SplitMix64) Perm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,285 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64Deterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestUint64KnownValues(t *testing.T) {
+	// Reference values from the canonical SplitMix64 implementation
+	// (Vigna, http://prng.di.unimi.it/splitmix64.c) seeded with 1234567.
+	r := New(1234567)
+	want := []uint64{
+		0x9c9ab2c8a4d4d4f3 ^ 0, // placeholder replaced below
+	}
+	_ = want
+	// Rather than hard-coding upstream values, assert the algebraic
+	// identity: the first output of seed s equals mix(s + golden).
+	s := uint64(1234567) + 0x9e3779b97f4a7c15
+	z := s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if got := r.Uint64(); got != z {
+		t.Fatalf("first output = %#x, want %#x", got, z)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Seed(7)
+	if got := r.Uint64(); got != first {
+		t.Fatalf("Seed did not reset the stream: got %#x want %#x", got, first)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(99)
+	child := r.Split()
+	// The child stream must differ from the parent's continuation.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 outputs identical between parent and split child", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared test over 10 buckets; very loose bound to avoid flakes
+	// (the stream is deterministic so this cannot actually flake).
+	r := New(2024)
+	const buckets = 10
+	const samples = 100000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; 99.9th percentile ≈ 27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("chi-squared = %.2f, distribution looks non-uniform: %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(77)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want ≈ 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint16) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(8)
+	xs := []int{1, 2, 3, 4, 5, 5, 5, 9}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset sum: %d -> %d", sum, got)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 10, 1000, 1 << 20} {
+		z := NewZipf(r, 1.1, n)
+		for i := 0; i < 500; i++ {
+			v := z.Next()
+			if v < 0 || v >= n {
+				t.Fatalf("Zipf(n=%d) produced %d", n, v)
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With s = 1.2 over 1000 values, rank 0 must dominate: it should be
+	// sampled far more often than rank 500.
+	r := New(31)
+	z := NewZipf(r, 1.2, 1000)
+	var c0, cMid int
+	for i := 0; i < 200000; i++ {
+		v := z.Next()
+		if v == 0 {
+			c0++
+		} else if v == 500 {
+			cMid++
+		}
+	}
+	if c0 < 50*cMid || c0 == 0 {
+		t.Fatalf("Zipf not skewed: count(0)=%d count(500)=%d", c0, cMid)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		s float64
+		n int
+	}{{1.0, 0}, {0, 10}, {-1, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(s=%v, n=%d) did not panic", tc.s, tc.n)
+				}
+			}()
+			NewZipf(New(1), tc.s, tc.n)
+		}()
+	}
+}
+
+func TestZipfExponentOne(t *testing.T) {
+	// s == 1 exercises the series fallbacks in helper1/helper2.
+	r := New(17)
+	z := NewZipf(r, 1.0, 100)
+	for i := 0; i < 1000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf(s=1) produced %d", v)
+		}
+	}
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	r := New(123)
+	degs, total := PowerLawDegrees(r, 5000, 2, 100, 1.5)
+	if len(degs) != 5000 {
+		t.Fatalf("len = %d", len(degs))
+	}
+	var sum int64
+	for _, d := range degs {
+		if d < 2 || d > 100 {
+			t.Fatalf("degree %d out of [2,100]", d)
+		}
+		sum += int64(d)
+	}
+	if sum != total {
+		t.Fatalf("reported total %d != actual %d", total, sum)
+	}
+}
+
+func TestPowerLawDegreesConstant(t *testing.T) {
+	degs, total := PowerLawDegrees(New(1), 10, 4, 4, 1.0)
+	if total != 40 {
+		t.Fatalf("total = %d, want 40", total)
+	}
+	for _, d := range degs {
+		if d != 4 {
+			t.Fatalf("degree %d, want 4", d)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1.1, 1<<20)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Next()
+	}
+	_ = sink
+}

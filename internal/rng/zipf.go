@@ -1,0 +1,115 @@
+package rng
+
+import "math"
+
+// Zipf samples integers k in [0, n) with probability proportional to
+// 1/(k+1)^s, s > 0. It uses the rejection-inversion method of
+// Hörmann and Derflinger ("Rejection-inversion to generate variates
+// from monotone discrete distributions", TOMACS 1996), which needs no
+// precomputed tables and runs in O(1) expected time per sample, so it
+// scales to the multi-million-element ranges used by the bipartite
+// workload generators.
+type Zipf struct {
+	r           *SplitMix64
+	n           float64
+	s           float64
+	oneMinusS   float64
+	hIntegralX1 float64
+	hIntegralN  float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s.
+// It panics if n <= 0 or s <= 0. s == 1 is supported (harmonic law).
+func NewZipf(r *SplitMix64, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("rng: NewZipf with non-positive exponent")
+	}
+	z := &Zipf{r: r, n: float64(n), s: s, oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(z.n + 0.5)
+	return z
+}
+
+// hIntegral is the antiderivative of h(x) = x^(-s).
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+// h(x) = x^(-s)
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+// hIntegralInverse is the inverse of hIntegral.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		// Numerical guard: t must stay >= -1 for the log1p below.
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a series fallback near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x with a series fallback near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Next returns the next Zipf-distributed value in [0, n).
+func (z *Zipf) Next() int {
+	// The classic algorithm samples ranks in [1, n]; shift to [0, n).
+	for {
+		u := z.hIntegralN + z.r.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= 0.5 || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int(k) - 1
+		}
+	}
+}
+
+// PowerLawDegrees fills out with n degrees following a truncated power
+// law: P(deg = d) ∝ d^(-s) for d in [minDeg, maxDeg]. The result is a
+// convenient building block for skewed bipartite generators. The sum of
+// the returned degrees is also returned.
+func PowerLawDegrees(r *SplitMix64, n, minDeg, maxDeg int, s float64) ([]int32, int64) {
+	if minDeg < 0 || maxDeg < minDeg {
+		panic("rng: invalid degree bounds")
+	}
+	out := make([]int32, n)
+	span := maxDeg - minDeg + 1
+	var total int64
+	if span == 1 {
+		for i := range out {
+			out[i] = int32(minDeg)
+		}
+		return out, int64(n) * int64(minDeg)
+	}
+	z := NewZipf(r, s, span)
+	for i := range out {
+		d := minDeg + z.Next()
+		out[i] = int32(d)
+		total += int64(d)
+	}
+	return out, total
+}

@@ -1,0 +1,135 @@
+// Package schedule turns a coloring into a lock-free parallel
+// execution plan — the downstream half of the paper's introduction:
+// "given a valid coloring, each color set can be simultaneously
+// processed in a lock-free manner and without synchronization
+// overhead."
+//
+// A Plan groups item ids by color. Run executes a user function over
+// every item, color set by color set: items within a set run
+// concurrently (the coloring guarantees their footprints are
+// disjoint), with one barrier between consecutive sets. The number of
+// barriers is the number of non-empty color sets, which is why the
+// paper cares about few colors — and the per-set parallelism is why it
+// cares about balanced set cardinalities.
+package schedule
+
+import (
+	"fmt"
+
+	"bgpc/internal/par"
+	"bgpc/internal/verify"
+)
+
+// Plan is an immutable color-set execution plan.
+type Plan struct {
+	sets  [][]int32
+	items int
+}
+
+// NewPlan buckets item ids by their color. Colors must be non-negative
+// (a fully colored result); gaps in the color id space are allowed and
+// cost nothing at run time (empty sets are skipped).
+func NewPlan(colors []int32) (*Plan, error) {
+	maxColor := int32(-1)
+	for i, c := range colors {
+		if c < 0 {
+			return nil, fmt.Errorf("schedule: item %d uncolored (%d)", i, c)
+		}
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	p := &Plan{items: len(colors)}
+	if maxColor < 0 {
+		return p, nil
+	}
+	counts := make([]int, maxColor+1)
+	for _, c := range colors {
+		counts[c]++
+	}
+	buf := make([]int32, len(colors))
+	offsets := make([]int, maxColor+1)
+	off := 0
+	for c, n := range counts {
+		offsets[c] = off
+		off += n
+	}
+	fill := make([]int, maxColor+1)
+	for i, c := range colors {
+		buf[offsets[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+	for c, n := range counts {
+		if n > 0 {
+			p.sets = append(p.sets, buf[offsets[c]:offsets[c]+n:offsets[c]+n])
+		}
+	}
+	return p, nil
+}
+
+// NumSets returns the number of non-empty color sets (barriers per
+// full pass).
+func (p *Plan) NumSets() int { return len(p.sets) }
+
+// NumItems returns the total number of scheduled items.
+func (p *Plan) NumItems() int { return p.items }
+
+// Set returns the item ids of the k-th non-empty color set, in
+// ascending id order. The slice aliases internal storage.
+func (p *Plan) Set(k int) []int32 { return p.sets[k] }
+
+// Stats returns the cardinality statistics of the plan's sets (the
+// balance the B1/B2 heuristics optimize).
+func (p *Plan) Stats() verify.ColorStats {
+	colors := make([]int32, 0, p.items)
+	for c, set := range p.sets {
+		for range set {
+			colors = append(colors, int32(c))
+		}
+	}
+	return verify.Stats(colors)
+}
+
+// Run executes fn(item) for every item: sets run in order with a
+// barrier between them; within a set, items are processed by `threads`
+// workers with dynamic chunking. fn must only touch state that the
+// coloring isolates (that is the lock-free contract).
+func (p *Plan) Run(threads int, fn func(item int32)) {
+	p.RunChunked(threads, 16, fn)
+}
+
+// RunChunked is Run with an explicit dynamic chunk size for workloads
+// with very cheap or very expensive per-item work.
+func (p *Plan) RunChunked(threads, chunk int, fn func(item int32)) {
+	if threads < 1 {
+		threads = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	po := par.Options{Threads: threads, Chunk: chunk}
+	for _, set := range p.sets {
+		set := set
+		par.For(len(set), po, func(tid, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fn(set[i])
+			}
+		})
+	}
+}
+
+// MinParallelism returns the size of the smallest non-empty set — the
+// worst-case available parallelism at any barrier. The paper's
+// balancing section argues this should stay above the core count.
+func (p *Plan) MinParallelism() int {
+	if len(p.sets) == 0 {
+		return 0
+	}
+	minLen := p.items
+	for _, set := range p.sets {
+		if len(set) < minLen {
+			minLen = len(set)
+		}
+	}
+	return minLen
+}

@@ -1,0 +1,191 @@
+package schedule
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"bgpc/internal/core"
+	"bgpc/internal/gen"
+	"bgpc/internal/verify"
+)
+
+func TestNewPlanBuckets(t *testing.T) {
+	p, err := NewPlan([]int32{0, 2, 0, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSets() != 3 || p.NumItems() != 5 {
+		t.Fatalf("sets=%d items=%d", p.NumSets(), p.NumItems())
+	}
+	if got := p.Set(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("set 0 = %v", got)
+	}
+	if got := p.Set(2); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("set 2 = %v", got)
+	}
+	if p.MinParallelism() != 1 {
+		t.Fatalf("min parallelism = %d", p.MinParallelism())
+	}
+}
+
+func TestNewPlanRejectsUncolored(t *testing.T) {
+	if _, err := NewPlan([]int32{0, -1}); err == nil {
+		t.Fatal("uncolored accepted")
+	}
+}
+
+func TestNewPlanEmpty(t *testing.T) {
+	p, err := NewPlan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSets() != 0 || p.NumItems() != 0 || p.MinParallelism() != 0 {
+		t.Fatalf("%+v", p)
+	}
+	ran := false
+	p.Run(4, func(item int32) { ran = true })
+	if ran {
+		t.Fatal("empty plan executed something")
+	}
+}
+
+func TestRunVisitsEachItemOnce(t *testing.T) {
+	colors := []int32{0, 1, 0, 2, 1, 0, 3, 3}
+	p, err := NewPlan(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := make([]atomic.Int32, len(colors))
+	p.Run(4, func(item int32) { visits[item].Add(1) })
+	for i := range visits {
+		if visits[i].Load() != 1 {
+			t.Fatalf("item %d visited %d times", i, visits[i].Load())
+		}
+	}
+}
+
+func TestRunBarrierOrder(t *testing.T) {
+	// Items of set k must all run before any item of set k+1: record
+	// the set index at execution time and assert monotonicity.
+	colors := make([]int32, 300)
+	for i := range colors {
+		colors[i] = int32(i % 3)
+	}
+	p, err := NewPlan(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSeen atomic.Int32
+	maxSeen.Store(-1)
+	ok := atomic.Bool{}
+	ok.Store(true)
+	p.Run(4, func(item int32) {
+		set := item % 3 // == the color
+		for {
+			cur := maxSeen.Load()
+			if set < cur {
+				ok.Store(false) // an earlier set ran after a later one
+				return
+			}
+			if set == cur || maxSeen.CompareAndSwap(cur, set) {
+				return
+			}
+		}
+	})
+	if !ok.Load() {
+		t.Fatal("barrier order violated")
+	}
+}
+
+func TestRunLockFreeContract(t *testing.T) {
+	// End-to-end: color a real conflict structure, then run increments
+	// through shared per-net accumulators without synchronization. A
+	// violated coloring (or scheduling bug) would race; with -race this
+	// test would fail loudly.
+	g, err := gen.Preset("nlpkkt", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, _ := core.ParseAlgorithm("N1-N2")
+	opts.Threads = 4
+	res, err := core.Color(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.BGPC(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(res.Colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := make([]int64, g.NumNets()) // plain, unsynchronized
+	p.Run(4, func(item int32) {
+		for _, net := range g.Nets(item) {
+			acc[net]++ // same-colored items share no net: no race
+		}
+	})
+	for v := int32(0); int(v) < g.NumNets(); v++ {
+		if acc[v] != int64(g.NetDeg(v)) {
+			t.Fatalf("net %d: accumulated %d, want %d", v, acc[v], g.NetDeg(v))
+		}
+	}
+}
+
+func TestStatsMatchVerify(t *testing.T) {
+	colors := []int32{0, 0, 1, 3}
+	p, err := NewPlan(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Stats()
+	want := verify.Stats(colors)
+	if got.NumColors != want.NumColors || got.MaxSet != want.MaxSet || got.MinSet != want.MinSet {
+		t.Fatalf("plan stats %+v vs verify %+v", got, want)
+	}
+}
+
+func TestRunChunkedAndThreadClamp(t *testing.T) {
+	p, err := NewPlan([]int32{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int32
+	p.RunChunked(0, 0, func(item int32) { count.Add(1) })
+	if count.Load() != 4 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestPlanProperty(t *testing.T) {
+	check := func(raw []uint8) bool {
+		colors := make([]int32, len(raw))
+		for i, r := range raw {
+			colors[i] = int32(r % 7)
+		}
+		p, err := NewPlan(colors)
+		if err != nil {
+			return false
+		}
+		// Union of sets == all items, each exactly once, ids ascending
+		// within a set.
+		seen := make([]bool, len(colors))
+		total := 0
+		for k := 0; k < p.NumSets(); k++ {
+			prev := int32(-1)
+			for _, item := range p.Set(k) {
+				if item <= prev || seen[item] {
+					return false
+				}
+				prev = item
+				seen[item] = true
+				total++
+			}
+		}
+		return total == len(colors)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package verify
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/graph"
+	"bgpc/internal/par"
+)
+
+// BGPCParallel is a multi-threaded BGPC validity check using per-thread
+// stamped marker arrays (no hashing): nets are scanned in parallel and
+// the first conflict found is reported. For large graphs this is the
+// production checker; BGPC remains as the simple reference.
+func BGPCParallel(g *bipartite.Graph, colors []int32, threads int) error {
+	if len(colors) != g.NumVertices() {
+		return fmt.Errorf("verify: %d colors for %d vertices", len(colors), g.NumVertices())
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	maxColor := int32(-1)
+	for u, c := range colors {
+		if c < 0 {
+			return fmt.Errorf("verify: vertex %d uncolored (%d)", u, c)
+		}
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	type marker struct {
+		stamp []int32 // stamp[c] = net id + 1 when c was seen in that net
+		owner []int32 // the vertex that claimed color c in this net
+	}
+	marks := make([]*marker, threads)
+	for i := range marks {
+		marks[i] = &marker{
+			stamp: make([]int32, maxColor+1),
+			owner: make([]int32, maxColor+1),
+		}
+	}
+	var failure atomic.Pointer[conflictErr]
+	par.For(g.NumNets(), par.Options{Threads: threads, Chunk: 64}, func(tid, lo, hi int) {
+		m := marks[tid]
+		for v := lo; v < hi; v++ {
+			if failure.Load() != nil {
+				return
+			}
+			tag := int32(v) + 1
+			for _, u := range g.Vtxs(int32(v)) {
+				c := colors[u]
+				if m.stamp[c] == tag && m.owner[c] != u {
+					failure.CompareAndSwap(nil, &conflictErr{net: int32(v), a: m.owner[c], b: u, color: c})
+					return
+				}
+				m.stamp[c] = tag
+				m.owner[c] = u
+			}
+		}
+	})
+	if f := failure.Load(); f != nil {
+		return fmt.Errorf("verify: net %d has vertices %d and %d both colored %d", f.net, f.a, f.b, f.color)
+	}
+	return nil
+}
+
+type conflictErr struct {
+	net, a, b, color int32
+}
+
+// D2GCParallel is the multi-threaded distance-2 validity check: each
+// vertex's closed neighbourhood is scanned for duplicate colors in
+// parallel.
+func D2GCParallel(g *graph.Graph, colors []int32, threads int) error {
+	if len(colors) != g.NumVertices() {
+		return fmt.Errorf("verify: %d colors for %d vertices", len(colors), g.NumVertices())
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	maxColor := int32(-1)
+	for u, c := range colors {
+		if c < 0 {
+			return fmt.Errorf("verify: vertex %d uncolored (%d)", u, c)
+		}
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	type marker struct {
+		stamp []int32
+		owner []int32
+	}
+	marks := make([]*marker, threads)
+	for i := range marks {
+		marks[i] = &marker{
+			stamp: make([]int32, maxColor+1),
+			owner: make([]int32, maxColor+1),
+		}
+	}
+	var failure atomic.Pointer[conflictErr]
+	par.For(g.NumVertices(), par.Options{Threads: threads, Chunk: 64}, func(tid, lo, hi int) {
+		m := marks[tid]
+		for v := lo; v < hi; v++ {
+			if failure.Load() != nil {
+				return
+			}
+			tag := int32(v) + 1
+			check := func(u int32) bool {
+				c := colors[u]
+				if m.stamp[c] == tag && m.owner[c] != u {
+					failure.CompareAndSwap(nil, &conflictErr{net: int32(v), a: m.owner[c], b: u, color: c})
+					return false
+				}
+				m.stamp[c] = tag
+				m.owner[c] = u
+				return true
+			}
+			if !check(int32(v)) {
+				return
+			}
+			for _, u := range g.Nbors(int32(v)) {
+				if !check(u) {
+					return
+				}
+			}
+		}
+	})
+	if f := failure.Load(); f != nil {
+		return fmt.Errorf("verify: vertices %d and %d within distance 2 (via %d) both colored %d", f.a, f.b, f.net, f.color)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package verify checks coloring validity and computes the color-set
+// statistics reported in the paper's balancing experiments (Table VI,
+// Figure 3).
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/graph"
+)
+
+// BGPC checks that colors is a valid bipartite-graph partial coloring
+// of g: every vertex colored with a non-negative color, and no two
+// vertices of any net sharing a color. It returns nil when valid.
+func BGPC(g *bipartite.Graph, colors []int32) error {
+	if len(colors) != g.NumVertices() {
+		return fmt.Errorf("verify: %d colors for %d vertices", len(colors), g.NumVertices())
+	}
+	for u, c := range colors {
+		if c < 0 {
+			return fmt.Errorf("verify: vertex %d uncolored (%d)", u, c)
+		}
+	}
+	seen := make(map[int32]int32)
+	for v := int32(0); int(v) < g.NumNets(); v++ {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, u := range g.Vtxs(v) {
+			c := colors[u]
+			if prev, ok := seen[c]; ok && prev != u {
+				return fmt.Errorf("verify: net %d has vertices %d and %d both colored %d", v, prev, u, c)
+			}
+			seen[c] = u
+		}
+	}
+	return nil
+}
+
+// D2GC checks that colors is a valid distance-2 coloring of g: every
+// vertex colored non-negatively, distinct from all vertices within
+// distance two. It returns nil when valid.
+func D2GC(g *graph.Graph, colors []int32) error {
+	if len(colors) != g.NumVertices() {
+		return fmt.Errorf("verify: %d colors for %d vertices", len(colors), g.NumVertices())
+	}
+	for u, c := range colors {
+		if c < 0 {
+			return fmt.Errorf("verify: vertex %d uncolored (%d)", u, c)
+		}
+	}
+	// Every distance-2 pair has a middle vertex, so checking each
+	// vertex's closed neighbourhood {v} ∪ nbor(v) for duplicate colors
+	// covers both distance-1 and distance-2 conflicts.
+	seen := make(map[int32]int32)
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for k := range seen {
+			delete(seen, k)
+		}
+		seen[colors[v]] = v
+		for _, u := range g.Nbors(v) {
+			c := colors[u]
+			if prev, ok := seen[c]; ok && prev != u {
+				return fmt.Errorf("verify: vertices %d and %d within distance 2 (via %d) both colored %d", prev, u, v, c)
+			}
+			seen[c] = u
+		}
+	}
+	return nil
+}
+
+// ColorStats summarizes color-set cardinalities for the balancing
+// study.
+type ColorStats struct {
+	// NumColors is the number of non-empty color sets.
+	NumColors int
+	// MaxColor is the largest color id in use.
+	MaxColor int32
+	// Cardinalities[c] is the size of color set c, indexed by color id
+	// (may contain zeros for unused ids below MaxColor).
+	Cardinalities []int
+	// Avg and StdDev describe the non-empty color-set sizes — the
+	// paper's Table VI "average/std-dev cardinality" columns.
+	Avg    float64
+	StdDev float64
+	// MinSet and MaxSet are the smallest and largest non-empty sets.
+	MinSet, MaxSet int
+}
+
+// Stats computes color-set statistics for any coloring (BGPC or D2GC).
+func Stats(colors []int32) ColorStats {
+	var s ColorStats
+	maxCol := int32(-1)
+	for _, c := range colors {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
+	s.MaxColor = maxCol
+	if maxCol < 0 {
+		return s
+	}
+	s.Cardinalities = make([]int, maxCol+1)
+	for _, c := range colors {
+		if c >= 0 {
+			s.Cardinalities[c]++
+		}
+	}
+	var sum, sumSq float64
+	s.MinSet = math.MaxInt
+	for _, card := range s.Cardinalities {
+		if card == 0 {
+			continue
+		}
+		s.NumColors++
+		sum += float64(card)
+		sumSq += float64(card) * float64(card)
+		if card < s.MinSet {
+			s.MinSet = card
+		}
+		if card > s.MaxSet {
+			s.MaxSet = card
+		}
+	}
+	if s.NumColors == 0 {
+		s.MinSet = 0
+		return s
+	}
+	n := float64(s.NumColors)
+	s.Avg = sum / n
+	variance := sumSq/n - s.Avg*s.Avg
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	return s
+}
+
+// SortedCardinalities returns the non-empty color-set sizes in
+// non-increasing order — the series plotted in the paper's Figure 3.
+func (s ColorStats) SortedCardinalities() []int {
+	out := make([]int, 0, s.NumColors)
+	for _, card := range s.Cardinalities {
+		if card > 0 {
+			out = append(out, card)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
