@@ -43,6 +43,7 @@ import (
 	"bgpc/internal/graph"
 	"bgpc/internal/jp"
 	"bgpc/internal/mtx"
+	"bgpc/internal/obs"
 	"bgpc/internal/order"
 	"bgpc/internal/schedule"
 	"bgpc/internal/verify"
@@ -300,6 +301,51 @@ func VerifyBGPCParallel(g *Bipartite, colors []int32, threads int) error {
 func VerifyD2Parallel(g *Undirected, colors []int32, threads int) error {
 	return verify.D2GCParallel(g, colors, threads)
 }
+
+// Observability re-exports (see internal/obs): structured per-phase
+// trace events, pluggable sinks, hot-path counters, and pprof phase
+// labels.
+type (
+	// Observer emits one trace event per phase per speculative
+	// iteration and labels phase goroutines for CPU profiling. Attach
+	// it via Options.Obs; nil disables observability at ~zero cost.
+	Observer = obs.Observer
+	// TraceEvent is one structured per-phase trace record.
+	TraceEvent = obs.Event
+	// TraceSink receives trace events (JSON-lines, ring buffer, or a
+	// user implementation).
+	TraceSink = obs.Sink
+)
+
+// NewObserver returns an Observer emitting into sink (nil sink =
+// disabled observer).
+func NewObserver(sink TraceSink) *Observer { return obs.New(sink) }
+
+// NewJSONLTrace returns a sink writing one JSON object per event to w.
+func NewJSONLTrace(w io.Writer) *obs.JSONLSink { return obs.NewJSONL(w) }
+
+// NewRingTrace returns an in-memory sink retaining the last capacity
+// events.
+func NewRingTrace(capacity int) *obs.RingSink { return obs.NewRing(capacity) }
+
+// DiscardTrace returns a sink that drops every event — attach it to
+// get an enabled Observer's pprof phase labels without a trace.
+func DiscardTrace() TraceSink { return obs.Discard }
+
+// EnableMetrics switches the hot-path event counters (chunk
+// dispatches, shared-queue pushes, forbidden-array scans) on or off.
+func EnableMetrics(on bool) { obs.EnableMetrics(on) }
+
+// MetricsSnapshot returns the current counter values keyed by their
+// expvar names.
+func MetricsSnapshot() map[string]int64 { return obs.Snapshot() }
+
+// WriteMetrics writes one "name value" line per counter, sorted.
+func WriteMetrics(w io.Writer) error { return obs.WriteMetrics(w) }
+
+// PublishMetricsExpvar registers the counters with expvar so embedding
+// services expose them on /debug/vars.
+func PublishMetricsExpvar() { obs.PublishExpvar() }
 
 // NaturalOrder returns the identity vertex order.
 func NaturalOrder(n int) []int32 { return order.Natural(n) }

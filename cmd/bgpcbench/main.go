@@ -3,46 +3,114 @@
 //
 // Usage:
 //
-//	bgpcbench [-experiment all|table1|…|figure3] [-scale S]
+//	bgpcbench [-experiment all|table1|…|figure3|trajectory] [-scale S]
 //	          [-threads 2,4,8,16] [-csv]
+//	          [-trace trace.jsonl] [-metrics] [-cpuprofile cpu.out]
 //
 // With -csv the tables are emitted as CSV blocks (one per table),
 // convenient for external plotting of the figure series.
+//
+// Observability: -trace writes one JSON-lines event per phase per
+// speculative iteration of every coloring run (schema in
+// EXPERIMENTS.md), -metrics enables the hot-path event counters and
+// prints them after the run, and -cpuprofile records a CPU profile
+// whose samples carry phase/kind/iter/algo pprof labels.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"bgpc/internal/bench"
+	"bgpc/internal/obs"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all",
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bgpcbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all",
 		"experiment to run: all, "+strings.Join(bench.ExperimentNames(), ", "))
-	scale := flag.Float64("scale", 1.0,
+	scale := fs.Float64("scale", 1.0,
 		"workload scale factor (1.0 = default benchmark size, ≈1/40 of the paper's matrices)")
-	threads := flag.String("threads", "2,4,8,16", "comma-separated thread ladder")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	jsonOut := flag.Bool("json", false, "emit one JSON object per table")
-	outDir := flag.String("outdir", "", "write the complete artifact set (txt/csv/json tables + SVG figures) into this directory instead of stdout")
-	flag.Parse()
+	threads := fs.String("threads", "2,4,8,16", "comma-separated thread ladder")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per table")
+	outDir := fs.String("outdir", "", "write the complete artifact set (txt/csv/json tables + SVG figures) into this directory instead of stdout")
+	traceFile := fs.String("trace", "", "write a JSON-lines trace event per phase of every coloring run to this file")
+	metrics := fs.Bool("metrics", false, "count hot-path runtime events (chunk dispatches, queue pushes, forbidden scans) and print them after the run")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (with per-phase pprof labels) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ladder, err := parseThreads(*threads)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := bench.Config{Scale: *scale, Threads: ladder}
 
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		sink := obs.NewJSONL(bw)
+		bench.SetObserver(obs.New(sink))
+		defer func() {
+			bench.SetObserver(nil)
+			bw.Flush()
+			f.Close()
+		}()
+	}
+	if *metrics {
+		obs.EnableMetrics(true)
+		obs.PublishExpvar()
+		defer func() {
+			obs.WriteMetrics(stdout)
+			obs.EnableMetrics(false)
+		}()
+	}
+	if *cpuProfile != "" {
+		// Phase pprof labels ride on the harness observer; without
+		// -trace, attach a discarding one so the profile is still
+		// labeled.
+		if *traceFile == "" {
+			bench.SetObserver(obs.New(obs.Discard))
+			defer bench.SetObserver(nil)
+		}
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	if *outDir != "" {
 		if err := bench.WriteArtifacts(cfg, *outDir); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote all experiment artifacts to %s\n", *outDir)
-		return
+		fmt.Fprintf(stdout, "wrote all experiment artifacts to %s\n", *outDir)
+		return nil
 	}
 
 	names := bench.ExperimentNames()
@@ -52,26 +120,27 @@ func main() {
 	for _, name := range names {
 		tables, err := bench.Run(name, cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, t := range tables {
 			if *jsonOut {
-				if err := t.JSON(os.Stdout); err != nil {
-					fatal(err)
+				if err := t.JSON(stdout); err != nil {
+					return err
 				}
 				continue
 			}
 			if *csv {
-				fmt.Printf("# %s: %s\n", t.ID, t.Title)
-				if err := t.CSV(os.Stdout); err != nil {
-					fatal(err)
+				fmt.Fprintf(stdout, "# %s: %s\n", t.ID, t.Title)
+				if err := t.CSV(stdout); err != nil {
+					return err
 				}
-				fmt.Println()
-			} else if err := t.Render(os.Stdout); err != nil {
-				fatal(err)
+				fmt.Fprintln(stdout)
+			} else if err := t.Render(stdout); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
 }
 
 func parseThreads(s string) ([]int, error) {
@@ -85,9 +154,4 @@ func parseThreads(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bgpcbench:", err)
-	os.Exit(1)
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,7 +35,49 @@ func main() {
 	perIter := flag.Bool("iters", false, "print per-iteration phase breakdown")
 	recolor := flag.Int("recolor", 0, "BGPC only: run up to N iterated-greedy recoloring passes to compact the colors")
 	colorsOut := flag.String("o", "", "write the final coloring to this file (one color id per line, vertex order)")
+	traceFile := flag.String("trace", "", "write a JSON-lines trace event per phase per iteration to this file (parallel algorithms only)")
+	metrics := flag.Bool("metrics", false, "count hot-path runtime events and print them after the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (with per-phase pprof labels) to this file")
 	flag.Parse()
+
+	var observer *bgpc.Observer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		observer = bgpc.NewObserver(bgpc.NewJSONLTrace(bw)).WithAlgo(*algorithm)
+		defer func() {
+			bw.Flush()
+			f.Close()
+		}()
+	}
+	if *metrics {
+		bgpc.EnableMetrics(true)
+		defer func() {
+			fmt.Println("metrics:")
+			bgpc.WriteMetrics(os.Stdout)
+		}()
+	}
+	if *cpuProfile != "" {
+		// Phase pprof labels ride on the observer; without -trace,
+		// attach a discarding one so the profile is still labeled.
+		if observer == nil {
+			observer = bgpc.NewObserver(bgpc.DiscardTrace()).WithAlgo(*algorithm)
+		}
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	g, name, err := load(*mtxPath, *preset, *scale)
 	if err != nil {
@@ -81,6 +124,7 @@ func main() {
 			opts.Order = ord
 			opts.Balance = bal
 			opts.CollectPerIteration = *perIter
+			opts.Obs = observer
 			if k == 1 {
 				if res, err = bgpc.ColorD1(ug, opts); err != nil {
 					fatal(err)
@@ -108,6 +152,7 @@ func main() {
 			opts.Order = ord
 			opts.Balance = bal
 			opts.CollectPerIteration = *perIter
+			opts.Obs = observer
 			if res, err = bgpc.ColorD2(ug, opts); err != nil {
 				fatal(err)
 			}
@@ -127,6 +172,7 @@ func main() {
 			opts.Order = ord
 			opts.Balance = bal
 			opts.CollectPerIteration = *perIter
+			opts.Obs = observer
 			if res, err = bgpc.Color(g, opts); err != nil {
 				fatal(err)
 			}

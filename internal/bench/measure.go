@@ -3,13 +3,35 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"bgpc/internal/core"
 	"bgpc/internal/d2"
 	"bgpc/internal/graph"
+	"bgpc/internal/obs"
 	"bgpc/internal/verify"
 )
+
+// harnessObs is the observer the CLI attaches (SetObserver) so that
+// every coloring run of every experiment emits trace events without
+// threading an Observer through each experiment's call chain.
+var harnessObs atomic.Pointer[obs.Observer]
+
+// SetObserver installs (or, with nil, removes) the harness-wide
+// Observer. Each run re-labels it with the run's algorithm name.
+func SetObserver(o *obs.Observer) { harnessObs.Store(o) }
+
+// attachObs stamps the harness Observer into opts unless the caller
+// already supplied one (e.g. the trajectory table's ring sink).
+func attachObs(opts *core.Options, algo string) {
+	if opts.Obs != nil {
+		return
+	}
+	if o := harnessObs.Load(); o.Enabled() {
+		opts.Obs = o.WithAlgo(algo)
+	}
+}
 
 // Measurement is one (workload, algorithm, threads) data point.
 type Measurement struct {
@@ -59,6 +81,7 @@ func RunBGPC(w *Workload, algorithm string, threads int, ord []int32, balance co
 	opts.Order = ord
 	opts.Balance = balance
 	opts.CollectPerIteration = perIter
+	attachObs(&opts, algorithm)
 	res, err := core.Color(w.Graph, opts)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("bench: %s on %s: %w", algorithm, w.Name, err)
@@ -72,6 +95,7 @@ func RunBGPC(w *Workload, algorithm string, threads int, ord []int32, balance co
 // RunBGPCVariant is RunBGPC with full control of Options (used by the
 // Table I net-variant comparison).
 func RunBGPCVariant(w *Workload, label string, opts core.Options) (Measurement, error) {
+	attachObs(&opts, label)
 	res, err := core.Color(w.Graph, opts)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("bench: %s on %s: %w", label, w.Name, err)
@@ -98,6 +122,7 @@ func RunD2GC(g *graph.Graph, workload, algorithm string, threads int, balance co
 	opts.Threads = threads
 	opts.Balance = balance
 	opts.CollectPerIteration = perIter
+	attachObs(&opts, "d2/"+algorithm)
 	res, err := d2.Color(g, opts)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("bench: d2 %s on %s: %w", algorithm, workload, err)

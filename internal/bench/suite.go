@@ -12,6 +12,7 @@ var experimentNames = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6",
 	"figure1", "figure2", "figure3",
 	"ablation-sched", "ablation-d2balance", "ablation-netvariants", "ablation-dist", "ablation-recolor",
+	"trajectory",
 }
 
 // ExperimentNames returns the valid experiment identifiers, sorted.
@@ -58,6 +59,8 @@ func Run(name string, cfg Config) ([]*Table, error) {
 		return one(AblationDistributed(cfg))
 	case "ablation-recolor":
 		return one(AblationRecoloring(cfg))
+	case "trajectory":
+		return one(Trajectory(cfg))
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", name, strings.Join(ExperimentNames(), ", "))
 	}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+
+	"bgpc/internal/core"
+	"bgpc/internal/obs"
+	"bgpc/internal/verify"
+)
+
+// Trajectory reports, for every named algorithm, the per-iteration
+// conflict trajectory (|Wnext| after each speculative iteration, read
+// from the observability trace) plus the color count before and after
+// iterated-greedy recoloring. It is the obs-backed ablation the paper's
+// Table I/Figure 1 argument rests on: the named schedules differ almost
+// entirely in how fast the conflict count collapses in iterations 1–2.
+func Trajectory(cfg Config) (*Table, error) {
+	const iterCols = 4
+	ws, err := LoadWorkloads(cfg.scale(), []string{"copapers"})
+	if err != nil {
+		return nil, err
+	}
+	w := ws[0]
+	t := &Table{
+		ID:    "Trajectory",
+		Title: "Per-iteration conflict and recoloring trajectories (from the obs trace)",
+		Note: fmt.Sprintf("copapers, threads = %d; |Wk| = queued vertices after iteration k (trace conflict events); recolor = colors after ≤3 iterated-greedy passes",
+			cfg.maxThreads()),
+		Header: []string{"algorithm", "iters", "|W1|", "|W2|", "|W3|", "|W4|", "colors", "recolor"},
+	}
+	for _, spec := range core.NamedAlgorithms() {
+		// Two events per iteration; speculative runs converge in well
+		// under 128 iterations, so nothing is evicted.
+		ring := obs.NewRing(256)
+		opts := spec.Opts
+		opts.Threads = cfg.maxThreads()
+		opts.Obs = obs.New(ring).WithAlgo(spec.Name)
+		res, err := core.Color(w.Graph, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: trajectory %s: %w", spec.Name, err)
+		}
+		if err := verify.BGPC(w.Graph, res.Colors); err != nil {
+			return nil, fmt.Errorf("bench: trajectory %s produced an invalid coloring: %w", spec.Name, err)
+		}
+
+		row := []string{spec.Name, fmt.Sprintf("%d", res.Iterations)}
+		conflicts := conflictTrajectory(ring.Events())
+		for k := 0; k < iterCols; k++ {
+			if k < len(conflicts) {
+				row = append(row, fmt.Sprintf("%d", conflicts[k]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, fmt.Sprintf("%d", res.NumColors))
+
+		recolored, count, _, err := core.RecolorToConvergence(w.Graph, res.Colors, 3)
+		if err != nil {
+			return nil, fmt.Errorf("bench: trajectory %s recolor: %w", spec.Name, err)
+		}
+		if err := verify.BGPC(w.Graph, recolored); err != nil {
+			return nil, fmt.Errorf("bench: trajectory %s recolored coloring invalid: %w", spec.Name, err)
+		}
+		row = append(row, fmt.Sprintf("%d", count))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// conflictTrajectory extracts the remaining-conflict counts, one per
+// iteration in order, from a run's trace events.
+func conflictTrajectory(events []obs.Event) []int {
+	var out []int
+	for _, e := range events {
+		if e.Phase == obs.PhaseConflict {
+			out = append(out, e.Conflicts)
+		}
+	}
+	return out
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"bgpc/internal/obs"
 )
 
 // Balance selects one of the paper's costless balancing heuristics
@@ -109,6 +111,13 @@ type Options struct {
 	// CollectPerIteration records per-iteration statistics (needed by
 	// the Table I / Figure 1 experiments; small overhead otherwise).
 	CollectPerIteration bool
+	// Obs attaches an observability Observer: one structured trace
+	// event per phase per iteration, and pprof labels (algo, phase,
+	// kind, iter) on the phase goroutines so CPU profiles attribute
+	// samples to paper phases. nil (the default) disables observability
+	// at the cost of one pointer test per phase; the hot loops are
+	// untouched.
+	Obs *obs.Observer
 }
 
 func (o *Options) threads() int {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bgpc/internal/bipartite"
+	"bgpc/internal/obs"
 	"bgpc/internal/par"
 )
 
@@ -70,6 +71,7 @@ func colorVertexPhase(g *bipartite.Graph, W []int32, c *Colors, s *scratch, o *O
 			}
 			c.Set(w, pol.Pick(f, w))
 		}
+		obs.CountForbiddenScans(int64(hi - lo))
 		wc.AddChunk(work)
 	})
 }
@@ -149,6 +151,7 @@ func conflictNetPhase(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc 
 				}
 			}
 		}
+		obs.CountForbiddenScans(int64(hi - lo))
 		wc.AddChunk(work)
 	})
 }
@@ -216,6 +219,7 @@ func colorNetTwoPass(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *
 			}
 		}
 		s.wl[tid] = wl // keep the grown buffer
+		obs.CountForbiddenScans(int64(hi - lo))
 		wc.AddChunk(work)
 	})
 }
@@ -254,6 +258,7 @@ func colorNetV1(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkC
 				f.Add(cu)
 			}
 		}
+		obs.CountForbiddenScans(int64(hi - lo))
 		wc.AddChunk(work)
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bgpc/internal/bipartite"
+	"bgpc/internal/obs"
 	"bgpc/internal/par"
 )
 
@@ -59,6 +60,35 @@ func Color(g *bipartite.Graph, opts Options) (*Result, error) {
 	}
 	var wnext []int32 // reused buffer for the lazy merge
 
+	// The phase bodies are bound once, before the loop, so that routing
+	// them through the Observer's pprof-label wrapper costs two closure
+	// allocations per run rather than per iteration — and none of the
+	// per-vertex hot paths see the Observer at all.
+	tr := opts.Obs
+	var netColor, netCR bool
+	doColor := func() {
+		if netColor {
+			colorNetPhase(g, c, scr, &opts, wc)
+		} else {
+			colorVertexPhase(g, W, c, scr, &opts, wc)
+		}
+	}
+	doConflict := func() {
+		if netCR {
+			conflictNetPhase(g, c, scr, &opts, wc)
+			W = gatherUncolored(g, c, &opts)
+		} else if opts.LazyQueues {
+			local.Reset()
+			conflictVertexLazy(g, W, c, local, &opts, wc)
+			wnext = local.MergeInto(wnext)
+			W = append(W[:0], wnext...)
+		} else {
+			shared.Reset()
+			conflictVertexShared(g, W, c, shared, &opts, wc)
+			W = append(W[:0], shared.Items()...)
+		}
+	}
+
 	res := &Result{Iterations: 0}
 	maxIters := opts.maxIters()
 	for iter := 1; len(W) > 0; iter++ {
@@ -66,39 +96,45 @@ func Color(g *bipartite.Graph, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("core: no fixed point after %d iterations (%d vertices still queued)", maxIters, len(W))
 		}
 		res.Iterations = iter
-		netColor := iter <= opts.NetColorIters
-		netCR := iter <= opts.NetCRIters
+		netColor = iter <= opts.NetColorIters
+		netCR = iter <= opts.NetCRIters
 
 		it := IterStats{QueueLen: len(W), NetColoring: netColor, NetCR: netCR}
+		colorItems := len(W)
+		if netColor {
+			colorItems = g.NumNets()
+		}
 
 		t0 := time.Now()
-		if netColor {
-			colorNetPhase(g, c, scr, &opts, wc)
+		if tr.Enabled() {
+			tr.Phase(iter, obs.PhaseColor, PhaseKind(netColor), doColor)
 		} else {
-			colorVertexPhase(g, W, c, scr, &opts, wc)
+			doColor()
 		}
 		it.ColoringTime = time.Since(t0)
 		it.ColoringWork, it.ColoringMaxWork = wc.TotalAndMax()
+		if tr.Enabled() {
+			EmitPhaseEvent(tr, &opts, iter, obs.PhaseColor, netColor,
+				colorItems, 0, c, it.ColoringTime, it.ColoringWork, it.ColoringMaxWork)
+		}
 
-		t1 := time.Now()
+		conflictItems := len(W)
 		if netCR {
-			conflictNetPhase(g, c, scr, &opts, wc)
-			W = gatherUncolored(g, c, &opts)
+			conflictItems = g.NumNets()
+		}
+		t1 := time.Now()
+		if tr.Enabled() {
+			tr.Phase(iter, obs.PhaseConflict, PhaseKind(netCR), doConflict)
 		} else {
-			if opts.LazyQueues {
-				local.Reset()
-				conflictVertexLazy(g, W, c, local, &opts, wc)
-				wnext = local.MergeInto(wnext)
-				W = append(W[:0], wnext...)
-			} else {
-				shared.Reset()
-				conflictVertexShared(g, W, c, shared, &opts, wc)
-				W = append(W[:0], shared.Items()...)
-			}
+			doConflict()
 		}
 		it.ConflictTime = time.Since(t1)
 		it.ConflictWork, it.ConflictMaxWork = wc.TotalAndMax()
 		it.Conflicts = len(W)
+		if tr.Enabled() {
+			EmitPhaseEvent(tr, &opts, iter, obs.PhaseConflict, netCR,
+				conflictItems, it.Conflicts, c, it.ConflictTime, it.ConflictWork, it.ConflictMaxWork)
+		}
 
 		res.ColoringTime += it.ColoringTime
 		res.ConflictTime += it.ConflictTime

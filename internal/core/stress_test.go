@@ -3,7 +3,9 @@ package core
 import (
 	"testing"
 
+	"bgpc/internal/bipartite"
 	"bgpc/internal/gen"
+	"bgpc/internal/rng"
 	"bgpc/internal/verify"
 )
 
@@ -153,6 +155,67 @@ func TestWorkModelMonotoneInThreads(t *testing.T) {
 	eight, _ := Color(g, Options{Threads: 8, Chunk: 16, LazyQueues: true})
 	if eight.CriticalWork*4 > one.CriticalWork {
 		t.Fatalf("8-thread critical path %d not ≥4x below 1-thread %d", eight.CriticalWork, one.CriticalWork)
+	}
+}
+
+// TestMetamorphicVertexRelabeling: greedy first-fit coloring depends
+// only on the color *sets* seen through each net, never on vertex or
+// net identities. Relabeling both sides of the bipartite graph and
+// visiting vertices in the corresponding order must therefore
+// reproduce the original coloring exactly, vertex for vertex — and
+// every parallel schedule must stay valid on the relabeled graph.
+func TestMetamorphicVertexRelabeling(t *testing.T) {
+	g, err := gen.Preset("copapers", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := g.NumVertices(), g.NumNets()
+	ref := Sequential(g, nil)
+
+	for _, seed := range []uint64{1, 42, 0xBADC0FFEE} {
+		r := rng.New(seed)
+		permV := r.Perm(n) // original vertex u becomes permV[u]
+		permN := r.Perm(m) // original net v becomes permN[v]
+
+		edges := g.Edges()
+		relabeled := make([]bipartite.Edge, len(edges))
+		for i, e := range edges {
+			relabeled[i] = bipartite.Edge{Net: permN[e.Net], Vtx: permV[e.Vtx]}
+		}
+		pg, err := bipartite.FromEdges(m, n, relabeled)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Visit pg's vertices in the image of the natural order on g.
+		order := make([]int32, n)
+		for u := 0; u < n; u++ {
+			order[u] = permV[u]
+		}
+		got := Sequential(pg, order)
+		if got.NumColors != ref.NumColors {
+			t.Fatalf("seed %d: relabeling changed color count %d -> %d", seed, ref.NumColors, got.NumColors)
+		}
+		for u := 0; u < n; u++ {
+			if got.Colors[permV[u]] != ref.Colors[u] {
+				t.Fatalf("seed %d: vertex %d (relabeled %d): color %d, want %d",
+					seed, u, permV[u], got.Colors[permV[u]], ref.Colors[u])
+			}
+		}
+
+		// Parallel schedules give no per-vertex guarantee, but every one
+		// of them must still produce a valid partial coloring.
+		for _, spec := range NamedAlgorithms() {
+			opts := spec.Opts
+			opts.Threads = 4
+			res, err := Color(pg, opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, spec.Name, err)
+			}
+			if err := verify.BGPC(pg, res.Colors); err != nil {
+				t.Fatalf("seed %d %s on relabeled graph: %v", seed, spec.Name, err)
+			}
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"bgpc/internal/core"
 	"bgpc/internal/graph"
+	"bgpc/internal/obs"
 	"bgpc/internal/par"
 )
 
@@ -115,6 +116,34 @@ func Color(g *graph.Graph, opts Options) (*core.Result, error) {
 	}
 	var wnext []int32
 
+	// Bind the phase bodies once so the Observer's pprof-label wrapper
+	// costs two closure allocations per run, not per iteration (mirrors
+	// the BGPC runner in internal/core).
+	tr := opts.Obs
+	var netColor, netCR bool
+	doColor := func() {
+		if netColor {
+			colorNetPhase(g, c, scr, &opts, wc)
+		} else {
+			colorVertexPhase(g, W, c, scr, &opts, wc)
+		}
+	}
+	doConflict := func() {
+		if netCR {
+			conflictNetPhase(g, c, scr, &opts, wc)
+			W = gatherUncolored(g, c, &opts)
+		} else if opts.LazyQueues {
+			local.Reset()
+			conflictVertexLazy(g, W, c, local, &opts, wc)
+			wnext = local.MergeInto(wnext)
+			W = append(W[:0], wnext...)
+		} else {
+			shared.Reset()
+			conflictVertexShared(g, W, c, shared, &opts, wc)
+			W = append(W[:0], shared.Items()...)
+		}
+	}
+
 	res := &core.Result{}
 	maxIters := maxItersOf(&opts)
 	for iter := 1; len(W) > 0; iter++ {
@@ -122,38 +151,44 @@ func Color(g *graph.Graph, opts Options) (*core.Result, error) {
 			return nil, fmt.Errorf("d2: no fixed point after %d iterations (%d vertices still queued)", maxIters, len(W))
 		}
 		res.Iterations = iter
-		netColor := iter <= opts.NetColorIters
-		netCR := iter <= opts.NetCRIters
+		netColor = iter <= opts.NetColorIters
+		netCR = iter <= opts.NetCRIters
 		it := core.IterStats{QueueLen: len(W), NetColoring: netColor, NetCR: netCR}
+		colorItems := len(W)
+		if netColor {
+			colorItems = n // every vertex acts as a net in D2GC
+		}
 
 		t0 := time.Now()
-		if netColor {
-			colorNetPhase(g, c, scr, &opts, wc)
+		if tr.Enabled() {
+			tr.Phase(iter, obs.PhaseColor, core.PhaseKind(netColor), doColor)
 		} else {
-			colorVertexPhase(g, W, c, scr, &opts, wc)
+			doColor()
 		}
 		it.ColoringTime = time.Since(t0)
 		it.ColoringWork, it.ColoringMaxWork = wc.TotalAndMax()
+		if tr.Enabled() {
+			core.EmitPhaseEvent(tr, &opts, iter, obs.PhaseColor, netColor,
+				colorItems, 0, c, it.ColoringTime, it.ColoringWork, it.ColoringMaxWork)
+		}
 
-		t1 := time.Now()
+		conflictItems := len(W)
 		if netCR {
-			conflictNetPhase(g, c, scr, &opts, wc)
-			W = gatherUncolored(g, c, &opts)
+			conflictItems = n
+		}
+		t1 := time.Now()
+		if tr.Enabled() {
+			tr.Phase(iter, obs.PhaseConflict, core.PhaseKind(netCR), doConflict)
 		} else {
-			if opts.LazyQueues {
-				local.Reset()
-				conflictVertexLazy(g, W, c, local, &opts, wc)
-				wnext = local.MergeInto(wnext)
-				W = append(W[:0], wnext...)
-			} else {
-				shared.Reset()
-				conflictVertexShared(g, W, c, shared, &opts, wc)
-				W = append(W[:0], shared.Items()...)
-			}
+			doConflict()
 		}
 		it.ConflictTime = time.Since(t1)
 		it.ConflictWork, it.ConflictMaxWork = wc.TotalAndMax()
 		it.Conflicts = len(W)
+		if tr.Enabled() {
+			core.EmitPhaseEvent(tr, &opts, iter, obs.PhaseConflict, netCR,
+				conflictItems, it.Conflicts, c, it.ConflictTime, it.ConflictWork, it.ConflictMaxWork)
+		}
 
 		res.ColoringTime += it.ColoringTime
 		res.ConflictTime += it.ConflictTime

@@ -3,6 +3,7 @@ package d2
 import (
 	"bgpc/internal/core"
 	"bgpc/internal/graph"
+	"bgpc/internal/obs"
 	"bgpc/internal/par"
 )
 
@@ -71,6 +72,7 @@ func colorVertexPhase(g *graph.Graph, W []int32, c *core.Colors, s *scratch, o *
 			}
 			c.Set(w, pol.Pick(f, w))
 		}
+		obs.CountForbiddenScans(int64(hi - lo))
 		wc.AddChunk(work)
 	})
 }
@@ -184,6 +186,7 @@ func colorNetPhase(g *graph.Graph, c *core.Colors, s *scratch, o *Options, wc *c
 			}
 		}
 		s.wl[tid] = wl
+		obs.CountForbiddenScans(int64(hi - lo))
 		wc.AddChunk(work)
 	})
 }
@@ -215,6 +218,7 @@ func conflictNetPhase(g *graph.Graph, c *core.Colors, s *scratch, o *Options, wc
 				}
 			}
 		}
+		obs.CountForbiddenScans(int64(hi - lo))
 		wc.AddChunk(work)
 	})
 }

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a cache-line-padded atomic event counter. The padding
+// keeps independent hot counters off each other's cache lines so that
+// enabling metrics does not create false sharing between phases.
+type Counter struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// The global hot-path counters. They are only bumped while metrics are
+// enabled (EnableMetrics), so the default cost on every hot path is a
+// single atomic flag load.
+var (
+	// ChunkDispatches counts dynamic/guided schedule chunk hand-outs —
+	// each one is a contended atomic RMW on the loop counter.
+	ChunkDispatches Counter
+	// SharedQueuePushes counts pushes into the shared conflict queue
+	// (the contention source the paper's lazy "D" variant removes).
+	SharedQueuePushes Counter
+	// ForbiddenScans counts forbidden-array epochs — one per vertex or
+	// net whose neighbourhood was scanned into a forbidden set.
+	ForbiddenScans Counter
+	// TraceEvents counts events emitted through any Observer.
+	TraceEvents Counter
+)
+
+var metricsOn atomic.Bool
+
+// EnableMetrics switches hot-path counting on or off (default off).
+func EnableMetrics(on bool) { metricsOn.Store(on) }
+
+// MetricsEnabled reports whether hot-path counting is on.
+func MetricsEnabled() bool { return metricsOn.Load() }
+
+// CountDispatch records one chunk dispatch when metrics are on. It is
+// called on the runtime's chunk-grab path; keep it branch-and-return.
+func CountDispatch() {
+	if metricsOn.Load() {
+		ChunkDispatches.Inc()
+	}
+}
+
+// CountQueuePush records one shared-queue push when metrics are on.
+func CountQueuePush() {
+	if metricsOn.Load() {
+		SharedQueuePushes.Inc()
+	}
+}
+
+// CountForbiddenScans records n forbidden-array scans when metrics are
+// on. Phases batch this per chunk so the per-vertex path stays free.
+func CountForbiddenScans(n int64) {
+	if metricsOn.Load() {
+		ForbiddenScans.Add(n)
+	}
+}
+
+func countTraceEvent() {
+	if metricsOn.Load() {
+		TraceEvents.Inc()
+	}
+}
+
+// counterNames maps the expvar/dump names to the counters, in one
+// place so Snapshot, WriteMetrics and PublishExpvar cannot drift.
+var counterNames = map[string]*Counter{
+	"bgpc.chunk_dispatches":    &ChunkDispatches,
+	"bgpc.shared_queue_pushes": &SharedQueuePushes,
+	"bgpc.forbidden_scans":     &ForbiddenScans,
+	"bgpc.trace_events":        &TraceEvents,
+}
+
+// Snapshot returns the current value of every counter keyed by its
+// expvar name.
+func Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(counterNames))
+	for name, c := range counterNames {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// ResetMetrics zeroes all counters (tests and per-run CLI reporting).
+func ResetMetrics() {
+	for _, c := range counterNames {
+		c.Reset()
+	}
+}
+
+// WriteMetrics writes a stable "name value" line per counter, sorted
+// by name — the CLI's -metrics report.
+func WriteMetrics(w io.Writer) error {
+	names := make([]string, 0, len(counterNames))
+	for name := range counterNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, counterNames[name].Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar registers every counter with the expvar registry
+// (under its Snapshot name), so processes embedding the library expose
+// them on /debug/vars. Safe to call multiple times.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		for name, c := range counterNames {
+			c := c
+			expvar.Publish(name, expvar.Func(func() any { return c.Load() }))
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func sampleEvent() Event {
+	return Event{
+		Algo: "N1-N2", Iter: 1, Phase: PhaseColor, Kind: KindNet,
+		Sched: "dynamic", Chunk: 64, Threads: 4,
+		Items: 100, Conflicts: 0, Colors: 7,
+		WallNS: 1234, Work: 500, MaxWork: 130,
+	}
+}
+
+func TestJSONLSinkEncodesSchema(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(sampleEvent())
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, line)
+	}
+	want := []string{
+		"algo", "chunk", "colors", "conflicts", "items", "iter",
+		"kind", "max_work", "phase", "sched", "threads", "wall_ns", "work",
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("schema drift:\n got  %v\n want %v", got, want)
+	}
+}
+
+func TestObserverStampsAlgo(t *testing.T) {
+	r := NewRing(4)
+	o := New(r).WithAlgo("V-V-64")
+	e := sampleEvent()
+	e.Algo = ""
+	o.Emit(e)
+	explicit := sampleEvent() // carries its own algo label
+	o.Emit(explicit)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Algo != "V-V-64" {
+		t.Fatalf("empty algo not stamped: %q", evs[0].Algo)
+	}
+	if evs[1].Algo != "N1-N2" {
+		t.Fatalf("explicit algo overwritten: %q", evs[1].Algo)
+	}
+}
+
+func TestRingSinkEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		e := sampleEvent()
+		e.Iter = i
+		r.Emit(e)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if evs[i].Iter != want {
+			t.Fatalf("event %d: iter %d, want %d (order broken)", i, evs[i].Iter, want)
+		}
+	}
+	r.Reset()
+	if r.Total() != 0 || len(r.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestNilObserverIsSafeNoop(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer enabled")
+	}
+	o.Emit(sampleEvent()) // must not panic
+	if o.WithAlgo("x") != nil {
+		t.Fatal("WithAlgo on nil must stay nil")
+	}
+	if o.Algo() != "" {
+		t.Fatal("nil Algo not empty")
+	}
+	ran := false
+	o.Phase(1, PhaseColor, KindNet, func() { ran = true })
+	if !ran {
+		t.Fatal("Phase did not call fn on nil observer")
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil) must return a nil observer")
+	}
+}
+
+func TestEnabledObserverPhaseRunsFn(t *testing.T) {
+	o := New(NewRing(1))
+	ran := false
+	o.Phase(2, PhaseConflict, KindVertex, func() { ran = true })
+	if !ran {
+		t.Fatal("Phase did not call fn")
+	}
+}
+
+// TestNopHotPathZeroAllocs is the acceptance-criteria allocation test:
+// with no observer attached and metrics off, every per-event hook on
+// the hot path must allocate nothing.
+func TestNopHotPathZeroAllocs(t *testing.T) {
+	EnableMetrics(false)
+	var o *Observer
+	ev := sampleEvent()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if o.Enabled() {
+			o.Emit(ev)
+		}
+		CountDispatch()
+		CountQueuePush()
+		CountForbiddenScans(64)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability allocated %.1f per run", allocs)
+	}
+}
+
+// TestEnabledCountersZeroAllocs: even with metrics on, counting must
+// not allocate — it is on the chunk-dispatch path.
+func TestEnabledCountersZeroAllocs(t *testing.T) {
+	EnableMetrics(true)
+	defer func() {
+		EnableMetrics(false)
+		ResetMetrics()
+	}()
+	allocs := testing.AllocsPerRun(1000, func() {
+		CountDispatch()
+		CountQueuePush()
+		CountForbiddenScans(64)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled counters allocated %.1f per run", allocs)
+	}
+}
+
+func TestCountersGatedByEnableMetrics(t *testing.T) {
+	ResetMetrics()
+	EnableMetrics(false)
+	CountDispatch()
+	CountQueuePush()
+	CountForbiddenScans(10)
+	for name, v := range Snapshot() {
+		if v != 0 {
+			t.Fatalf("%s counted %d while disabled", name, v)
+		}
+	}
+	EnableMetrics(true)
+	defer func() {
+		EnableMetrics(false)
+		ResetMetrics()
+	}()
+	CountDispatch()
+	CountDispatch()
+	CountQueuePush()
+	CountForbiddenScans(10)
+	snap := Snapshot()
+	if snap["bgpc.chunk_dispatches"] != 2 {
+		t.Fatalf("dispatches = %d", snap["bgpc.chunk_dispatches"])
+	}
+	if snap["bgpc.shared_queue_pushes"] != 1 {
+		t.Fatalf("pushes = %d", snap["bgpc.shared_queue_pushes"])
+	}
+	if snap["bgpc.forbidden_scans"] != 10 {
+		t.Fatalf("scans = %d", snap["bgpc.forbidden_scans"])
+	}
+}
+
+func TestWriteMetricsStableFormat(t *testing.T) {
+	ResetMetrics()
+	EnableMetrics(true)
+	CountDispatch()
+	EnableMetrics(false)
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(Snapshot()) {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("lines not sorted: %q", lines)
+	}
+	if lines[0] != "bgpc.chunk_dispatches 1" {
+		t.Fatalf("unexpected first line %q", lines[0])
+	}
+	ResetMetrics()
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	PublishExpvar()
+	PublishExpvar() // second call must not panic on re-registration
+}

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bgpc/internal/obs"
 )
 
 // Schedule selects how loop iterations are handed to threads.
@@ -117,6 +119,7 @@ func dynamicFor(n, threads, chunk int, body func(tid, lo, hi int)) {
 				if lo >= n {
 					return
 				}
+				obs.CountDispatch()
 				hi := lo + chunk
 				if hi > n {
 					hi = n
@@ -154,6 +157,7 @@ func guidedFor(n, threads, minChunk int, body func(tid, lo, hi int)) {
 				if !next.CompareAndSwap(int64(lo), int64(hi)) {
 					continue
 				}
+				obs.CountDispatch()
 				body(tid, lo, hi)
 			}
 		}(tid)

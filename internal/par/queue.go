@@ -1,6 +1,10 @@
 package par
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"bgpc/internal/obs"
+)
 
 // SharedQueue is a fixed-capacity concurrent append-only queue of
 // vertex ids. It models ColPack's conflict-removal behaviour where a
@@ -28,6 +32,7 @@ func (q *SharedQueue) Push(v int32) {
 	if int(i) >= len(q.buf) {
 		panic("par: SharedQueue overflow")
 	}
+	obs.CountQueuePush()
 	q.buf[i] = v
 }
 

@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/core"
+	"bgpc/internal/gen"
+)
+
+// mapBGPC is the previous map-per-net implementation of BGPC, kept
+// here as the reference the mark-array rewrite is benchmarked and
+// cross-checked against.
+func mapBGPC(g *bipartite.Graph, colors []int32) error {
+	if len(colors) != g.NumVertices() {
+		return fmt.Errorf("verify: %d colors for %d vertices", len(colors), g.NumVertices())
+	}
+	for u, c := range colors {
+		if c < 0 {
+			return fmt.Errorf("verify: vertex %d uncolored (%d)", u, c)
+		}
+	}
+	seen := make(map[int32]int32)
+	for v := int32(0); int(v) < g.NumNets(); v++ {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, u := range g.Vtxs(v) {
+			c := colors[u]
+			if w, dup := seen[c]; dup && w != u {
+				return fmt.Errorf("verify: net %d has vertices %d and %d both colored %d", v, w, u, c)
+			}
+			seen[c] = u
+		}
+	}
+	return nil
+}
+
+// TestBGPCMatchesMapReference: the mark-array implementation must
+// agree with the map-based reference on valid colorings and on every
+// single-vertex corruption.
+func TestBGPCMatchesMapReference(t *testing.T) {
+	g, err := gen.Preset("copapers", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := core.Sequential(g, nil).Colors
+	if err := BGPC(g, colors); err != nil {
+		t.Fatalf("mark-array rejected a valid coloring: %v", err)
+	}
+	if err := mapBGPC(g, colors); err != nil {
+		t.Fatalf("map reference rejected a valid coloring: %v", err)
+	}
+	// Corrupt vertices one at a time; both implementations must agree
+	// on accept/reject for each corruption.
+	for u := 0; u < len(colors); u += 97 {
+		for _, bad := range []int32{0, 1, colors[u] + 1} {
+			orig := colors[u]
+			colors[u] = bad
+			a, b := BGPC(g, colors), mapBGPC(g, colors)
+			if (a == nil) != (b == nil) {
+				t.Fatalf("vertex %d -> color %d: mark-array says %v, map says %v", u, bad, a, b)
+			}
+			colors[u] = orig
+		}
+	}
+}
+
+// BenchmarkBGPCCheck compares the mark-array validity check against
+// the old map-per-net reference on a real coloring — the win that
+// motivated the rewrite (map clearing dominated verification time).
+func BenchmarkBGPCCheck(b *testing.B) {
+	g, err := gen.Preset("copapers", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	colors := core.Sequential(g, nil).Colors
+	b.Run("mark", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := BGPC(g, colors); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := mapBGPC(g, colors); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
