@@ -30,6 +30,7 @@
 package bgpc
 
 import (
+	"context"
 	"io"
 
 	"bgpc/internal/bipartite"
@@ -127,6 +128,53 @@ func UndirectedFromBipartite(b *Bipartite) (*Undirected, error) {
 // Color runs the parallel BGPC algorithm configured by opts on g.
 func Color(g *Bipartite, opts Options) (*Result, error) {
 	return core.Color(g, opts)
+}
+
+// ErrCanceled is the sentinel matched by errors.Is when a context-
+// aware coloring run is cut short; the concrete error is a
+// *CancelError with partial-progress statistics.
+var ErrCanceled = core.ErrCanceled
+
+// CancelError reports a canceled or deadline-expired coloring run.
+type CancelError = core.CancelError
+
+// ColorContext is Color with cooperative cancellation: the parallel
+// loops poll ctx at chunk-dispatch granularity, and on cancellation the
+// call returns the best valid partial coloring (repaired sequentially;
+// remaining vertices Uncolored) together with a *CancelError.
+func ColorContext(ctx context.Context, g *Bipartite, opts Options) (*Result, error) {
+	return core.ColorCtx(ctx, g, opts)
+}
+
+// ColorD2Context is ColorD2 with cooperative cancellation (see
+// ColorContext).
+func ColorD2Context(ctx context.Context, g *Undirected, opts Options) (*Result, error) {
+	return d2.ColorCtx(ctx, g, opts)
+}
+
+// FinishSequential completes a valid partial BGPC coloring in place
+// with the sequential greedy and returns how many vertices it colored
+// — the graceful-degradation path for deadline-expired runs.
+func FinishSequential(g *Bipartite, colors []int32) int {
+	return core.FinishSequential(g, colors)
+}
+
+// FinishSequentialD2 completes a valid partial distance-2 coloring in
+// place (see FinishSequential).
+func FinishSequentialD2(g *Undirected, colors []int32) int {
+	return d2.FinishSequential(g, colors)
+}
+
+// VerifyBGPCPartial returns nil iff colors is a valid partial BGPC
+// state: Uncolored entries allowed, colored net-mates distinct.
+func VerifyBGPCPartial(g *Bipartite, colors []int32) error {
+	return verify.BGPCPartial(g, colors)
+}
+
+// VerifyD2Partial returns nil iff colors is a valid partial distance-2
+// state.
+func VerifyD2Partial(g *Undirected, colors []int32) error {
+	return verify.D2GCPartial(g, colors)
 }
 
 // Sequential runs the single-threaded greedy BGPC baseline in the given

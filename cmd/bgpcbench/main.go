@@ -26,6 +26,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"bgpc/internal/bench"
 	"bgpc/internal/obs"
@@ -48,6 +49,9 @@ func run(args []string, stdout io.Writer) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per table")
 	outDir := fs.String("outdir", "", "write the complete artifact set (txt/csv/json tables + SVG figures) into this directory instead of stdout")
+	benchJSON := fs.String("benchjson", "", "run the named-variant benchmark sweep and write a machine-readable artifact (variant → ns/op, colors, conflicts) to this file")
+	benchReps := fs.Int("benchreps", 3, "repetitions per -benchjson cell (minimum wall time wins)")
+	timeout := fs.Duration("timeout", 0, "abort the whole invocation if it runs longer than this")
 	traceFile := fs.String("trace", "", "write a JSON-lines trace event per phase of every coloring run to this file")
 	metrics := fs.Bool("metrics", false, "count hot-path runtime events (chunk dispatches, queue pushes, forbidden scans) and print them after the run")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (with per-phase pprof labels) to this file")
@@ -105,42 +109,75 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
-	if *outDir != "" {
-		if err := bench.WriteArtifacts(cfg, *outDir); err != nil {
-			return err
+	work := func() error {
+		if *benchJSON != "" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteBenchJSON(cfg, *benchReps, f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote benchmark artifact to %s\n", *benchJSON)
+			return nil
 		}
-		fmt.Fprintf(stdout, "wrote all experiment artifacts to %s\n", *outDir)
+		if *outDir != "" {
+			if err := bench.WriteArtifacts(cfg, *outDir); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote all experiment artifacts to %s\n", *outDir)
+			return nil
+		}
+
+		names := bench.ExperimentNames()
+		if *experiment != "all" {
+			names = []string{*experiment}
+		}
+		for _, name := range names {
+			tables, err := bench.Run(name, cfg)
+			if err != nil {
+				return err
+			}
+			for _, t := range tables {
+				if *jsonOut {
+					if err := t.JSON(stdout); err != nil {
+						return err
+					}
+					continue
+				}
+				if *csv {
+					fmt.Fprintf(stdout, "# %s: %s\n", t.ID, t.Title)
+					if err := t.CSV(stdout); err != nil {
+						return err
+					}
+					fmt.Fprintln(stdout)
+				} else if err := t.Render(stdout); err != nil {
+					return err
+				}
+			}
+		}
 		return nil
 	}
 
-	names := bench.ExperimentNames()
-	if *experiment != "all" {
-		names = []string{*experiment}
+	if *timeout <= 0 {
+		return work()
 	}
-	for _, name := range names {
-		tables, err := bench.Run(name, cfg)
-		if err != nil {
-			return err
-		}
-		for _, t := range tables {
-			if *jsonOut {
-				if err := t.JSON(stdout); err != nil {
-					return err
-				}
-				continue
-			}
-			if *csv {
-				fmt.Fprintf(stdout, "# %s: %s\n", t.ID, t.Title)
-				if err := t.CSV(stdout); err != nil {
-					return err
-				}
-				fmt.Fprintln(stdout)
-			} else if err := t.Render(stdout); err != nil {
-				return err
-			}
-		}
+	// A best-effort whole-invocation deadline: the experiments have no
+	// cancellation points of their own (they must measure undisturbed),
+	// so on expiry we abandon the worker goroutine and exit nonzero —
+	// the process is about to die anyway.
+	done := make(chan error, 1)
+	go func() { done <- work() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(*timeout):
+		return fmt.Errorf("timed out after %s", *timeout)
 	}
-	return nil
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -1,0 +1,132 @@
+// Command bgpcd is the coloring daemon: it serves BGPC and D2GC jobs
+// over an HTTP/JSON API on a bounded worker pool with admission
+// control, per-request deadlines, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	bgpcd [-addr :8972] [-workers N] [-queue N]
+//	      [-timeout 30s] [-max-timeout 2m] [-cache 64] [-max-threads N]
+//	      [-trace trace.jsonl] [-metrics]
+//
+// API (see internal/service for the full request/response schema):
+//
+//	POST /color    run a job; 200 on success (possibly degraded),
+//	               400 malformed, 429 queue full or deadline expired
+//	               while queued, 503 draining
+//	GET  /healthz  liveness
+//	GET  /statsz   queue depth, active jobs, cache size, counters
+//	GET  /debug/vars (with -metrics) expvar counters and pool gauges
+//
+// On SIGTERM/SIGINT the daemon stops accepting connections, lets
+// admitted jobs finish (bounded by -drain-grace), then exits.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bgpc/internal/obs"
+	"bgpc/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpcd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is canceled (signal) and
+// the drain completes. It prints the bound address as its first output
+// line so callers using an ephemeral port (":0") can find it.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bgpcd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8972", "listen address (use :0 for an ephemeral port)")
+	workers := fs.Int("workers", 0, "concurrent coloring jobs (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "bounded queue depth beyond running jobs (0 = 2×workers)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline when the request sets none")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "upper bound on any requested deadline")
+	cache := fs.Int("cache", 64, "content-hash graph cache entries (negative disables)")
+	maxThreads := fs.Int("max-threads", 0, "cap on per-job threads a client may request (0 = GOMAXPROCS)")
+	drainGrace := fs.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	traceFile := fs.String("trace", "", "write a JSON-lines trace event per phase of every job to this file")
+	metrics := fs.Bool("metrics", false, "enable hot-path counters and expose /debug/vars")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cache,
+		MaxThreads:     *maxThreads,
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		cfg.Obs = obs.New(obs.NewJSONL(bw))
+		defer func() {
+			bw.Flush()
+			f.Close()
+		}()
+	}
+
+	srv := service.New(cfg)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	if *metrics {
+		obs.EnableMetrics(true)
+		defer obs.EnableMetrics(false)
+		service.PublishExpvar(srv)
+		mux.Handle("GET /debug/vars", expvar.Handler())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "bgpcd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, let in-flight HTTP
+	// requests and admitted pool jobs finish within the grace window.
+	fmt.Fprintf(stdout, "bgpcd: draining (grace %s)\n", *drainGrace)
+	grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(grace)
+	if err := srv.Drain(grace); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
+	}
+	fmt.Fprintln(stdout, "bgpcd: drained, exiting")
+	return nil
+}

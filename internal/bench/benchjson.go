@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"bgpc/internal/core"
+)
+
+// BenchRecord is one (variant, workload) benchmark data point in the
+// machine-readable bench artifact.
+type BenchRecord struct {
+	Variant   string `json:"variant"`
+	Workload  string `json:"workload"`
+	Threads   int    `json:"threads"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	Colors    int    `json:"colors"`
+	Conflicts int    `json:"conflicts"`
+	Iters     int    `json:"iters"`
+}
+
+// BenchSummary aggregates a variant across all workloads.
+type BenchSummary struct {
+	NsPerOp   int64 `json:"ns_per_op"` // summed wall time per full sweep
+	Colors    int   `json:"colors"`    // summed color counts
+	Conflicts int   `json:"conflicts"` // summed conflicts across iterations
+}
+
+// BenchArtifact is the schema of the CI benchmark artifact
+// (BENCH_pr<N>.json): per-(variant, workload) records plus a
+// per-variant aggregate keyed by the paper's algorithm names, so a
+// regression checker can diff runs without parsing tables.
+type BenchArtifact struct {
+	Schema   string                  `json:"schema"` // "bgpc-bench/v1"
+	Scale    float64                 `json:"scale"`
+	Threads  int                     `json:"threads"`
+	Reps     int                     `json:"reps"`
+	Records  []BenchRecord           `json:"records"`
+	Variants map[string]BenchSummary `json:"variants"`
+}
+
+// WriteBenchJSON runs every named BGPC variant on every preset at
+// cfg.Scale with the last rung of cfg.Threads, keeping the
+// minimum-wall-time of reps repetitions per cell (standard benchmark
+// practice: the minimum is the least noisy estimator on a shared
+// machine), and writes the artifact as indented JSON.
+func WriteBenchJSON(cfg Config, reps int, w io.Writer) error {
+	if reps < 1 {
+		reps = 3
+	}
+	threads := cfg.maxThreads()
+	workloads, err := LoadWorkloads(cfg.scale(), nil)
+	if err != nil {
+		return err
+	}
+
+	art := BenchArtifact{
+		Schema:   "bgpc-bench/v1",
+		Scale:    cfg.scale(),
+		Threads:  threads,
+		Reps:     reps,
+		Variants: map[string]BenchSummary{},
+	}
+	for _, spec := range core.NamedAlgorithms() {
+		sum := BenchSummary{}
+		for _, wl := range workloads {
+			var best Measurement
+			for r := 0; r < reps; r++ {
+				m, err := RunBGPC(wl, spec.Name, threads, nil, 0, true)
+				if err != nil {
+					return err
+				}
+				if r == 0 || m.Wall < best.Wall {
+					best = m
+				}
+			}
+			conflicts := 0
+			for _, it := range best.Iters {
+				conflicts += it.Conflicts
+			}
+			art.Records = append(art.Records, BenchRecord{
+				Variant:   spec.Name,
+				Workload:  wl.Name,
+				Threads:   threads,
+				NsPerOp:   best.Wall.Nanoseconds(),
+				Colors:    best.NumColors,
+				Conflicts: conflicts,
+				Iters:     best.Iterations,
+			})
+			sum.NsPerOp += best.Wall.Nanoseconds()
+			sum.Colors += best.NumColors
+			sum.Conflicts += conflicts
+		}
+		art.Variants[spec.Name] = sum
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(art)
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bgpc/internal/core"
+)
+
+func TestWriteBenchJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Scale: 0.02, Threads: []int{2}}
+	if err := WriteBenchJSON(cfg, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var art BenchArtifact
+	if err := json.Unmarshal(buf.Bytes(), &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != "bgpc-bench/v1" {
+		t.Fatalf("schema = %q", art.Schema)
+	}
+	if art.Threads != 2 || art.Reps != 1 {
+		t.Fatalf("threads=%d reps=%d", art.Threads, art.Reps)
+	}
+	specs := core.NamedAlgorithms()
+	if len(art.Variants) != len(specs) {
+		t.Fatalf("%d variants, want %d", len(art.Variants), len(specs))
+	}
+	for _, s := range specs {
+		sum, ok := art.Variants[s.Name]
+		if !ok {
+			t.Fatalf("variant %s missing", s.Name)
+		}
+		if sum.NsPerOp <= 0 || sum.Colors <= 0 {
+			t.Fatalf("%s: non-positive aggregate %+v", s.Name, sum)
+		}
+	}
+	// 8 variants × 8 presets.
+	if want := len(specs) * 8; len(art.Records) != want {
+		t.Fatalf("%d records, want %d", len(art.Records), want)
+	}
+	for _, r := range art.Records {
+		if r.NsPerOp <= 0 || r.Colors <= 0 || r.Iters < 1 {
+			t.Fatalf("bad record %+v", r)
+		}
+	}
+}

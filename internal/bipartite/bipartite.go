@@ -16,6 +16,7 @@ package bipartite
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 )
@@ -282,6 +283,32 @@ func (g *Graph) Edges() []Edge {
 		}
 	}
 	return out
+}
+
+// Fingerprint returns a 64-bit FNV-1a content hash over the graph's
+// dimensions and net-major CSR arrays. Because construction sorts and
+// deduplicates adjacency, two graphs built from the same incidence set
+// — whatever the input order or duplication — fingerprint identically,
+// which makes it a usable identity for content-addressed caches (see
+// internal/service). It is not cryptographic.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v int64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(int64(g.numNet))
+	put(int64(g.numVtx))
+	for _, p := range g.netPtr {
+		put(p)
+	}
+	for _, u := range g.netAdj {
+		put(int64(u))
+	}
+	return h.Sum64()
 }
 
 // Transpose returns the graph with roles swapped: former nets become

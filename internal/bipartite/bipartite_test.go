@@ -368,3 +368,37 @@ func TestTranspose(t *testing.T) {
 		}
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	g1, err := FromNetLists(4, [][]int32{{0, 1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same incidence structure, different entry order and duplicates:
+	// construction sorts and dedupes, so the fingerprint must match.
+	g2, err := FromEdges(2, 4, []Edge{
+		{Net: 1, Vtx: 3}, {Net: 0, Vtx: 2}, {Net: 0, Vtx: 0},
+		{Net: 1, Vtx: 2}, {Net: 0, Vtx: 1}, {Net: 0, Vtx: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatalf("equal graphs, fingerprints %x vs %x", g1.Fingerprint(), g2.Fingerprint())
+	}
+	// Any structural change must move the fingerprint.
+	g3, err := FromNetLists(4, [][]int32{{0, 1, 2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := FromNetLists(5, [][]int32{{0, 1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Fingerprint() == g3.Fingerprint() {
+		t.Fatal("different adjacency, same fingerprint")
+	}
+	if g1.Fingerprint() == g4.Fingerprint() {
+		t.Fatal("different vertex count, same fingerprint")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bgpc/internal/bipartite"
+)
+
+// ErrCanceled is the sentinel matched by errors.Is when a coloring run
+// is stopped by its context before reaching a fixed point. The
+// concrete error returned is a *CancelError carrying partial-progress
+// statistics; the accompanying Result holds the best valid partial
+// state the runner could produce (see ColorCtx).
+var ErrCanceled = errors.New("coloring canceled")
+
+// CancelError reports a coloring run cut short by context
+// cancellation or deadline expiry. It unwraps to both ErrCanceled and
+// the context's cause (context.Canceled or context.DeadlineExceeded).
+type CancelError struct {
+	// Cause is ctx.Err() at the moment the runner observed
+	// cancellation.
+	Cause error
+	// Iteration is the speculative iteration that was in flight
+	// (1-based; 0 when canceled before the first iteration started).
+	Iteration int
+	// Colored and Uncolored count vertices in the repaired partial
+	// state returned alongside this error.
+	Colored   int
+	Uncolored int
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("%v during iteration %d (%d vertices colored, %d not): %v",
+		ErrCanceled, e.Iteration, e.Colored, e.Uncolored, e.Cause)
+}
+
+// Unwrap exposes both the sentinel and the context cause so callers
+// can match either errors.Is(err, ErrCanceled) or
+// errors.Is(err, context.DeadlineExceeded).
+func (e *CancelError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
+
+// repairBGPC makes an interrupted speculative state valid by running
+// conflict removal sequentially over the already-colored prefix: each
+// net keeps the first occurrence of every color (the smallest vertex
+// id, since net adjacency is sorted) and uncolors later duplicates.
+// Uncoloring only removes conflicts and never re-creates one, so a
+// single pass leaves the colored subset conflict-free. Returns the
+// number of colored vertices after repair.
+//
+// This is the graceful-degradation half of the paper's speculate-and-
+// iterate contract: the speculative phases may leave any interleaving
+// of conflicting colors behind when cut off mid-flight, and the repair
+// recovers the maximal consistent prefix in one cheap O(nnz) sweep.
+func repairBGPC(g *bipartite.Graph, colors []int32) (colored int) {
+	maxColor := int32(-1)
+	for _, c := range colors {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	if maxColor >= 0 {
+		stamp := make([]int32, maxColor+1)
+		for v := int32(0); int(v) < g.NumNets(); v++ {
+			tag := v + 1
+			for _, u := range g.Vtxs(v) {
+				c := colors[u]
+				if c < 0 {
+					continue
+				}
+				if stamp[c] == tag {
+					colors[u] = Uncolored
+				} else {
+					stamp[c] = tag
+				}
+			}
+		}
+	}
+	for _, c := range colors {
+		if c >= 0 {
+			colored++
+		}
+	}
+	return colored
+}
+
+// FinishSequential completes a valid partial BGPC coloring in place:
+// every Uncolored vertex is colored by the sequential greedy first-fit
+// against its (already valid) distance-2 neighbourhood, in ascending
+// id order. It returns the number of vertices it colored. The input
+// must be conflict-free on its colored subset (e.g. the repaired state
+// a canceled ColorCtx returns); the output is then a complete valid
+// coloring.
+func FinishSequential(g *bipartite.Graph, colors []int32) int {
+	f := NewForbidden(g.MaxColorUpperBound() + 1)
+	finished := 0
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		if colors[u] != Uncolored {
+			continue
+		}
+		f.Reset()
+		for _, v := range g.Nets(u) {
+			for _, w := range g.Vtxs(v) {
+				if w != u && colors[w] != Uncolored {
+					f.Add(colors[w])
+				}
+			}
+		}
+		colors[u] = FirstFit(f)
+		finished++
+	}
+	return finished
+}
+
+// cancelResult packages the partial state of an interrupted run: it
+// repairs the colors sequentially, fills the Result's color statistics
+// over the surviving prefix, and builds the typed error.
+func cancelResult(g *bipartite.Graph, c *Colors, res *Result, cause error) (*Result, error) {
+	colored := repairBGPC(g, c.Raw())
+	res.Colors = c.Raw()
+	res.countColors()
+	return res, &CancelError{
+		Cause:     cause,
+		Iteration: res.Iterations,
+		Colored:   colored,
+		Uncolored: g.NumVertices() - colored,
+	}
+}

@@ -36,21 +36,21 @@ func (s *scratch) resetPolicies(balance Balance) {
 	}
 }
 
-func (o *Options) parOpts() par.Options {
+func (o *Options) parOpts(cn *par.Canceler) par.Options {
 	sched := par.Dynamic
 	if o.Guided {
 		sched = par.Guided
 	}
-	return par.Options{Threads: o.threads(), Chunk: o.chunk(), Schedule: sched}
+	return par.Options{Threads: o.threads(), Chunk: o.chunk(), Schedule: sched, Cancel: cn}
 }
 
 // colorVertexPhase is BGPC-COLORWORKQUEUE-VERTEX (Algorithm 4) with the
 // balancing policies of Algorithms 11/12: each vertex of W scans its
 // distance-2 neighbourhood through its nets, builds a private forbidden
 // set, and picks a color.
-func colorVertexPhase(g *bipartite.Graph, W []int32, c *Colors, s *scratch, o *Options, wc *WorkCounters) {
+func colorVertexPhase(g *bipartite.Graph, W []int32, c *Colors, s *scratch, o *Options, wc *WorkCounters, cn *par.Canceler) {
 	s.resetPolicies(o.Balance)
-	par.For(len(W), o.parOpts(), func(tid, lo, hi int) {
+	par.For(len(W), o.parOpts(cn), func(tid, lo, hi int) {
 		f := s.forb[tid]
 		pol := &s.pol[tid]
 		work := int64(DispatchCostUnits) * int64(o.threads())
@@ -78,8 +78,8 @@ func colorVertexPhase(g *bipartite.Graph, W []int32, c *Colors, s *scratch, o *O
 
 // conflictVertexShared is BGPC-REMOVECONFLICTS-VERTEX (Algorithm 5)
 // with ColPack's immediate shared next-iteration queue (V-V, V-V-64).
-func conflictVertexShared(g *bipartite.Graph, W []int32, c *Colors, q *par.SharedQueue, o *Options, wc *WorkCounters) {
-	par.For(len(W), o.parOpts(), func(tid, lo, hi int) {
+func conflictVertexShared(g *bipartite.Graph, W []int32, c *Colors, q *par.SharedQueue, o *Options, wc *WorkCounters, cn *par.Canceler) {
+	par.For(len(W), o.parOpts(cn), func(tid, lo, hi int) {
 		work := int64(DispatchCostUnits) * int64(o.threads())
 		for i := lo; i < hi; i++ {
 			w := W[i]
@@ -94,8 +94,8 @@ func conflictVertexShared(g *bipartite.Graph, W []int32, c *Colors, q *par.Share
 
 // conflictVertexLazy is the same detection with per-thread queues
 // merged at the barrier (the lazy "D" construction of V-V-64D).
-func conflictVertexLazy(g *bipartite.Graph, W []int32, c *Colors, l *par.LocalQueues, o *Options, wc *WorkCounters) {
-	par.For(len(W), o.parOpts(), func(tid, lo, hi int) {
+func conflictVertexLazy(g *bipartite.Graph, W []int32, c *Colors, l *par.LocalQueues, o *Options, wc *WorkCounters, cn *par.Canceler) {
+	par.For(len(W), o.parOpts(cn), func(tid, lo, hi int) {
 		work := int64(DispatchCostUnits) * int64(o.threads())
 		for i := lo; i < hi; i++ {
 			w := W[i]
@@ -131,8 +131,8 @@ func vertexConflicts(g *bipartite.Graph, w int32, c *Colors, work *int64) bool {
 // keeps the first occurrence of each color and uncolors later
 // duplicates in place. The caller gathers the uncolored vertices into
 // the next work queue afterwards.
-func conflictNetPhase(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters) {
-	par.For(g.NumNets(), o.parOpts(), func(tid, lo, hi int) {
+func conflictNetPhase(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters, cn *par.Canceler) {
+	par.For(g.NumNets(), o.parOpts(cn), func(tid, lo, hi int) {
 		f := s.forb[tid]
 		work := int64(DispatchCostUnits) * int64(o.threads())
 		for v := lo; v < hi; v++ {
@@ -158,15 +158,15 @@ func conflictNetPhase(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc 
 
 // colorNetPhase dispatches to the configured net-based coloring
 // variant over all nets.
-func colorNetPhase(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters) {
+func colorNetPhase(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters, cn *par.Canceler) {
 	s.resetPolicies(o.Balance)
 	switch o.NetColorVariant {
 	case NetV1:
-		colorNetV1(g, c, s, o, wc, false)
+		colorNetV1(g, c, s, o, wc, cn, false)
 	case NetV1Reverse:
-		colorNetV1(g, c, s, o, wc, true)
+		colorNetV1(g, c, s, o, wc, cn, true)
 	default:
-		colorNetTwoPass(g, c, s, o, wc)
+		colorNetTwoPass(g, c, s, o, wc, cn)
 	}
 }
 
@@ -174,8 +174,8 @@ func colorNetPhase(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *Wo
 // marks the colors already present in the net and collects the vertices
 // to (re)color; pass two colors them with reverse first-fit from
 // |vtxs(v)|−1 (or the B1/B2 Policy when balancing).
-func colorNetTwoPass(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters) {
-	par.For(g.NumNets(), o.parOpts(), func(tid, lo, hi int) {
+func colorNetTwoPass(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters, cn *par.Canceler) {
+	par.For(g.NumNets(), o.parOpts(cn), func(tid, lo, hi int) {
 		f := s.forb[tid]
 		pol := &s.pol[tid]
 		wl := s.wl[tid]
@@ -229,8 +229,8 @@ func colorNetTwoPass(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *
 // a net-local monotone first-fit (reverse=false) or the "Alg 6 +
 // reverse" first-fit from |vtxs(v)|−1 (reverse=true), the two upper
 // rows of Table I.
-func colorNetV1(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters, reverse bool) {
-	par.For(g.NumNets(), o.parOpts(), func(tid, lo, hi int) {
+func colorNetV1(g *bipartite.Graph, c *Colors, s *scratch, o *Options, wc *WorkCounters, cn *par.Canceler, reverse bool) {
+	par.For(g.NumNets(), o.parOpts(cn), func(tid, lo, hi int) {
 		f := s.forb[tid]
 		work := int64(DispatchCostUnits) * int64(o.threads())
 		for v := lo; v < hi; v++ {

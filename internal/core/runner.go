@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,10 +19,31 @@ import (
 // to the vertex-based phases — exactly the paper's X-Y naming: V-N2 is
 // {NetColorIters: 0, NetCRIters: 2}, N1-N2 is {1, 2}, and so on.
 func Color(g *bipartite.Graph, opts Options) (*Result, error) {
+	return ColorCtx(context.Background(), g, opts)
+}
+
+// ColorCtx is Color with cooperative cancellation. The parallel loops
+// poll ctx (via a par.Canceler armed from it) at chunk-dispatch
+// granularity, so a cancel or deadline expiry stops the run within one
+// chunk's worth of work per thread rather than at the next iteration
+// barrier. On cancellation it returns a non-nil *Result holding the
+// best valid partial state — conflict removal is finished sequentially
+// on the already-colored prefix, leaving the remaining vertices
+// Uncolored — together with a *CancelError (matched by
+// errors.Is(err, ErrCanceled)) carrying partial-progress statistics.
+// Callers that need a complete coloring can pass the partial state to
+// FinishSequential.
+func ColorCtx(ctx context.Context, g *bipartite.Graph, opts Options) (*Result, error) {
 	if err := opts.validate(g.NumVertices()); err != nil {
 		return nil, err
 	}
 	start := time.Now()
+	var cn *par.Canceler
+	if ctx != nil && ctx.Done() != nil {
+		cn = par.NewCanceler()
+		stop := cn.WatchContext(ctx)
+		defer stop()
+	}
 	n := g.NumVertices()
 	threads := opts.threads()
 	c := NewColors(n)
@@ -68,23 +90,23 @@ func Color(g *bipartite.Graph, opts Options) (*Result, error) {
 	var netColor, netCR bool
 	doColor := func() {
 		if netColor {
-			colorNetPhase(g, c, scr, &opts, wc)
+			colorNetPhase(g, c, scr, &opts, wc, cn)
 		} else {
-			colorVertexPhase(g, W, c, scr, &opts, wc)
+			colorVertexPhase(g, W, c, scr, &opts, wc, cn)
 		}
 	}
 	doConflict := func() {
 		if netCR {
-			conflictNetPhase(g, c, scr, &opts, wc)
+			conflictNetPhase(g, c, scr, &opts, wc, cn)
 			W = gatherUncolored(g, c, &opts)
 		} else if opts.LazyQueues {
 			local.Reset()
-			conflictVertexLazy(g, W, c, local, &opts, wc)
+			conflictVertexLazy(g, W, c, local, &opts, wc, cn)
 			wnext = local.MergeInto(wnext)
 			W = append(W[:0], wnext...)
 		} else {
 			shared.Reset()
-			conflictVertexShared(g, W, c, shared, &opts, wc)
+			conflictVertexShared(g, W, c, shared, &opts, wc, cn)
 			W = append(W[:0], shared.Items()...)
 		}
 	}
@@ -94,6 +116,10 @@ func Color(g *bipartite.Graph, opts Options) (*Result, error) {
 	for iter := 1; len(W) > 0; iter++ {
 		if iter > maxIters {
 			return nil, fmt.Errorf("core: no fixed point after %d iterations (%d vertices still queued)", maxIters, len(W))
+		}
+		if cn.Canceled() {
+			res.Time = time.Since(start)
+			return cancelResult(g, c, res, ctx.Err())
 		}
 		res.Iterations = iter
 		netColor = iter <= opts.NetColorIters
@@ -117,6 +143,11 @@ func Color(g *bipartite.Graph, opts Options) (*Result, error) {
 			EmitPhaseEvent(tr, &opts, iter, obs.PhaseColor, netColor,
 				colorItems, 0, c, it.ColoringTime, it.ColoringWork, it.ColoringMaxWork)
 		}
+		if cn.Canceled() {
+			res.ColoringTime += it.ColoringTime
+			res.Time = time.Since(start)
+			return cancelResult(g, c, res, ctx.Err())
+		}
 
 		conflictItems := len(W)
 		if netCR {
@@ -134,6 +165,14 @@ func Color(g *bipartite.Graph, opts Options) (*Result, error) {
 		if tr.Enabled() {
 			EmitPhaseEvent(tr, &opts, iter, obs.PhaseConflict, netCR,
 				conflictItems, it.Conflicts, c, it.ConflictTime, it.ConflictWork, it.ConflictMaxWork)
+		}
+		if cn.Canceled() {
+			// An interrupted conflict phase may have produced a
+			// truncated work queue; discard it and repair from colors.
+			res.ColoringTime += it.ColoringTime
+			res.ConflictTime += it.ConflictTime
+			res.Time = time.Since(start)
+			return cancelResult(g, c, res, ctx.Err())
 		}
 
 		res.ColoringTime += it.ColoringTime

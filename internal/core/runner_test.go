@@ -253,7 +253,7 @@ func TestNetTwoPassRespectsLemma1(t *testing.T) {
 		c := NewColors(g.NumVertices())
 		scr := newScratch(opts.threads(), g.MaxColorUpperBound()+1, BalanceNone)
 		wc := NewWorkCounters(opts.threads())
-		colorNetPhase(g, c, scr, &opts, wc)
+		colorNetPhase(g, c, scr, &opts, wc, nil)
 		for u := int32(0); int(u) < g.NumVertices(); u++ {
 			cu := c.Get(u)
 			if g.VtxDeg(u) == 0 {

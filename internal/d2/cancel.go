@@ -1,0 +1,95 @@
+package d2
+
+import (
+	"bgpc/internal/core"
+	"bgpc/internal/graph"
+)
+
+// repairD2 makes an interrupted speculative distance-2 state valid by
+// sequential conflict removal on the colored prefix: every vertex v
+// acts as the middle of its closed neighbourhood {v} ∪ nbor(v), the
+// first occurrence of each color is kept (v itself first, then
+// neighbours in ascending id), and later duplicates are uncolored.
+// Uncoloring never creates a new conflict, and every distance-≤2 pair
+// shares some middle vertex, so one pass over all vertices leaves the
+// colored subset distance-2 valid. Returns the colored count.
+func repairD2(g *graph.Graph, colors []int32) (colored int) {
+	maxColor := int32(-1)
+	for _, c := range colors {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	if maxColor >= 0 {
+		stamp := make([]int32, maxColor+1)
+		owner := make([]int32, maxColor+1)
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			tag := v + 1
+			if cv := colors[v]; cv >= 0 {
+				stamp[cv] = tag
+				owner[cv] = v
+			}
+			for _, u := range g.Nbors(v) {
+				cu := colors[u]
+				if cu < 0 {
+					continue
+				}
+				if stamp[cu] == tag && owner[cu] != u {
+					colors[u] = core.Uncolored
+				} else {
+					stamp[cu] = tag
+					owner[cu] = u
+				}
+			}
+		}
+	}
+	for _, c := range colors {
+		if c >= 0 {
+			colored++
+		}
+	}
+	return colored
+}
+
+// FinishSequential completes a valid partial distance-2 coloring in
+// place with the sequential greedy first-fit, ascending id order, and
+// returns the number of vertices it colored. The input must be
+// distance-2 valid on its colored subset (e.g. a canceled ColorCtx's
+// repaired state).
+func FinishSequential(g *graph.Graph, colors []int32) int {
+	f := core.NewForbidden(g.MaxColorUpperBound() + 1)
+	finished := 0
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if colors[v] != core.Uncolored {
+			continue
+		}
+		f.Reset()
+		for _, u := range g.Nbors(v) {
+			if colors[u] != core.Uncolored {
+				f.Add(colors[u])
+			}
+			for _, w := range g.Nbors(u) {
+				if w != v && colors[w] != core.Uncolored {
+					f.Add(colors[w])
+				}
+			}
+		}
+		colors[v] = core.FirstFit(f)
+		finished++
+	}
+	return finished
+}
+
+// cancelResult mirrors core's: repair sequentially, fill the partial
+// statistics, and wrap the cause in a *core.CancelError.
+func cancelResult(g *graph.Graph, c *core.Colors, res *core.Result, cause error) (*core.Result, error) {
+	colored := repairD2(g, c.Raw())
+	res.Colors = c.Raw()
+	countColors(res)
+	return res, &core.CancelError{
+		Cause:     cause,
+		Iteration: res.Iterations,
+		Colored:   colored,
+		Uncolored: g.NumVertices() - colored,
+	}
+}

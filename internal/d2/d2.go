@@ -9,6 +9,7 @@
 package d2
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,10 +78,26 @@ func Sequential(g *graph.Graph, vertexOrder []int32) *core.Result {
 // described by opts (see core.Options; the same algorithm names V-V-64D,
 // V-N1, V-N2, N1-N2 … apply, per the paper's Table V).
 func Color(g *graph.Graph, opts Options) (*core.Result, error) {
+	return ColorCtx(context.Background(), g, opts)
+}
+
+// ColorCtx is Color with cooperative cancellation, mirroring
+// core.ColorCtx: the parallel loops poll ctx at chunk-dispatch
+// granularity, and on cancellation the run returns the best valid
+// partial distance-2 coloring (conflicts repaired sequentially, the
+// rest Uncolored) together with a *core.CancelError matched by
+// errors.Is(err, core.ErrCanceled).
+func ColorCtx(ctx context.Context, g *graph.Graph, opts Options) (*core.Result, error) {
 	if err := validate(&opts, g.NumVertices()); err != nil {
 		return nil, err
 	}
 	start := time.Now()
+	var cn *par.Canceler
+	if ctx != nil && ctx.Done() != nil {
+		cn = par.NewCanceler()
+		stop := cn.WatchContext(ctx)
+		defer stop()
+	}
 	n := g.NumVertices()
 	threads := threadsOf(&opts)
 	c := core.NewColors(n)
@@ -123,23 +140,23 @@ func Color(g *graph.Graph, opts Options) (*core.Result, error) {
 	var netColor, netCR bool
 	doColor := func() {
 		if netColor {
-			colorNetPhase(g, c, scr, &opts, wc)
+			colorNetPhase(g, c, scr, &opts, wc, cn)
 		} else {
-			colorVertexPhase(g, W, c, scr, &opts, wc)
+			colorVertexPhase(g, W, c, scr, &opts, wc, cn)
 		}
 	}
 	doConflict := func() {
 		if netCR {
-			conflictNetPhase(g, c, scr, &opts, wc)
+			conflictNetPhase(g, c, scr, &opts, wc, cn)
 			W = gatherUncolored(g, c, &opts)
 		} else if opts.LazyQueues {
 			local.Reset()
-			conflictVertexLazy(g, W, c, local, &opts, wc)
+			conflictVertexLazy(g, W, c, local, &opts, wc, cn)
 			wnext = local.MergeInto(wnext)
 			W = append(W[:0], wnext...)
 		} else {
 			shared.Reset()
-			conflictVertexShared(g, W, c, shared, &opts, wc)
+			conflictVertexShared(g, W, c, shared, &opts, wc, cn)
 			W = append(W[:0], shared.Items()...)
 		}
 	}
@@ -149,6 +166,10 @@ func Color(g *graph.Graph, opts Options) (*core.Result, error) {
 	for iter := 1; len(W) > 0; iter++ {
 		if iter > maxIters {
 			return nil, fmt.Errorf("d2: no fixed point after %d iterations (%d vertices still queued)", maxIters, len(W))
+		}
+		if cn.Canceled() {
+			res.Time = time.Since(start)
+			return cancelResult(g, c, res, ctx.Err())
 		}
 		res.Iterations = iter
 		netColor = iter <= opts.NetColorIters
@@ -171,6 +192,11 @@ func Color(g *graph.Graph, opts Options) (*core.Result, error) {
 			core.EmitPhaseEvent(tr, &opts, iter, obs.PhaseColor, netColor,
 				colorItems, 0, c, it.ColoringTime, it.ColoringWork, it.ColoringMaxWork)
 		}
+		if cn.Canceled() {
+			res.ColoringTime += it.ColoringTime
+			res.Time = time.Since(start)
+			return cancelResult(g, c, res, ctx.Err())
+		}
 
 		conflictItems := len(W)
 		if netCR {
@@ -188,6 +214,14 @@ func Color(g *graph.Graph, opts Options) (*core.Result, error) {
 		if tr.Enabled() {
 			core.EmitPhaseEvent(tr, &opts, iter, obs.PhaseConflict, netCR,
 				conflictItems, it.Conflicts, c, it.ConflictTime, it.ConflictWork, it.ConflictMaxWork)
+		}
+		if cn.Canceled() {
+			// A truncated conflict phase leaves W unreliable; repair
+			// straight from the color array instead.
+			res.ColoringTime += it.ColoringTime
+			res.ConflictTime += it.ConflictTime
+			res.Time = time.Since(start)
+			return cancelResult(g, c, res, ctx.Err())
 		}
 
 		res.ColoringTime += it.ColoringTime

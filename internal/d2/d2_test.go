@@ -141,7 +141,7 @@ func TestNetPhaseRespectsLemmaAnalogue(t *testing.T) {
 		c := core.NewColors(g.NumVertices())
 		scr := newScratch(2, g.MaxColorUpperBound()+1, core.BalanceNone)
 		wc := core.NewWorkCounters(2)
-		colorNetPhase(g, c, scr, &opts, wc)
+		colorNetPhase(g, c, scr, &opts, wc, nil)
 		maxDeg := int32(g.MaxDeg())
 		for u := int32(0); int(u) < g.NumVertices(); u++ {
 			cu := c.Get(u)

@@ -33,20 +33,20 @@ func (s *scratch) resetPolicies(balance core.Balance) {
 	}
 }
 
-func parOpts(o *Options) par.Options {
+func parOpts(o *Options, cn *par.Canceler) par.Options {
 	sched := par.Dynamic
 	if o.Guided {
 		sched = par.Guided
 	}
-	return par.Options{Threads: threadsOf(o), Chunk: chunkOf(o), Schedule: sched}
+	return par.Options{Threads: threadsOf(o), Chunk: chunkOf(o), Schedule: sched, Cancel: cn}
 }
 
 // colorVertexPhase colors each queued vertex against its full
 // distance-≤2 neighbourhood (the vertex-based D2GC coloring the paper
 // derives from ColPack's sequential implementation).
-func colorVertexPhase(g *graph.Graph, W []int32, c *core.Colors, s *scratch, o *Options, wc *core.WorkCounters) {
+func colorVertexPhase(g *graph.Graph, W []int32, c *core.Colors, s *scratch, o *Options, wc *core.WorkCounters, cn *par.Canceler) {
 	s.resetPolicies(o.Balance)
-	par.For(len(W), parOpts(o), func(tid, lo, hi int) {
+	par.For(len(W), parOpts(o, cn), func(tid, lo, hi int) {
 		f := s.forb[tid]
 		pol := &s.pol[tid]
 		work := int64(core.DispatchCostUnits) * int64(threadsOf(o))
@@ -103,8 +103,8 @@ func vertexConflicts(g *graph.Graph, w int32, c *core.Colors, work *int64) bool 
 	return false
 }
 
-func conflictVertexShared(g *graph.Graph, W []int32, c *core.Colors, q *par.SharedQueue, o *Options, wc *core.WorkCounters) {
-	par.For(len(W), parOpts(o), func(tid, lo, hi int) {
+func conflictVertexShared(g *graph.Graph, W []int32, c *core.Colors, q *par.SharedQueue, o *Options, wc *core.WorkCounters, cn *par.Canceler) {
+	par.For(len(W), parOpts(o, cn), func(tid, lo, hi int) {
 		work := int64(core.DispatchCostUnits) * int64(threadsOf(o))
 		for i := lo; i < hi; i++ {
 			if vertexConflicts(g, W[i], c, &work) {
@@ -116,8 +116,8 @@ func conflictVertexShared(g *graph.Graph, W []int32, c *core.Colors, q *par.Shar
 	})
 }
 
-func conflictVertexLazy(g *graph.Graph, W []int32, c *core.Colors, l *par.LocalQueues, o *Options, wc *core.WorkCounters) {
-	par.For(len(W), parOpts(o), func(tid, lo, hi int) {
+func conflictVertexLazy(g *graph.Graph, W []int32, c *core.Colors, l *par.LocalQueues, o *Options, wc *core.WorkCounters, cn *par.Canceler) {
+	par.For(len(W), parOpts(o, cn), func(tid, lo, hi int) {
 		work := int64(core.DispatchCostUnits) * int64(threadsOf(o))
 		for i := lo; i < hi; i++ {
 			if vertexConflicts(g, W[i], c, &work) {
@@ -133,9 +133,9 @@ func conflictVertexLazy(g *graph.Graph, W []int32, c *core.Colors, l *par.LocalQ
 // conflicting members are recolored with reverse first-fit from
 // |nbor(v)| (one above the BGPC start, since v itself also needs a
 // color), or with the B1/B2 policy when balancing.
-func colorNetPhase(g *graph.Graph, c *core.Colors, s *scratch, o *Options, wc *core.WorkCounters) {
+func colorNetPhase(g *graph.Graph, c *core.Colors, s *scratch, o *Options, wc *core.WorkCounters, cn *par.Canceler) {
 	s.resetPolicies(o.Balance)
-	par.For(g.NumVertices(), parOpts(o), func(tid, lo, hi int) {
+	par.For(g.NumVertices(), parOpts(o, cn), func(tid, lo, hi int) {
 		f := s.forb[tid]
 		pol := &s.pol[tid]
 		wl := s.wl[tid]
@@ -194,8 +194,8 @@ func colorNetPhase(g *graph.Graph, c *core.Colors, s *scratch, o *Options, wc *c
 // conflictNetPhase is D2GC-REMOVECONFLICTS-NET (Algorithm 10): each
 // vertex v checks {v} ∪ nbor(v) for duplicate colors, keeping first
 // occurrences (v itself first) and uncoloring later ones.
-func conflictNetPhase(g *graph.Graph, c *core.Colors, s *scratch, o *Options, wc *core.WorkCounters) {
-	par.For(g.NumVertices(), parOpts(o), func(tid, lo, hi int) {
+func conflictNetPhase(g *graph.Graph, c *core.Colors, s *scratch, o *Options, wc *core.WorkCounters, cn *par.Canceler) {
+	par.For(g.NumVertices(), parOpts(o, cn), func(tid, lo, hi int) {
 		f := s.forb[tid]
 		work := int64(core.DispatchCostUnits) * int64(threadsOf(o))
 		for vi := lo; vi < hi; vi++ {

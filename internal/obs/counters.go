@@ -47,6 +47,26 @@ var (
 	TraceEvents Counter
 )
 
+// Service-layer counters (internal/service). Unlike the hot-path
+// counters above they sit on request paths, not per-vertex paths, so
+// they are bumped unconditionally (no EnableMetrics gate) — a daemon
+// must always be able to report its admission behaviour.
+var (
+	// SvcAccepted counts jobs admitted into the worker-pool queue.
+	SvcAccepted Counter
+	// SvcRejected counts jobs refused at admission (queue full → 429).
+	SvcRejected Counter
+	// SvcCompleted counts jobs that ran to a fixed point in deadline.
+	SvcCompleted Counter
+	// SvcDegraded counts jobs whose deadline expired and were finished
+	// by the sequential graceful-degradation path.
+	SvcDegraded Counter
+	// SvcCacheHits / SvcCacheMisses count content-hash graph cache
+	// lookups.
+	SvcCacheHits   Counter
+	SvcCacheMisses Counter
+)
+
 var metricsOn atomic.Bool
 
 // EnableMetrics switches hot-path counting on or off (default off).
@@ -91,6 +111,12 @@ var counterNames = map[string]*Counter{
 	"bgpc.shared_queue_pushes": &SharedQueuePushes,
 	"bgpc.forbidden_scans":     &ForbiddenScans,
 	"bgpc.trace_events":        &TraceEvents,
+	"bgpc.svc_accepted":        &SvcAccepted,
+	"bgpc.svc_rejected":        &SvcRejected,
+	"bgpc.svc_completed":       &SvcCompleted,
+	"bgpc.svc_degraded":        &SvcDegraded,
+	"bgpc.svc_cache_hits":      &SvcCacheHits,
+	"bgpc.svc_cache_misses":    &SvcCacheMisses,
 }
 
 // Snapshot returns the current value of every counter keyed by its

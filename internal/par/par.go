@@ -16,12 +16,63 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"bgpc/internal/obs"
 )
+
+// Canceler is a cooperative cancellation flag shared between a
+// context watcher and the parallel loops. The loops poll it at
+// chunk-dispatch granularity — one relaxed atomic load per chunk
+// hand-out, never per iteration — so arming cancellation keeps the
+// per-vertex hot paths branch-free. A nil *Canceler is valid and never
+// canceled, which is the default for every existing caller.
+type Canceler struct {
+	flag atomic.Bool
+}
+
+// NewCanceler returns an un-canceled flag.
+func NewCanceler() *Canceler { return &Canceler{} }
+
+// Cancel requests that in-flight loops stop at their next dispatch
+// point. Idempotent and safe for concurrent use; nil-safe.
+func (c *Canceler) Cancel() {
+	if c != nil {
+		c.flag.Store(true)
+	}
+}
+
+// Canceled reports whether Cancel has been called. Nil-safe: a nil
+// Canceler is never canceled.
+func (c *Canceler) Canceled() bool {
+	return c != nil && c.flag.Load()
+}
+
+// WatchContext arms c from ctx: when ctx is done, c is canceled. The
+// returned stop function releases the watcher (it must be called to
+// avoid holding ctx resources; deferring it is the usual pattern).
+// A context with a nil Done channel installs no watcher.
+func (c *Canceler) WatchContext(ctx context.Context) (stop func() bool) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() bool { return false }
+	}
+	stop = context.AfterFunc(ctx, c.Cancel)
+	// AfterFunc runs asynchronously even on an already-done context;
+	// cancel synchronously here so a dead-on-arrival context stops the
+	// caller before it does any work.
+	if ctx.Err() != nil {
+		c.Cancel()
+	}
+	return stop
+}
+
+// staticCancelStride is the sub-block size cancelable static loops use
+// between flag polls. Large enough that the poll is noise, small enough
+// that cancellation latency stays in the microseconds on any body.
+const staticCancelStride = 4096
 
 // Schedule selects how loop iterations are handed to threads.
 type Schedule int
@@ -50,6 +101,12 @@ type Options struct {
 	// OpenMP's default for schedule(dynamic) and deliberately expensive
 	// — the paper's V-V baseline depends on it.
 	Chunk int
+	// Cancel, when non-nil, is polled at chunk-dispatch granularity;
+	// once canceled, workers stop taking new chunks (the chunk already
+	// being executed finishes). The loop then returns normally with the
+	// range only partially covered — callers that armed a Canceler must
+	// treat their shared state as partial.
+	Cancel *Canceler
 }
 
 func (o Options) threads() int {
@@ -69,29 +126,37 @@ func (o Options) chunk() int {
 // For runs body(tid, lo, hi) over subranges that exactly cover [0, n).
 // Each invocation's [lo, hi) is non-empty and disjoint from every other
 // invocation's. It returns after all workers finish (implicit barrier).
+//
+// When opts.Cancel is armed and fires, the covering guarantee is
+// waived: workers stop taking chunks and For returns early with part
+// of the range unvisited.
 func For(n int, opts Options, body func(tid, lo, hi int)) {
-	if n <= 0 {
+	if n <= 0 || opts.Cancel.Canceled() {
 		return
 	}
 	t := opts.threads()
 	if t > n {
 		t = n
 	}
-	if t == 1 {
+	if t == 1 && opts.Cancel == nil {
 		body(0, 0, n)
 		return
 	}
 	switch opts.Schedule {
 	case Static:
-		staticFor(n, t, body)
+		staticFor(n, t, opts.Cancel, body)
 	case Guided:
-		guidedFor(n, t, opts.chunk(), body)
+		guidedFor(n, t, opts.chunk(), opts.Cancel, body)
 	default:
-		dynamicFor(n, t, opts.chunk(), body)
+		dynamicFor(n, t, opts.chunk(), opts.Cancel, body)
 	}
 }
 
-func staticFor(n, threads int, body func(tid, lo, hi int)) {
+func staticFor(n, threads int, cn *Canceler, body func(tid, lo, hi int)) {
+	if threads == 1 {
+		staticBlock(0, 0, n, cn, body)
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for tid := 0; tid < threads; tid++ {
@@ -100,14 +165,36 @@ func staticFor(n, threads int, body func(tid, lo, hi int)) {
 			lo := tid * n / threads
 			hi := (tid + 1) * n / threads
 			if lo < hi {
-				body(tid, lo, hi)
+				staticBlock(tid, lo, hi, cn, body)
 			}
 		}(tid)
 	}
 	wg.Wait()
 }
 
-func dynamicFor(n, threads, chunk int, body func(tid, lo, hi int)) {
+// staticBlock runs body over [lo, hi). With cancellation armed the
+// block is walked in fixed strides so the static schedule — which has
+// no natural dispatch points — still observes Cancel promptly; the
+// un-armed path is the single call it always was.
+func staticBlock(tid, lo, hi int, cn *Canceler, body func(tid, lo, hi int)) {
+	if cn == nil {
+		body(tid, lo, hi)
+		return
+	}
+	for lo < hi {
+		if cn.Canceled() {
+			return
+		}
+		end := lo + staticCancelStride
+		if end > hi {
+			end = hi
+		}
+		body(tid, lo, end)
+		lo = end
+	}
+}
+
+func dynamicFor(n, threads, chunk int, cn *Canceler, body func(tid, lo, hi int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(threads)
@@ -116,7 +203,7 @@ func dynamicFor(n, threads, chunk int, body func(tid, lo, hi int)) {
 			defer wg.Done()
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= n {
+				if lo >= n || cn.Canceled() {
 					return
 				}
 				obs.CountDispatch()
@@ -131,7 +218,7 @@ func dynamicFor(n, threads, chunk int, body func(tid, lo, hi int)) {
 	wg.Wait()
 }
 
-func guidedFor(n, threads, minChunk int, body func(tid, lo, hi int)) {
+func guidedFor(n, threads, minChunk int, cn *Canceler, body func(tid, lo, hi int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(threads)
@@ -143,7 +230,7 @@ func guidedFor(n, threads, minChunk int, body func(tid, lo, hi int)) {
 				// thread via compare-and-swap, so the computed size and
 				// the reservation are consistent.
 				lo := int(next.Load())
-				if lo >= n {
+				if lo >= n || cn.Canceled() {
 					return
 				}
 				chunk := (n - lo) / (2 * threads)

@@ -137,8 +137,10 @@ func GatherInt32(n int, opts Options, pred func(i int32) bool) []int32 {
 		return out
 	}
 	counts := make([]int, t)
-	// Pass 1: count matches per static block.
-	staticFor(n, t, func(tid, lo, hi int) {
+	// Pass 1: count matches per static block. The gather is always run
+	// to completion (no Canceler): its two passes share offset state,
+	// so a partial first pass would corrupt the second.
+	staticFor(n, t, nil, func(tid, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if pred(int32(i)) {
@@ -150,7 +152,7 @@ func GatherInt32(n int, opts Options, pred func(i int32) bool) []int32 {
 	total := ExclusiveSum(counts)
 	out := make([]int32, total)
 	// Pass 2: fill at precomputed offsets.
-	staticFor(n, t, func(tid, lo, hi int) {
+	staticFor(n, t, nil, func(tid, lo, hi int) {
 		off := counts[tid]
 		for i := lo; i < hi; i++ {
 			if pred(int32(i)) {

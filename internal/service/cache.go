@@ -1,0 +1,114 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/graph"
+	"bgpc/internal/obs"
+)
+
+// cacheEntry is one cached graph. The bipartite graph is immutable
+// after construction, so entries are shared freely across requests;
+// the undirected (D2GC) view is derived lazily once and memoized,
+// since symmetry checking and transposition cost a full CSR pass.
+type cacheEntry struct {
+	key string
+	g   *bipartite.Graph
+
+	ugOnce sync.Once
+	ug     *graph.Graph
+	ugErr  error
+}
+
+// undirected returns the memoized unipartite view for D2GC jobs.
+func (e *cacheEntry) undirected() (*graph.Graph, error) {
+	e.ugOnce.Do(func() {
+		e.ug, e.ugErr = graph.FromBipartite(e.g)
+	})
+	return e.ug, e.ugErr
+}
+
+// graphCache is a bounded LRU keyed by request content hash: repeated
+// jobs on the same matrix (the common case for a coloring service —
+// the same Jacobian pattern is recolored as an optimization iterates)
+// skip MatrixMarket parsing and CSR construction entirely.
+type graphCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	m   map[string]*list.Element
+}
+
+func newGraphCache(capacity int) *graphCache {
+	if capacity <= 0 {
+		return nil // disabled
+	}
+	return &graphCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, refreshing its recency. A nil cache
+// always misses.
+func (c *graphCache) get(key string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		obs.SvcCacheHits.Inc()
+		return el.Value.(*cacheEntry), true
+	}
+	obs.SvcCacheMisses.Inc()
+	return nil, false
+}
+
+// put inserts (or refreshes) key → g and returns its entry, evicting
+// the least recently used entry beyond capacity. With a nil cache it
+// just wraps g so callers have a uniform entry type.
+func (c *graphCache) put(key string, g *bipartite.Graph) *cacheEntry {
+	if c == nil {
+		return &cacheEntry{key: key, g: g}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry)
+	}
+	e := &cacheEntry{key: key, g: g}
+	c.m[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.m, old.Value.(*cacheEntry).key)
+	}
+	return e
+}
+
+// len reports the number of cached graphs.
+func (c *graphCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// matrixKey is the content hash of an inline MatrixMarket body.
+func matrixKey(matrix string) string {
+	sum := sha256.Sum256([]byte(matrix))
+	return "mtx:" + hex.EncodeToString(sum[:])
+}
+
+// presetKey identifies a synthetic preset job (generators are
+// deterministic, so name+scale is the content).
+func presetKey(name string, scale float64) string {
+	return fmt.Sprintf("preset:%s:%g", name, scale)
+}

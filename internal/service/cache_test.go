@@ -1,0 +1,108 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/gen"
+)
+
+func testGraph(t testing.TB) *bipartite.Graph {
+	t.Helper()
+	g, err := bipartite.FromNetLists(4, [][]int32{{0, 1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphCacheHitAndEviction(t *testing.T) {
+	c := newGraphCache(2)
+	g := testGraph(t)
+
+	if _, hit := c.get("a"); hit {
+		t.Fatal("hit on empty cache")
+	}
+	ea := c.put("a", g)
+	if got, hit := c.get("a"); !hit || got != ea {
+		t.Fatal("miss after put")
+	}
+	c.put("b", g)
+	// Touch "a" so "b" is the LRU victim when "c" arrives.
+	c.get("a")
+	c.put("c", g)
+	if _, hit := c.get("b"); hit {
+		t.Fatal("LRU victim b survived")
+	}
+	if _, hit := c.get("a"); !hit {
+		t.Fatal("recently used a was evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestGraphCachePutExistingKeepsEntry(t *testing.T) {
+	c := newGraphCache(2)
+	g := testGraph(t)
+	e1 := c.put("k", g)
+	e2 := c.put("k", testGraph(t))
+	if e1 != e2 {
+		t.Fatal("re-put replaced the entry for an identical key")
+	}
+}
+
+func TestGraphCacheDisabled(t *testing.T) {
+	c := newGraphCache(-1)
+	if c != nil {
+		t.Fatal("negative capacity should disable the cache")
+	}
+	g := testGraph(t)
+	if _, hit := c.get("a"); hit {
+		t.Fatal("nil cache hit")
+	}
+	e := c.put("a", g)
+	if e == nil || e.g != g {
+		t.Fatal("nil cache put must still wrap the graph")
+	}
+	if c.len() != 0 {
+		t.Fatal("nil cache has a length")
+	}
+}
+
+func TestCacheEntryUndirectedMemoized(t *testing.T) {
+	b, err := gen.Preset("channel", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &cacheEntry{g: b}
+	u1, err1 := e.undirected()
+	u2, err2 := e.undirected()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if u1 != u2 {
+		t.Fatal("undirected view rebuilt instead of memoized")
+	}
+}
+
+func TestCacheKeys(t *testing.T) {
+	if matrixKey("a") == matrixKey("b") {
+		t.Fatal("distinct matrices share a key")
+	}
+	if matrixKey("a") != matrixKey("a") {
+		t.Fatal("matrix key not deterministic")
+	}
+	if presetKey("channel", 1) == presetKey("channel", 0.5) {
+		t.Fatal("distinct scales share a key")
+	}
+	if presetKey("channel", 1) == presetKey("nlpkkt", 1) {
+		t.Fatal("distinct presets share a key")
+	}
+	// Keys must be namespaced so an inline matrix can never collide
+	// with a preset spec.
+	if fmt.Sprintf("%.4s", matrixKey("x")) == fmt.Sprintf("%.4s", presetKey("x", 1)) {
+		t.Fatal("matrix and preset keys share a namespace")
+	}
+}

@@ -1,0 +1,13 @@
+package service
+
+import "expvar"
+
+// publishGauges registers live pool gauges under the "bgpc.svc_*"
+// namespace shared with the obs counters. Kept in its own file so the
+// expvar dependency (and its process-global registry) stays out of the
+// core serving path.
+func publishGauges(s *Server) {
+	expvar.Publish("bgpc.svc_queue_depth", expvar.Func(func() any { return s.QueueDepth() }))
+	expvar.Publish("bgpc.svc_active_jobs", expvar.Func(func() any { return s.ActiveJobs() }))
+	expvar.Publish("bgpc.svc_cached_graphs", expvar.Func(func() any { return s.CachedGraphs() }))
+}

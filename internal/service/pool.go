@@ -1,0 +1,135 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"bgpc/internal/obs"
+)
+
+// Admission-control errors returned by pool.submit.
+var (
+	// errQueueFull signals backpressure: the bounded queue is at
+	// capacity and the job was refused (HTTP 429).
+	errQueueFull = errors.New("service: job queue full")
+	// errDraining signals shutdown: the pool no longer admits work
+	// (HTTP 503).
+	errDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// job is one unit of pool work. run executes on a worker goroutine
+// with the job's context; done is closed when run has returned, which
+// is the handler's signal that the response fields are populated.
+type job struct {
+	ctx  context.Context
+	run  func(ctx context.Context)
+	done chan struct{}
+}
+
+// pool is a fixed-size worker pool in front of a bounded queue — the
+// daemon's admission control. Requests beyond queue capacity are
+// rejected immediately rather than piling up latency, per the
+// observation that speculative coloring latency is dominated by its
+// first iterations: a queued job that cannot start promptly is better
+// refused while the client's deadline still has budget to retry
+// elsewhere.
+type pool struct {
+	jobs chan *job
+	quit chan struct{}
+
+	mu       sync.Mutex // guards draining flips vs. admissions
+	draining bool
+
+	workers  sync.WaitGroup // live worker goroutines
+	inflight sync.WaitGroup // admitted jobs not yet finished
+	queued   atomic.Int64
+	running  atomic.Int64
+}
+
+// newPool starts `workers` worker goroutines behind a queue of `depth`
+// waiting slots (admitted jobs beyond the running workers).
+func newPool(workers, depth int) *pool {
+	p := &pool{
+		jobs: make(chan *job, depth),
+		quit: make(chan struct{}),
+	}
+	p.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.workers.Done()
+	for {
+		select {
+		case j := <-p.jobs:
+			p.queued.Add(-1)
+			p.running.Add(1)
+			j.run(j.ctx)
+			close(j.done)
+			p.running.Add(-1)
+			p.inflight.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// submit admits j or returns errQueueFull / errDraining. Admission is
+// serialized under a mutex so that drain's WaitGroup.Wait never races
+// a late Add — once draining is observed true no further job enters.
+func (p *pool) submit(j *job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		obs.SvcRejected.Inc()
+		return errDraining
+	}
+	select {
+	case p.jobs <- j:
+		p.inflight.Add(1)
+		p.queued.Add(1)
+		obs.SvcAccepted.Inc()
+		return nil
+	default:
+		obs.SvcRejected.Inc()
+		return errQueueFull
+	}
+}
+
+// drain stops admissions, waits for every admitted job (queued and
+// running) to finish or ctx to expire, then stops the workers. It is
+// the SIGTERM path: in-flight jobs complete, new ones see errDraining.
+func (p *pool) drain(ctx context.Context) error {
+	p.mu.Lock()
+	already := p.draining
+	p.draining = true
+	p.mu.Unlock()
+	if already {
+		return errors.New("service: drain already in progress")
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		p.inflight.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	close(p.quit)
+	p.workers.Wait()
+	return nil
+}
+
+// depth reports jobs admitted but not yet picked up by a worker.
+func (p *pool) depth() int { return int(p.queued.Load()) }
+
+// active reports jobs currently executing on workers.
+func (p *pool) active() int { return int(p.running.Load()) }

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bgpc/internal/testutil"
+)
+
+// blockingJob returns a job that parks until release is closed, and a
+// started channel that closes when a worker picks it up.
+func blockingJob(release <-chan struct{}) (*job, <-chan struct{}) {
+	started := make(chan struct{})
+	j := &job{
+		ctx:  context.Background(),
+		done: make(chan struct{}),
+	}
+	j.run = func(context.Context) {
+		close(started)
+		<-release
+	}
+	return j, started
+}
+
+func TestPoolAdmissionControl(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	p := newPool(1, 2)
+	release := make(chan struct{})
+
+	// First job occupies the single worker...
+	running, started := blockingJob(release)
+	if err := p.submit(running); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...two more fill the queue...
+	queued := make([]*job, 2)
+	for i := range queued {
+		j, _ := blockingJob(release)
+		queued[i] = j
+		if err := p.submit(j); err != nil {
+			t.Fatalf("queued job %d: %v", i, err)
+		}
+	}
+	testutil.WaitFor(t, time.Second, func() bool { return p.depth() == 2 },
+		"queue depth 2, have %d", p.depth())
+	// ...and the next is refused immediately.
+	overflow, _ := blockingJob(release)
+	if err := p.submit(overflow); !errors.Is(err, errQueueFull) {
+		t.Fatalf("overflow submit = %v, want errQueueFull", err)
+	}
+
+	close(release)
+	for _, j := range append(queued, running) {
+		<-j.done
+	}
+	if err := p.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDrainWaitsForInflight(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	p := newPool(2, 4)
+	release := make(chan struct{})
+	j, started := blockingJob(release)
+	if err := p.submit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	drained := make(chan error, 1)
+	go func() { drained <- p.drain(context.Background()) }()
+
+	// While draining: no new admissions, and drain has not returned.
+	testutil.WaitFor(t, time.Second, func() bool {
+		jj, _ := blockingJob(release)
+		return errors.Is(p.submit(jj), errDraining)
+	}, "submissions to be refused while draining")
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v with a job still running", err)
+	default:
+	}
+
+	close(release)
+	<-j.done
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDrainContextExpiry(t *testing.T) {
+	p := newPool(1, 1)
+	release := make(chan struct{})
+	defer close(release)
+	j, started := blockingJob(release)
+	if err := p.submit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain = %v, want DeadlineExceeded", err)
+	}
+	// Second drain reports it is already in progress.
+	if err := p.drain(context.Background()); err == nil {
+		t.Fatal("second drain succeeded, want already-in-progress error")
+	}
+}
+
+func TestPoolShutdownLeakFree(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	for i := 0; i < 10; i++ {
+		p := newPool(4, 8)
+		for k := 0; k < 8; k++ {
+			j := &job{ctx: context.Background(), done: make(chan struct{})}
+			j.run = func(context.Context) {}
+			if err := p.submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

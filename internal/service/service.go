@@ -1,0 +1,490 @@
+// Package service turns the batch coloring library into a long-lived
+// coloring-as-a-service daemon: an HTTP/JSON API that accepts BGPC and
+// D2GC jobs, runs them on a bounded worker pool with admission control
+// and per-request deadlines, and degrades gracefully — a job whose
+// deadline expires mid-speculation returns the best valid coloring the
+// runner could finish (sequential repair of the colored prefix plus
+// sequential completion) instead of an error.
+//
+// The request/response shapes are deliberately small:
+//
+//	POST /color
+//	  {"preset": "channel", "scale": 0.25, "algorithm": "N1-N2",
+//	   "threads": 4, "timeout_ms": 500}
+//	or
+//	  {"matrix": "%%MatrixMarket matrix coordinate pattern general\n…",
+//	   "mode": "bgpc"}
+//
+//	200 → {"colors": […], "num_colors": N, "iterations": K,
+//	       "degraded": false, "cache_hit": true,
+//	       "fingerprint": "…", "wall_ms": 1.8, "queue_ms": 0.1}
+//	400 → malformed request (bad JSON, matrix, algorithm, timeout)
+//	429 → queue full, or the deadline expired before the job started
+//	503 → draining (shutdown in progress)
+//
+// Backpressure is explicit: the queue is bounded, overflow is an
+// immediate 429 with Retry-After, and shutdown drains admitted jobs
+// before the process exits.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/core"
+	"bgpc/internal/d2"
+	"bgpc/internal/gen"
+	"bgpc/internal/mtx"
+	"bgpc/internal/obs"
+	"bgpc/internal/verify"
+)
+
+// Config sizes the daemon. The zero value picks serving-friendly
+// defaults; see the field comments.
+type Config struct {
+	// Workers is the number of concurrent coloring jobs; values < 1
+	// mean GOMAXPROCS. Note each job may itself use several threads —
+	// Workers × Threads is the oversubscription bound.
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running; values < 1
+	// mean 2×Workers. Beyond it, requests get 429.
+	QueueDepth int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// values ≤ 0 mean 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested deadline; values ≤ 0 mean 2m.
+	MaxTimeout time.Duration
+	// MaxRequestBytes bounds the request body (the matrix travels
+	// inline); values ≤ 0 mean 32 MiB.
+	MaxRequestBytes int64
+	// CacheEntries bounds the content-hash graph cache; 0 means 64,
+	// negative disables caching.
+	CacheEntries int
+	// MaxThreads caps the per-job thread count a client may request;
+	// values < 1 mean GOMAXPROCS.
+	MaxThreads int
+	// Obs, when enabled, emits the runners' per-phase trace events for
+	// every request (labeled mode/algorithm) into its sink.
+	Obs *obs.Observer
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers < 1 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.QueueDepth < 1 {
+		out.QueueDepth = 2 * out.Workers
+	}
+	if out.DefaultTimeout <= 0 {
+		out.DefaultTimeout = 30 * time.Second
+	}
+	if out.MaxTimeout <= 0 {
+		out.MaxTimeout = 2 * time.Minute
+	}
+	if out.MaxRequestBytes <= 0 {
+		out.MaxRequestBytes = 32 << 20
+	}
+	if out.CacheEntries == 0 {
+		out.CacheEntries = 64
+	}
+	if out.MaxThreads < 1 {
+		out.MaxThreads = runtime.GOMAXPROCS(0)
+	}
+	return out
+}
+
+// ColorRequest is the POST /color body. Exactly one of Matrix or
+// Preset must be set.
+type ColorRequest struct {
+	// Matrix is an inline MatrixMarket coordinate document (rows =
+	// nets, columns = vertices to color).
+	Matrix string `json:"matrix,omitempty"`
+	// Preset names a built-in synthetic workload; Scale sizes it
+	// (0 means 1.0).
+	Preset string  `json:"preset,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	// Mode is "bgpc" (default) or "d2" (distance-2 on a structurally
+	// symmetric matrix).
+	Mode string `json:"mode,omitempty"`
+	// Algorithm is a paper schedule name (default "N1-N2").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Threads is the per-job worker count (default 1, capped by the
+	// server's MaxThreads).
+	Threads int `json:"threads,omitempty"`
+	// Balance is "U" (default), "B1" or "B2".
+	Balance string `json:"balance,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds; 0 means
+	// the server default, negative is rejected. Values above the
+	// server's MaxTimeout are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ColorResponse is the 200 body.
+type ColorResponse struct {
+	// Colors is the complete valid coloring (vertex order).
+	Colors []int32 `json:"colors"`
+	// NumColors and MaxColor summarize the color set.
+	NumColors int   `json:"num_colors"`
+	MaxColor  int32 `json:"max_color"`
+	// Iterations is the number of speculative rounds that ran.
+	Iterations int `json:"iterations"`
+	// Degraded reports that the deadline expired mid-run and the
+	// result was completed by the sequential fallback: still valid,
+	// but without the parallel schedule's color quality guarantees.
+	Degraded bool `json:"degraded"`
+	// DegradedFinished counts the vertices the sequential fallback
+	// colored (0 when Degraded is false).
+	DegradedFinished int `json:"degraded_finished,omitempty"`
+	// CacheHit reports the graph came from the content-hash cache.
+	CacheHit bool `json:"cache_hit"`
+	// Fingerprint is the graph's CSR content hash (hex), stable across
+	// requests that describe the same incidence structure.
+	Fingerprint string `json:"fingerprint"`
+	// WallMS is coloring wall time; QueueMS is time spent admitted but
+	// not yet running — the two components of request latency a client
+	// can act on (raise deadline vs. back off).
+	WallMS  float64 `json:"wall_ms"`
+	QueueMS float64 `json:"queue_ms"`
+}
+
+// ErrorResponse is the body of every non-200 status.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server is the coloring daemon: an http.Handler backed by the worker
+// pool and graph cache. Create with New, shut down with Drain.
+type Server struct {
+	cfg   Config
+	pool  *pool
+	cache *graphCache
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New returns a ready Server with cfg's defaults applied and its
+// worker pool running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  newPool(cfg.Workers, cfg.QueueDepth),
+		cache: newGraphCache(cfg.CacheEntries),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /color", s.handleColor)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admitting jobs and blocks until every admitted job has
+// finished (or ctx expires), then stops the workers. Call it after the
+// HTTP listener has stopped accepting new connections.
+func (s *Server) Drain(ctx context.Context) error { return s.pool.drain(ctx) }
+
+// QueueDepth reports jobs admitted but not yet running.
+func (s *Server) QueueDepth() int { return s.pool.depth() }
+
+// ActiveJobs reports jobs currently coloring.
+func (s *Server) ActiveJobs() int { return s.pool.active() }
+
+// CachedGraphs reports the number of graphs in the content-hash cache.
+func (s *Server) CachedGraphs() int { return s.cache.len() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queue_depth":   s.pool.depth(),
+		"active_jobs":   s.pool.active(),
+		"cached_graphs": s.cache.len(),
+		"workers":       s.cfg.Workers,
+		"queue_cap":     s.cfg.QueueDepth,
+		"counters":      obs.Snapshot(),
+	})
+}
+
+func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
+	var req ColorRequest
+	body := io.LimitReader(r.Body, s.cfg.MaxRequestBytes+1)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	if int64(len(raw)) > s.cfg.MaxRequestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request exceeds %d bytes", s.cfg.MaxRequestBytes)
+		return
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+
+	spec, status, err := s.resolve(&req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	// Per-request deadline: the job context inherits the client
+	// connection's context, so a dropped client cancels the run too.
+	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout)
+	defer cancel()
+
+	j := &job{ctx: ctx, done: make(chan struct{})}
+	var resp *ColorResponse
+	var jobStatus int
+	var jobErr error
+	enqueued := time.Now()
+	j.run = func(ctx context.Context) {
+		resp, jobStatus, jobErr = s.execute(ctx, spec, time.Since(enqueued))
+	}
+	if err := s.pool.submit(j); err != nil {
+		status := http.StatusTooManyRequests
+		if errors.Is(err, errDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gone: the job context is canceled with it; the worker
+		// will finish its (now trivial) run shortly. Nothing to write.
+		<-j.done
+		return
+	}
+	if jobErr != nil {
+		if jobStatus == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, jobStatus, "%v", jobErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobSpec is a fully validated request, ready to execute.
+type jobSpec struct {
+	entry    *cacheEntry
+	cacheHit bool
+	d2mode   bool
+	opts     core.Options
+	algo     string
+	timeout  time.Duration
+}
+
+// resolve validates the request and produces a jobSpec, including the
+// cache-or-parse graph lookup. The returned status is the HTTP code to
+// use when err is non-nil.
+func (s *Server) resolve(req *ColorRequest) (*jobSpec, int, error) {
+	if (req.Matrix == "") == (req.Preset == "") {
+		return nil, http.StatusBadRequest, errors.New("give exactly one of matrix or preset")
+	}
+	if req.TimeoutMS < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+
+	algo := req.Algorithm
+	if algo == "" {
+		algo = "N1-N2"
+	}
+	opts, err := core.ParseAlgorithm(algo)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	switch strings.ToUpper(req.Balance) {
+	case "", "U", "NONE":
+		opts.Balance = core.BalanceNone
+	case "B1":
+		opts.Balance = core.BalanceB1
+	case "B2":
+		opts.Balance = core.BalanceB2
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown balance %q (want U, B1, or B2)", req.Balance)
+	}
+	opts.Threads = req.Threads
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	if opts.Threads > s.cfg.MaxThreads {
+		opts.Threads = s.cfg.MaxThreads
+	}
+
+	var d2mode bool
+	switch strings.ToLower(req.Mode) {
+	case "", "bgpc":
+	case "d2", "d2gc":
+		d2mode = true
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want bgpc or d2)", req.Mode)
+	}
+
+	var key string
+	if req.Matrix != "" {
+		key = matrixKey(req.Matrix)
+	} else {
+		scale := req.Scale
+		if scale == 0 {
+			scale = 1.0
+		}
+		if scale < 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("negative scale %g", scale)
+		}
+		key = presetKey(req.Preset, scale)
+	}
+	entry, hit := s.cache.get(key)
+	if !hit {
+		var g *bipartite.Graph
+		var err error
+		if req.Matrix != "" {
+			g, err = mtx.Read(strings.NewReader(req.Matrix))
+		} else {
+			scale := req.Scale
+			if scale == 0 {
+				scale = 1.0
+			}
+			g, err = gen.Preset(req.Preset, scale)
+		}
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("building graph: %w", err)
+		}
+		entry = s.cache.put(key, g)
+	}
+	if d2mode {
+		// Fail symmetric-structure requirements at admission, not on a
+		// worker.
+		if _, err := entry.undirected(); err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("d2 mode: %w", err)
+		}
+	}
+
+	if s.cfg.Obs.Enabled() {
+		label := "svc/" + algo
+		if d2mode {
+			label = "svc/d2/" + algo
+		}
+		opts.Obs = s.cfg.Obs.WithAlgo(label)
+	}
+	return &jobSpec{entry: entry, cacheHit: hit, d2mode: d2mode, opts: opts, algo: algo, timeout: timeout}, 0, nil
+}
+
+// execute runs a validated job on a worker. It never returns 5xx for
+// predictable conditions: deadline-before-start is 429 (admission
+// could not schedule the job in time — a backpressure signal), and a
+// deadline mid-run degrades to the sequential completion path.
+func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duration) (*ColorResponse, int, error) {
+	if err := ctx.Err(); err != nil {
+		// Expired (or abandoned) while queued: nothing ran, so there
+		// is no partial state worth degrading — tell the client to
+		// back off and retry.
+		return nil, http.StatusTooManyRequests, fmt.Errorf("deadline expired before the job could start (queued %s)", queued.Round(time.Microsecond))
+	}
+	start := time.Now()
+	var res *core.Result
+	var err error
+	if spec.d2mode {
+		ug, _ := spec.entry.undirected() // validated at admission
+		res, err = d2.ColorCtx(ctx, ug, spec.opts)
+	} else {
+		res, err = core.ColorCtx(ctx, spec.entry.g, spec.opts)
+	}
+
+	resp := &ColorResponse{
+		CacheHit:    spec.cacheHit,
+		Fingerprint: fmt.Sprintf("%016x", spec.entry.g.Fingerprint()),
+		QueueMS:     float64(queued.Microseconds()) / 1000,
+	}
+	switch {
+	case err == nil:
+		obs.SvcCompleted.Inc()
+	case errors.Is(err, core.ErrCanceled):
+		// Graceful degradation: the canceled runner already repaired
+		// the colored prefix; finish the rest sequentially so the
+		// client still gets a complete valid coloring.
+		if spec.d2mode {
+			ug, _ := spec.entry.undirected()
+			resp.DegradedFinished = d2.FinishSequential(ug, res.Colors)
+		} else {
+			resp.DegradedFinished = core.FinishSequential(spec.entry.g, res.Colors)
+		}
+		resp.Degraded = true
+		obs.SvcDegraded.Inc()
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("coloring failed: %w", err)
+	}
+
+	// A service must not hand out invalid colorings: the check is one
+	// O(nnz) pass, far cheaper than the run itself.
+	if spec.d2mode {
+		ug, _ := spec.entry.undirected()
+		err = verify.D2GC(ug, res.Colors)
+	} else {
+		err = verify.BGPC(spec.entry.g, res.Colors)
+	}
+	if err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("internal: produced an invalid coloring: %w", err)
+	}
+
+	resp.Colors = res.Colors
+	resp.Iterations = res.Iterations
+	resp.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	cs := verify.Stats(res.Colors)
+	resp.NumColors = cs.NumColors
+	resp.MaxColor = cs.MaxColor
+	return resp, 0, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar registers the daemon's queue-depth and active-job
+// gauges (plus the obs counters) with the process-wide expvar
+// registry, for /debug/vars scraping. First server wins; safe to call
+// more than once.
+func PublishExpvar(s *Server) {
+	obs.PublishExpvar()
+	expvarOnce.Do(func() {
+		publishGauges(s)
+	})
+}

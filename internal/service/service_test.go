@@ -1,0 +1,238 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bgpc/internal/gen"
+	"bgpc/internal/graph"
+	"bgpc/internal/mtx"
+	"bgpc/internal/testutil"
+	"bgpc/internal/verify"
+)
+
+// tinyMtx is a 3×4 pattern matrix: nets {0,1,2}, {2,3}, {1,3}.
+const tinyMtx = `%%MatrixMarket matrix coordinate pattern general
+3 4 7
+1 1
+1 2
+1 3
+2 3
+2 4
+3 2
+3 4
+`
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), testutil.Scale(5*time.Second))
+		defer cancel()
+		if err := s.Drain(ctx); err != nil && !strings.Contains(err.Error(), "already in progress") {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s
+}
+
+func post(t *testing.T, s *Server, req ColorRequest) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("POST", "/color", bytes.NewReader(body)))
+	return w
+}
+
+func decode(t *testing.T, w *httptest.ResponseRecorder) *ColorResponse {
+	t.Helper()
+	var resp ColorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+	return &resp
+}
+
+func TestServeInlineMatrix(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := newTestServer(t, Config{Workers: 2})
+	w := post(t, s, ColorRequest{Matrix: tinyMtx, Algorithm: "V-V", Threads: 2})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decode(t, w)
+	g, err := mtx.Read(strings.NewReader(tinyMtx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.BGPC(g, resp.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded || resp.NumColors < 3 {
+		t.Fatalf("degraded=%v numColors=%d", resp.Degraded, resp.NumColors)
+	}
+	if resp.Fingerprint == "" {
+		t.Fatal("no fingerprint")
+	}
+}
+
+func TestServePresetAndCacheHit(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := newTestServer(t, Config{Workers: 2})
+	req := ColorRequest{Preset: "movielens", Scale: 0.05, Algorithm: "N1-N2", Threads: 2}
+
+	w1 := post(t, s, req)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w1.Code, w1.Body)
+	}
+	r1 := decode(t, w1)
+	if r1.CacheHit {
+		t.Fatal("first request claims a cache hit")
+	}
+	w2 := post(t, s, req)
+	r2 := decode(t, w2)
+	if !r2.CacheHit {
+		t.Fatal("second identical request missed the cache")
+	}
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Fatalf("fingerprints differ: %s vs %s", r1.Fingerprint, r2.Fingerprint)
+	}
+	g, err := gen.Preset("movielens", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.BGPC(g, r2.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if s.CachedGraphs() != 1 {
+		t.Fatalf("cached graphs = %d, want 1", s.CachedGraphs())
+	}
+}
+
+func TestServeD2Mode(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := newTestServer(t, Config{Workers: 2})
+	w := post(t, s, ColorRequest{Preset: "channel", Scale: 0.1, Mode: "d2", Threads: 2})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decode(t, w)
+	b, err := gen.Preset("channel", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ug, err := graph.FromBipartite(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.D2GC(ug, resp.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRejectsMalformedRequests(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		req  ColorRequest
+	}{
+		{"neither matrix nor preset", ColorRequest{}},
+		{"both matrix and preset", ColorRequest{Matrix: tinyMtx, Preset: "channel"}},
+		{"bad matrix", ColorRequest{Matrix: "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n9 9\n"}},
+		{"unknown preset", ColorRequest{Preset: "no-such-preset"}},
+		{"unknown algorithm", ColorRequest{Preset: "channel", Algorithm: "Z-Z"}},
+		{"unknown mode", ColorRequest{Preset: "channel", Mode: "d3"}},
+		{"unknown balance", ColorRequest{Preset: "channel", Balance: "B9"}},
+		{"negative timeout", ColorRequest{Preset: "channel", TimeoutMS: -5}},
+		{"negative scale", ColorRequest{Preset: "channel", Scale: -1}},
+		{"d2 on asymmetric matrix", ColorRequest{Matrix: tinyMtx, Mode: "d2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := post(t, s, tc.req)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", w.Code, w.Body)
+			}
+			var e ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("bad error body %q", w.Body)
+			}
+		})
+	}
+
+	t.Run("bad JSON", func(t *testing.T) {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest("POST", "/color", strings.NewReader("{not json")))
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", w.Code)
+		}
+	})
+	t.Run("oversized body", func(t *testing.T) {
+		big := newTestServer(t, Config{Workers: 1, MaxRequestBytes: 64})
+		w := post(t, big, ColorRequest{Matrix: tinyMtx})
+		if w.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, want 413", w.Code)
+		}
+	})
+}
+
+func TestServeDegradedOnTinyDeadline(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := newTestServer(t, Config{Workers: 2})
+	// A 1ms deadline on a non-trivial graph: the run is cut off, the
+	// service must still return a complete valid coloring, flagged
+	// degraded — or, if the machine is fast enough, a clean 200.
+	w := post(t, s, ColorRequest{Preset: "channel", Scale: 0.5, Algorithm: "V-V", Threads: 1, TimeoutMS: 1})
+	switch w.Code {
+	case http.StatusOK:
+		resp := decode(t, w)
+		b, err := gen.Preset("channel", 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.BGPC(b, resp.Colors); err != nil {
+			t.Fatalf("degraded=%v coloring invalid: %v", resp.Degraded, err)
+		}
+		// DegradedFinished may legitimately be 0: the cancel can land
+		// right after a conflict-free phase, leaving nothing to finish.
+		t.Logf("degraded=%v finished=%d", resp.Degraded, resp.DegradedFinished)
+	case http.StatusTooManyRequests:
+		// Deadline expired before a worker picked the job up — also a
+		// legal answer for a 1ms budget.
+	default:
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+}
+
+func TestServeDrainReturns503(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := New(Config{Workers: 1})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	w := post(t, s, ColorRequest{Preset: "channel", Scale: 0.05})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", w.Code)
+	}
+}
+
+func TestHealthzAndStatsz(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	for _, path := range []string{"/healthz", "/statsz"} {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, w.Code)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package testutil holds shared test helpers: a goroutine-leak
+// checker built on snapshot-and-compare with retry, and race-detector
+// awareness for timing-sensitive assertions. It deliberately has no
+// dependencies beyond the standard library so every package — par at
+// the bottom of the stack included — can use it.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeaks snapshots the goroutine count and registers a
+// cleanup that fails the test if, after retrying for a grace period,
+// more goroutines are running than at the snapshot. Call it first in
+// any test that spawns parallel loops, cancels runs, or starts and
+// stops a daemon.
+//
+// The retry loop absorbs benign lag: a canceled par.For returns at the
+// barrier, but the Go runtime may need a few scheduler rounds to
+// actually retire worker goroutines, and the runtime's own background
+// goroutines (GC workers) can appear between snapshots. Growth that
+// persists through the full grace period is reported with a stack dump
+// of every live goroutine.
+func CheckGoroutineLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakGrace())
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after grace period\n%s",
+			before, after, condenseStacks(string(buf)))
+	})
+}
+
+func leakGrace() time.Duration {
+	if RaceEnabled {
+		return 10 * time.Second
+	}
+	return 3 * time.Second
+}
+
+// condenseStacks drops runtime-internal goroutines from a full stack
+// dump so leak reports show only suspect stacks.
+func condenseStacks(dump string) string {
+	blocks := strings.Split(dump, "\n\n")
+	kept := blocks[:0]
+	for _, b := range blocks {
+		if strings.Contains(b, "runtime.gopark") && strings.Contains(b, "GC") {
+			continue
+		}
+		kept = append(kept, b)
+	}
+	return strings.Join(kept, "\n\n")
+}
+
+// Scale stretches a timing bound when the race detector (which slows
+// execution by roughly an order of magnitude) is active. Use it for
+// promptness assertions — e.g. Scale(100*time.Millisecond) — so the
+// same test is strict on a plain run and non-flaky under -race.
+func Scale(d time.Duration) time.Duration {
+	if RaceEnabled {
+		return 10 * d
+	}
+	return d
+}
+
+// WaitFor polls cond every millisecond until it returns true or the
+// (race-scaled) timeout elapses, then fails the test via msg.
+func WaitFor(t testing.TB, timeout time.Duration, cond func() bool, msg string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(Scale(timeout))
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", fmt.Sprintf(msg, args...))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

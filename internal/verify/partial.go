@@ -1,0 +1,78 @@
+package verify
+
+import (
+	"fmt"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/graph"
+)
+
+// BGPCPartial checks that colors is a valid *partial* BGPC state:
+// entries may be Uncolored (negative), but no two colored vertices of
+// any net may share a color. It is the validity contract of the
+// repaired state a canceled core.ColorCtx returns; BGPC remains the
+// check for complete colorings.
+func BGPCPartial(g *bipartite.Graph, colors []int32) error {
+	if len(colors) != g.NumVertices() {
+		return fmt.Errorf("verify: %d colors for %d vertices", len(colors), g.NumVertices())
+	}
+	maxColor := int32(-1)
+	for _, c := range colors {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	stamp := make([]int32, maxColor+1)
+	owner := make([]int32, maxColor+1)
+	for v := int32(0); int(v) < g.NumNets(); v++ {
+		tag := v + 1
+		for _, u := range g.Vtxs(v) {
+			c := colors[u]
+			if c < 0 {
+				continue
+			}
+			if stamp[c] == tag && owner[c] != u {
+				return fmt.Errorf("verify: net %d has vertices %d and %d both colored %d", v, owner[c], u, c)
+			}
+			stamp[c] = tag
+			owner[c] = u
+		}
+	}
+	return nil
+}
+
+// D2GCPartial checks that colors is a valid partial distance-2 state:
+// Uncolored entries are permitted, colored vertices within distance
+// two must differ. Counterpart of D2GC for canceled d2.ColorCtx runs.
+func D2GCPartial(g *graph.Graph, colors []int32) error {
+	if len(colors) != g.NumVertices() {
+		return fmt.Errorf("verify: %d colors for %d vertices", len(colors), g.NumVertices())
+	}
+	maxColor := int32(-1)
+	for _, c := range colors {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	stamp := make([]int32, maxColor+1)
+	owner := make([]int32, maxColor+1)
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		tag := v + 1
+		if cv := colors[v]; cv >= 0 {
+			stamp[cv] = tag
+			owner[cv] = v
+		}
+		for _, u := range g.Nbors(v) {
+			c := colors[u]
+			if c < 0 {
+				continue
+			}
+			if stamp[c] == tag && owner[c] != u {
+				return fmt.Errorf("verify: vertices %d and %d within distance 2 (via %d) both colored %d", owner[c], u, v, c)
+			}
+			stamp[c] = tag
+			owner[c] = u
+		}
+	}
+	return nil
+}
