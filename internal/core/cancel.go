@@ -14,6 +14,14 @@ import (
 // state the runner could produce (see ColorCtx).
 var ErrCanceled = errors.New("coloring canceled")
 
+// ErrNoFixedPoint is the sentinel matched by errors.Is when
+// speculate-and-iterate fails to converge within the runner's
+// iteration cap. It signals an algorithm/configuration limit on the
+// server side, not a defect in the input graph — callers exposing the
+// runners over a request API should map it to an internal error, not
+// a client error.
+var ErrNoFixedPoint = errors.New("no fixed point")
+
 // CancelError reports a coloring run cut short by context
 // cancellation or deadline expiry. It unwraps to both ErrCanceled and
 // the context's cause (context.Canceled or context.DeadlineExceeded).

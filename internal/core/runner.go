@@ -115,7 +115,7 @@ func ColorCtx(ctx context.Context, g *bipartite.Graph, opts Options) (*Result, e
 	maxIters := opts.maxIters()
 	for iter := 1; len(W) > 0; iter++ {
 		if iter > maxIters {
-			return nil, fmt.Errorf("core: no fixed point after %d iterations (%d vertices still queued)", maxIters, len(W))
+			return nil, fmt.Errorf("core: %w after %d iterations (%d vertices still queued)", ErrNoFixedPoint, maxIters, len(W))
 		}
 		if cn.Canceled() {
 			res.Time = time.Since(start)

@@ -165,7 +165,7 @@ func ColorCtx(ctx context.Context, g *graph.Graph, opts Options) (*core.Result, 
 	maxIters := maxItersOf(&opts)
 	for iter := 1; len(W) > 0; iter++ {
 		if iter > maxIters {
-			return nil, fmt.Errorf("d2: no fixed point after %d iterations (%d vertices still queued)", maxIters, len(W))
+			return nil, fmt.Errorf("d2: %w after %d iterations (%d vertices still queued)", core.ErrNoFixedPoint, maxIters, len(W))
 		}
 		if cn.Canceled() {
 			res.Time = time.Since(start)

@@ -82,6 +82,10 @@ func (p *pool) worker() {
 // submit admits j or returns errQueueFull / errDraining. Admission is
 // serialized under a mutex so that drain's WaitGroup.Wait never races
 // a late Add — once draining is observed true no further job enters.
+// The inflight/queued accounting is established BEFORE the job becomes
+// visible on the channel: a worker may receive, run, and finish the
+// job the instant the send succeeds, and its inflight.Done must never
+// observe a counter the submitter has not incremented yet.
 func (p *pool) submit(j *job) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -89,13 +93,15 @@ func (p *pool) submit(j *job) error {
 		obs.SvcRejected.Inc()
 		return errDraining
 	}
+	p.inflight.Add(1)
+	p.queued.Add(1)
 	select {
 	case p.jobs <- j:
-		p.inflight.Add(1)
-		p.queued.Add(1)
 		obs.SvcAccepted.Inc()
 		return nil
 	default:
+		p.inflight.Done()
+		p.queued.Add(-1)
 		obs.SvcRejected.Inc()
 		return errQueueFull
 	}
@@ -121,6 +127,12 @@ func (p *pool) drain(ctx context.Context) error {
 	select {
 	case <-finished:
 	case <-ctx.Done():
+		// Grace window expired: still stop the workers so idle
+		// goroutines are not leaked. Only the guard above reaches this
+		// point, so the close cannot double-fire. Jobs already running
+		// keep their goroutine until they observe their own context;
+		// we do not wait for them.
+		close(p.quit)
 		return ctx.Err()
 	}
 	close(p.quit)

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -109,6 +110,67 @@ func TestPoolDrainContextExpiry(t *testing.T) {
 	// Second drain reports it is already in progress.
 	if err := p.drain(context.Background()); err == nil {
 		t.Fatal("second drain succeeded, want already-in-progress error")
+	}
+}
+
+// TestPoolDrainTimeoutStopsIdleWorkers: a drain whose grace window
+// expires must still close the quit channel so idle workers exit; the
+// worker stuck on a job follows once the job completes.
+func TestPoolDrainTimeoutStopsIdleWorkers(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	p := newPool(4, 4)
+	release := make(chan struct{})
+	j, started := blockingJob(release)
+	if err := p.submit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	<-j.done
+	// All four workers must terminate: three idle ones on the closed
+	// quit channel, the fourth after finishing its job.
+	p.workers.Wait()
+}
+
+// TestPoolSubmitFastJobStress hammers submit with jobs that finish
+// almost instantly. The inflight WaitGroup must be incremented before
+// the job is visible to a worker: if the worker's Done could beat the
+// submitter's Add, a lone fast job would drive the counter negative
+// and panic (and depth would go transiently negative).
+func TestPoolSubmitFastJobStress(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	p := newPool(8, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j := &job{ctx: context.Background(), done: make(chan struct{})}
+				j.run = func(context.Context) {}
+				if err := p.submit(j); err != nil {
+					if !errors.Is(err, errQueueFull) {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				<-j.done
+				if d := p.depth(); d < 0 {
+					t.Errorf("negative queue depth %d", d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := p.drain(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }
 

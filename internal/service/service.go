@@ -20,6 +20,8 @@
 //	       "fingerprint": "…", "wall_ms": 1.8, "queue_ms": 0.1}
 //	400 → malformed request (bad JSON, matrix, algorithm, timeout)
 //	429 → queue full, or the deadline expired before the job started
+//	500 → server-side failure (e.g. the speculative runner hit its
+//	      iteration cap without converging) — never a request defect
 //	503 → draining (shutdown in progress)
 //
 // Backpressure is explicit: the queue is bounded, overflow is an
@@ -43,6 +45,7 @@ import (
 	"bgpc/internal/core"
 	"bgpc/internal/d2"
 	"bgpc/internal/gen"
+	"bgpc/internal/graph"
 	"bgpc/internal/mtx"
 	"bgpc/internal/obs"
 	"bgpc/internal/verify"
@@ -288,19 +291,28 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// jobSpec is a fully validated request, ready to execute.
+// jobSpec is a fully validated request, ready to execute. It carries
+// the raw graph material (matrix text or preset name), not a built
+// graph: parsing and CSR construction are expensive enough that they
+// must run on a pooled worker, inside admission control, or N
+// concurrent clients posting distinct 32 MiB matrices would trigger N
+// concurrent builds on handler goroutines and defeat the backpressure
+// model.
 type jobSpec struct {
-	entry    *cacheEntry
-	cacheHit bool
-	d2mode   bool
-	opts     core.Options
-	algo     string
-	timeout  time.Duration
+	key     string // graph-cache key
+	matrix  string // inline MatrixMarket body ("" when preset is set)
+	preset  string
+	scale   float64
+	d2mode  bool
+	opts    core.Options
+	algo    string
+	timeout time.Duration
 }
 
-// resolve validates the request and produces a jobSpec, including the
-// cache-or-parse graph lookup. The returned status is the HTTP code to
-// use when err is non-nil.
+// resolve validates everything cheap about the request — field shapes,
+// algorithm, mode, limits — and produces a jobSpec. Graph construction
+// is deliberately deferred to execute (on a worker). The returned
+// status is the HTTP code to use when err is non-nil.
 func (s *Server) resolve(req *ColorRequest) (*jobSpec, int, error) {
 	if (req.Matrix == "") == (req.Preset == "") {
 		return nil, http.StatusBadRequest, errors.New("give exactly one of matrix or preset")
@@ -351,43 +363,25 @@ func (s *Server) resolve(req *ColorRequest) (*jobSpec, int, error) {
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want bgpc or d2)", req.Mode)
 	}
 
-	var key string
+	spec := &jobSpec{
+		matrix:  req.Matrix,
+		preset:  req.Preset,
+		d2mode:  d2mode,
+		opts:    opts,
+		algo:    algo,
+		timeout: timeout,
+	}
 	if req.Matrix != "" {
-		key = matrixKey(req.Matrix)
+		spec.key = matrixKey(req.Matrix)
 	} else {
-		scale := req.Scale
-		if scale == 0 {
-			scale = 1.0
+		spec.scale = req.Scale
+		if spec.scale == 0 {
+			spec.scale = 1.0
 		}
-		if scale < 0 {
-			return nil, http.StatusBadRequest, fmt.Errorf("negative scale %g", scale)
+		if spec.scale < 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("negative scale %g", spec.scale)
 		}
-		key = presetKey(req.Preset, scale)
-	}
-	entry, hit := s.cache.get(key)
-	if !hit {
-		var g *bipartite.Graph
-		var err error
-		if req.Matrix != "" {
-			g, err = mtx.Read(strings.NewReader(req.Matrix))
-		} else {
-			scale := req.Scale
-			if scale == 0 {
-				scale = 1.0
-			}
-			g, err = gen.Preset(req.Preset, scale)
-		}
-		if err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("building graph: %w", err)
-		}
-		entry = s.cache.put(key, g)
-	}
-	if d2mode {
-		// Fail symmetric-structure requirements at admission, not on a
-		// worker.
-		if _, err := entry.undirected(); err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("d2 mode: %w", err)
-		}
+		spec.key = presetKey(req.Preset, spec.scale)
 	}
 
 	if s.cfg.Obs.Enabled() {
@@ -395,15 +389,40 @@ func (s *Server) resolve(req *ColorRequest) (*jobSpec, int, error) {
 		if d2mode {
 			label = "svc/d2/" + algo
 		}
-		opts.Obs = s.cfg.Obs.WithAlgo(label)
+		spec.opts.Obs = s.cfg.Obs.WithAlgo(label)
 	}
-	return &jobSpec{entry: entry, cacheHit: hit, d2mode: d2mode, opts: opts, algo: algo, timeout: timeout}, 0, nil
+	return spec, 0, nil
 }
 
-// execute runs a validated job on a worker. It never returns 5xx for
-// predictable conditions: deadline-before-start is 429 (admission
-// could not schedule the job in time — a backpressure signal), and a
-// deadline mid-run degrades to the sequential completion path.
+// buildGraph resolves spec's graph material to a cache entry, parsing
+// or generating on a miss. It runs on a pooled worker so that graph
+// construction — often the dominant cost for cold matrices — is
+// bounded by the same admission control as the coloring itself.
+func (s *Server) buildGraph(spec *jobSpec) (*cacheEntry, bool, error) {
+	entry, hit := s.cache.get(spec.key)
+	if hit {
+		return entry, true, nil
+	}
+	var g *bipartite.Graph
+	var err error
+	if spec.matrix != "" {
+		g, err = mtx.Read(strings.NewReader(spec.matrix))
+	} else {
+		g, err = gen.Preset(spec.preset, spec.scale)
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("building graph: %w", err)
+	}
+	return s.cache.put(spec.key, g), false, nil
+}
+
+// execute runs a validated job on a worker: graph construction (cache
+// miss), the coloring run, and result verification. It never returns
+// 5xx for predictable conditions: deadline-before-start is 429
+// (admission could not schedule the job in time — a backpressure
+// signal), bad graph material is 400, and a deadline mid-run degrades
+// to the sequential completion path. Iteration exhaustion — a
+// server-side algorithm limit the client cannot fix — is 500.
 func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duration) (*ColorResponse, int, error) {
 	if err := ctx.Err(); err != nil {
 		// Expired (or abandoned) while queued: nothing ran, so there
@@ -411,19 +430,30 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 		// back off and retry.
 		return nil, http.StatusTooManyRequests, fmt.Errorf("deadline expired before the job could start (queued %s)", queued.Round(time.Microsecond))
 	}
+	entry, hit, err := s.buildGraph(spec)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	var ug *graph.Graph
+	if spec.d2mode {
+		// The symmetric-structure requirement is a property of the
+		// request's matrix; surface its failure as a client error.
+		if ug, err = entry.undirected(); err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("d2 mode: %w", err)
+		}
+	}
+
 	start := time.Now()
 	var res *core.Result
-	var err error
 	if spec.d2mode {
-		ug, _ := spec.entry.undirected() // validated at admission
 		res, err = d2.ColorCtx(ctx, ug, spec.opts)
 	} else {
-		res, err = core.ColorCtx(ctx, spec.entry.g, spec.opts)
+		res, err = core.ColorCtx(ctx, entry.g, spec.opts)
 	}
 
 	resp := &ColorResponse{
-		CacheHit:    spec.cacheHit,
-		Fingerprint: fmt.Sprintf("%016x", spec.entry.g.Fingerprint()),
+		CacheHit:    hit,
+		Fingerprint: fmt.Sprintf("%016x", entry.g.Fingerprint()),
 		QueueMS:     float64(queued.Microseconds()) / 1000,
 	}
 	switch {
@@ -434,13 +464,14 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 		// the colored prefix; finish the rest sequentially so the
 		// client still gets a complete valid coloring.
 		if spec.d2mode {
-			ug, _ := spec.entry.undirected()
 			resp.DegradedFinished = d2.FinishSequential(ug, res.Colors)
 		} else {
-			resp.DegradedFinished = core.FinishSequential(spec.entry.g, res.Colors)
+			resp.DegradedFinished = core.FinishSequential(entry.g, res.Colors)
 		}
 		resp.Degraded = true
 		obs.SvcDegraded.Inc()
+	case errors.Is(err, core.ErrNoFixedPoint):
+		return nil, http.StatusInternalServerError, fmt.Errorf("coloring failed: %w", err)
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("coloring failed: %w", err)
 	}
@@ -448,10 +479,9 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 	// A service must not hand out invalid colorings: the check is one
 	// O(nnz) pass, far cheaper than the run itself.
 	if spec.d2mode {
-		ug, _ := spec.entry.undirected()
 		err = verify.D2GC(ug, res.Colors)
 	} else {
-		err = verify.BGPC(spec.entry.g, res.Colors)
+		err = verify.BGPC(entry.g, res.Colors)
 	}
 	if err != nil {
 		return nil, http.StatusInternalServerError, fmt.Errorf("internal: produced an invalid coloring: %w", err)
