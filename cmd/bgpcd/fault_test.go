@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bgpc/internal/failpoint"
+	"bgpc/internal/service"
+	"bgpc/internal/testutil"
+)
+
+// TestDaemonFailpointsFlag boots the daemon with -failpoints, checks
+// the armed schedule is logged, and confirms end-to-end containment:
+// the armed panic becomes a 500, then the auto-disarmed daemon serves
+// a 200 and drains cleanly on the signal path.
+func TestDaemonFailpointsFlag(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &lineCapture{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-workers", "2",
+			"-failpoints", "pool.beforeRun=panic@1",
+			"-quarantine", "5",
+		}, out)
+	}()
+	var addr string
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		a, ok := out.addr()
+		addr = a
+		return ok
+	}, "daemon to print its listen address")
+
+	out.mu.Lock()
+	banner := out.buf.String()
+	out.mu.Unlock()
+	if !strings.Contains(banner, "failpoints armed: pool.beforeRun") {
+		t.Fatalf("armed failpoints not logged at startup:\n%s", banner)
+	}
+
+	client := &http.Client{Timeout: testutil.Scale(10 * time.Second)}
+	req := service.ColorRequest{Preset: "channel", Scale: 0.05}
+	code, body, err := postJSON(client, "http://"+addr, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusInternalServerError {
+		t.Fatalf("armed daemon: status %d: %s", code, body)
+	}
+	code, body, err = postJSON(client, "http://"+addr, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("after auto-disarm: status %d: %s", code, body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(testutil.Scale(10 * time.Second)):
+		t.Fatal("daemon did not drain after shutdown signal")
+	}
+}
+
+// TestDaemonBadFailpointSpec: a malformed schedule is a startup error,
+// not a silently disarmed daemon.
+func TestDaemonBadFailpointSpec(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	err := run(context.Background(), []string{
+		"-addr", "127.0.0.1:0", "-failpoints", "pool.beforeRun=explode",
+	}, &lineCapture{})
+	if err == nil || !strings.Contains(err.Error(), "failpoints") {
+		t.Fatalf("bad spec accepted: %v", err)
+	}
+}
+
+// TestDaemonEnvFailpoints: the BGPC_FAILPOINTS environment variable
+// arms the same machinery (the CI chaos job's path).
+func TestDaemonEnvFailpoints(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	t.Setenv(failpoint.EnvVar, "svc.handleColor=err@1")
+
+	url, shutdown := startDaemon(t)
+	defer shutdown()
+	client := &http.Client{Timeout: testutil.Scale(10 * time.Second)}
+	code, body, err := postJSON(client, url, service.ColorRequest{Preset: "channel", Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusInternalServerError || !strings.Contains(string(body), "injected") {
+		t.Fatalf("env-armed handler fault: status %d: %s", code, body)
+	}
+}

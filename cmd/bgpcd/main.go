@@ -7,6 +7,8 @@
 //	bgpcd [-addr :8972] [-workers N] [-queue N]
 //	      [-timeout 30s] [-max-timeout 2m] [-cache 64] [-max-threads N]
 //	      [-trace trace.jsonl] [-metrics]
+//	      [-watchdog 0] [-quarantine 3] [-quarantine-for 30s]
+//	      [-failpoints name=kind[:arg][@times][#skip];…]
 //
 // API (see internal/service for the full request/response schema):
 //
@@ -19,6 +21,12 @@
 //
 // On SIGTERM/SIGINT the daemon stops accepting connections, lets
 // admitted jobs finish (bounded by -drain-grace), then exits.
+//
+// Fault injection for chaos testing: -failpoints (or the
+// BGPC_FAILPOINTS environment variable, which is applied first) arms
+// named failpoints across the serving path; armed points are logged at
+// startup. See internal/failpoint for the grammar and README's
+// "Failure model" for the containment guarantees.
 package main
 
 import (
@@ -29,13 +37,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"bgpc/internal/failpoint"
 	"bgpc/internal/obs"
 	"bgpc/internal/service"
 )
@@ -64,17 +75,39 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	drainGrace := fs.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	traceFile := fs.String("trace", "", "write a JSON-lines trace event per phase of every job to this file")
 	metrics := fs.Bool("metrics", false, "enable hot-path counters and expose /debug/vars")
+	watchdog := fs.Duration("watchdog", 0, "cancel jobs making no coloring progress for this window and finish them sequentially (0 disables)")
+	quarAfter := fs.Int("quarantine", 3, "worker panics on one graph before it is quarantined (negative disables)")
+	quarFor := fs.Duration("quarantine-for", 30*time.Second, "how long a quarantined graph is refused")
+	failpoints := fs.String("failpoints", "", "arm failpoints for chaos testing, e.g. 'pool.beforeRun=panic@1;par.dispatch=delay:2ms' (applied after $"+failpoint.EnvVar+")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// Fault schedules: environment first (the CI chaos job's path),
+	// then the flag, so a flag spec can extend or re-arm env points.
+	if err := failpoint.ArmFromEnv(); err != nil {
+		return fmt.Errorf("%s: %w", failpoint.EnvVar, err)
+	}
+	if *failpoints != "" {
+		if err := failpoint.ArmFromSpec(*failpoints); err != nil {
+			return fmt.Errorf("-failpoints: %w", err)
+		}
+	}
+	if active := failpoint.Active(); len(active) > 0 {
+		fmt.Fprintf(stdout, "bgpcd: failpoints armed: %s\n", strings.Join(active, ", "))
+	}
+
 	cfg := service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		CacheEntries:   *cache,
-		MaxThreads:     *maxThreads,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		CacheEntries:    *cache,
+		MaxThreads:      *maxThreads,
+		WatchdogWindow:  *watchdog,
+		QuarantineAfter: *quarAfter,
+		QuarantineFor:   *quarFor,
+		Logf:            log.Printf,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"bgpc"
+	"bgpc/internal/failpoint"
 )
 
 func main() {
@@ -41,7 +42,17 @@ func main() {
 	traceFile := flag.String("trace", "", "write a JSON-lines trace event per phase per iteration to this file (parallel algorithms only)")
 	metrics := flag.Bool("metrics", false, "count hot-path runtime events and print them after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (with per-phase pprof labels) to this file")
+	failpoints := flag.String("failpoints", "", "arm failpoints for fault-injection runs, e.g. 'core.iterate=delay:10ms' (applied after $"+failpoint.EnvVar+")")
 	flag.Parse()
+
+	if err := failpoint.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
+	if *failpoints != "" {
+		if err := failpoint.ArmFromSpec(*failpoints); err != nil {
+			fatal(err)
+		}
+	}
 
 	var observer *bgpc.Observer
 	if *traceFile != "" {

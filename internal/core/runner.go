@@ -6,9 +6,18 @@ import (
 	"time"
 
 	"bgpc/internal/bipartite"
+	"bgpc/internal/failpoint"
 	"bgpc/internal/obs"
 	"bgpc/internal/par"
 )
+
+// FPIterate is the failpoint probed at every speculative-iteration
+// boundary of the BGPC runner: "cancel" behaves like a context expiry
+// at the barrier (a no-op when the run has no deadline to watch),
+// "delay" stalls between iterations, "err" aborts the run with an
+// injected server-side error, and "panic" unwinds the calling
+// goroutine (contained by serving layers that recover per job).
+const FPIterate = "core.iterate"
 
 // Color runs the speculative parallel BGPC loop (Algorithm 1) with the
 // phase schedule, scheduling parameters, and balancing Policy described
@@ -116,6 +125,13 @@ func ColorCtx(ctx context.Context, g *bipartite.Graph, opts Options) (*Result, e
 	for iter := 1; len(W) > 0; iter++ {
 		if iter > maxIters {
 			return nil, fmt.Errorf("core: %w after %d iterations (%d vertices still queued)", ErrNoFixedPoint, maxIters, len(W))
+		}
+		if err := failpoint.Inject(FPIterate); err != nil {
+			if failpoint.IsCancel(err) {
+				cn.Cancel()
+			} else {
+				return nil, fmt.Errorf("core: %w", err)
+			}
 		}
 		if cn.Canceled() {
 			res.Time = time.Since(start)

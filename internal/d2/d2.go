@@ -14,10 +14,15 @@ import (
 	"time"
 
 	"bgpc/internal/core"
+	"bgpc/internal/failpoint"
 	"bgpc/internal/graph"
 	"bgpc/internal/obs"
 	"bgpc/internal/par"
 )
+
+// FPIterate is the D2GC runner's iteration-boundary failpoint,
+// mirroring core.FPIterate.
+const FPIterate = "d2.iterate"
 
 // Options reuses the BGPC option set; NetColorVariant is ignored (the
 // paper defines a single net-based D2GC coloring, Algorithm 9).
@@ -166,6 +171,13 @@ func ColorCtx(ctx context.Context, g *graph.Graph, opts Options) (*core.Result, 
 	for iter := 1; len(W) > 0; iter++ {
 		if iter > maxIters {
 			return nil, fmt.Errorf("d2: %w after %d iterations (%d vertices still queued)", core.ErrNoFixedPoint, maxIters, len(W))
+		}
+		if err := failpoint.Inject(FPIterate); err != nil {
+			if failpoint.IsCancel(err) {
+				cn.Cancel()
+			} else {
+				return nil, fmt.Errorf("d2: %w", err)
+			}
 		}
 		if cn.Canceled() {
 			res.Time = time.Since(start)

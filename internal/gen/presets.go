@@ -5,7 +5,15 @@ import (
 	"math"
 
 	"bgpc/internal/bipartite"
+	"bgpc/internal/failpoint"
 )
+
+// FPBuild is probed at the start of every TryPreset build. The
+// generators clamp their parameters hard enough that real build
+// panics are unreachable from the preset table, so this failpoint is
+// how tests and chaos schedules exercise TryPreset's containment:
+// "panic" simulates a generator bug, "err" a rejected construction.
+const FPBuild = "gen.build"
 
 // PresetInfo describes one synthetic stand-in for a paper matrix.
 type PresetInfo struct {
@@ -148,6 +156,31 @@ func Preset(name string, scale float64) (*bipartite.Graph, error) {
 	p, err := Lookup(name)
 	if err != nil {
 		return nil, err
+	}
+	return p.build(scale), nil
+}
+
+// TryPreset is Preset with build-panic containment: generator panics
+// (which the CLI-facing constructors use for impossible parameter
+// combinations) are recovered and returned as errors instead of
+// unwinding the caller. Serving layers use it so a bad or injected
+// build turns into a structured client/server error rather than a
+// crashed worker.
+func TryPreset(name string, scale float64) (g *bipartite.Graph, err error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("gen: non-positive scale %v", scale)
+	}
+	p, lookupErr := Lookup(name)
+	if lookupErr != nil {
+		return nil, lookupErr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("gen: preset %q build panicked: %v", name, r)
+		}
+	}()
+	if fperr := failpoint.Inject(FPBuild); fperr != nil {
+		return nil, fmt.Errorf("gen: preset %q: %w", name, fperr)
 	}
 	return p.build(scale), nil
 }

@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bgpc/internal/failpoint"
+)
+
+func TestTryPresetMatchesPreset(t *testing.T) {
+	failpoint.Reset()
+	for _, name := range PresetNames() {
+		want, err := Preset(name, 0.05)
+		if err != nil {
+			t.Fatalf("Preset(%s): %v", name, err)
+		}
+		got, err := TryPreset(name, 0.05)
+		if err != nil {
+			t.Fatalf("TryPreset(%s): %v", name, err)
+		}
+		if got.NumVertices() != want.NumVertices() || got.NumNets() != want.NumNets() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("TryPreset(%s) built %dx%d/%d edges, Preset built %dx%d/%d",
+				name, got.NumNets(), got.NumVertices(), got.NumEdges(),
+				want.NumNets(), want.NumVertices(), want.NumEdges())
+		}
+	}
+}
+
+func TestTryPresetRejectsBadInput(t *testing.T) {
+	failpoint.Reset()
+	if _, err := TryPreset("no-such-matrix", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := TryPreset("afshell", 0); err == nil {
+		t.Fatal("non-positive scale accepted")
+	}
+	if _, err := TryPreset("afshell", -3); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+// TestTryPresetContainsBuildPanic: an injected generator panic comes
+// back as an error naming the preset, never as an unwinding panic.
+func TestTryPresetContainsBuildPanic(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	failpoint.Reset()
+	if err := failpoint.Arm(FPBuild, "panic"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := TryPreset("afshell", 0.05)
+	if g != nil || err == nil {
+		t.Fatalf("TryPreset under %s=panic: graph=%v err=%v", FPBuild, g, err)
+	}
+	if !strings.Contains(err.Error(), "afshell") || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not surfaced in error: %v", err)
+	}
+}
+
+func TestTryPresetInjectedErr(t *testing.T) {
+	t.Cleanup(failpoint.Reset)
+	failpoint.Reset()
+	if err := failpoint.Arm(FPBuild, "err"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := TryPreset("afshell", 0.05)
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped failpoint.ErrInjected", err)
+	}
+}

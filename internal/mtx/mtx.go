@@ -18,10 +18,18 @@ import (
 	"strings"
 
 	"bgpc/internal/bipartite"
+	"bgpc/internal/failpoint"
 )
 
 // ErrFormat reports malformed MatrixMarket input.
 var ErrFormat = errors.New("mtx: malformed MatrixMarket input")
+
+// FPReadEntry is probed once per data line while scanning coordinate
+// entries. An injected error surfaces as a format error mid-stream —
+// the shape of a truncated or corrupted matrix file — so serving
+// layers can rehearse parse failures on otherwise valid input; "delay"
+// turns the parse into a slow reader.
+const FPReadEntry = "mtx.readEntry"
 
 // header describes the parsed banner + size line.
 type header struct {
@@ -52,6 +60,9 @@ func Read(r io.Reader) (*bipartite.Graph, error) {
 		}
 		if seen >= h.nnz {
 			return nil, fmt.Errorf("%w: more than %d declared entries", ErrFormat, h.nnz)
+		}
+		if err := failpoint.Inject(FPReadEntry); err != nil {
+			return nil, fmt.Errorf("%w: injected fault at entry %d: %v", ErrFormat, seen+1, err)
 		}
 		row, col, err := parseEntry(line, h)
 		if err != nil {

@@ -65,6 +65,16 @@ var (
 	// lookups.
 	SvcCacheHits   Counter
 	SvcCacheMisses Counter
+	// SvcPanics counts panics contained by the serving layer — a job
+	// that panicked on a pool worker or a handler that panicked on its
+	// request goroutine. Each one became a structured 500, not a crash.
+	SvcPanics Counter
+	// SvcQuarantined counts requests refused because their graph
+	// fingerprint was quarantined after repeated worker panics.
+	SvcQuarantined Counter
+	// SvcWatchdogFired counts jobs the progress watchdog canceled for
+	// making no conflict-count progress across its window.
+	SvcWatchdogFired Counter
 )
 
 var metricsOn atomic.Bool
@@ -117,6 +127,9 @@ var counterNames = map[string]*Counter{
 	"bgpc.svc_degraded":        &SvcDegraded,
 	"bgpc.svc_cache_hits":      &SvcCacheHits,
 	"bgpc.svc_cache_misses":    &SvcCacheMisses,
+	"bgpc.svc_panics":          &SvcPanics,
+	"bgpc.svc_quarantined":     &SvcQuarantined,
+	"bgpc.svc_watchdog_fired":  &SvcWatchdogFired,
 }
 
 // Snapshot returns the current value of every counter keyed by its

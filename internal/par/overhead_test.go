@@ -1,0 +1,81 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"bgpc/internal/failpoint"
+)
+
+// The disarmed-failpoint overhead guard: the chaos acceptance criteria
+// require that failpoint sites on the chunk-dispatch hot path cost at
+// most one atomic load and zero allocations while nothing is armed.
+// The benchmarks below put a number on the per-chunk dispatch cost so
+// a regression against the pre-failpoint baseline (EXPERIMENTS.md,
+// "Chaos runs") is visible in CI's -benchtime=1x smoke pass and
+// measurable locally with -benchtime=2s.
+
+// BenchmarkDispatchDisarmed measures raw chunk hand-out cost: a
+// trivial body over a large range with chunk 64, the paper algorithms'
+// grain, on the dynamic schedule that backs every "-64" variant.
+func BenchmarkDispatchDisarmed(b *testing.B) {
+	const n = 1 << 20
+	var sink atomic.Int64
+	opts := Options{Threads: 4, Schedule: Dynamic, Chunk: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var local int64
+		For(n, opts, func(tid, lo, hi int) { local += int64(hi - lo) })
+		sink.Store(local)
+	}
+}
+
+// BenchmarkDispatchGuidedDisarmed is the same guard for the guided
+// schedule's CAS-based dispatch loop.
+func BenchmarkDispatchGuidedDisarmed(b *testing.B) {
+	const n = 1 << 20
+	var sink atomic.Int64
+	opts := Options{Threads: 4, Schedule: Guided, Chunk: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var local int64
+		For(n, opts, func(tid, lo, hi int) { local += int64(hi - lo) })
+		sink.Store(local)
+	}
+}
+
+// TestDisarmedInjectNoAllocs pins the contract the hot path relies on:
+// a disarmed failpoint probe performs no allocations. (The ≤1 atomic
+// load half of the contract is structural: failpoint.Inject's fast
+// path is a single counter load.)
+func TestDisarmedInjectNoAllocs(t *testing.T) {
+	failpoint.Reset()
+	if avg := testing.AllocsPerRun(1000, func() {
+		if err := failpoint.Inject("par.dispatch"); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("disarmed failpoint.Inject allocates %v times per call, want 0", avg)
+	}
+}
+
+// TestChunkPathAllocationFree asserts the per-chunk dispatch path does
+// not allocate: a loop taking ~4096 chunks must allocate the same as a
+// loop taking 1 chunk per thread (all of a loop's allocations —
+// goroutines, closures, the panic box — are per-invocation). A small
+// tolerance absorbs runtime goroutine-stack noise.
+func TestChunkPathAllocationFree(t *testing.T) {
+	failpoint.Reset()
+	measure := func(n int) float64 {
+		opts := Options{Threads: 2, Schedule: Dynamic, Chunk: 64}
+		return testing.AllocsPerRun(20, func() {
+			For(n, opts, func(tid, lo, hi int) {})
+		})
+	}
+	few, many := measure(2*64), measure(4096*64)
+	if many > few+2 {
+		t.Fatalf("allocations scale with chunk count: %v allocs at 2 chunks vs %v at 4096", few, many)
+	}
+}

@@ -1,0 +1,156 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"bgpc/internal/failpoint"
+	"bgpc/internal/testutil"
+)
+
+// recoverWorkerPanic runs fn and returns the *WorkerPanic it re-raises,
+// failing the test if fn returns without panicking or panics with
+// something else.
+func recoverWorkerPanic(t *testing.T, fn func()) *WorkerPanic {
+	t.Helper()
+	var wp *WorkerPanic
+	func() {
+		defer func() {
+			r := recover()
+			var ok bool
+			if wp, ok = r.(*WorkerPanic); !ok {
+				t.Fatalf("recovered %v (%T), want *WorkerPanic", r, r)
+			}
+		}()
+		fn()
+		t.Fatal("no panic reached the caller")
+	}()
+	return wp
+}
+
+func TestForReraisesWorkerPanic(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	for _, sched := range []Schedule{Dynamic, Static, Guided} {
+		sched := sched
+		t.Run([...]string{"dynamic", "static", "guided"}[sched], func(t *testing.T) {
+			wp := recoverWorkerPanic(t, func() {
+				For(10_000, Options{Threads: 4, Schedule: sched, Chunk: 64, Cancel: NewCanceler()},
+					func(tid, lo, hi int) {
+						if lo <= 5000 && 5000 < hi {
+							panic("boom at 5000")
+						}
+					})
+			})
+			if wp.Value != "boom at 5000" {
+				t.Fatalf("panic value = %v", wp.Value)
+			}
+			if len(wp.Stack) == 0 || !strings.Contains(wp.String(), "boom at 5000") {
+				t.Fatalf("WorkerPanic carries no useful stack/string: %s", wp)
+			}
+		})
+	}
+}
+
+func TestRunReraisesWorkerPanic(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	wp := recoverWorkerPanic(t, func() {
+		Run(Options{Threads: 4}, func(tid int) {
+			if tid == 2 {
+				panic("tid 2 down")
+			}
+		})
+	})
+	if wp.Tid != 2 || wp.Value != "tid 2 down" {
+		t.Fatalf("WorkerPanic = {tid %d, %v}", wp.Tid, wp.Value)
+	}
+}
+
+// TestForPanicBarrierCompletes: the non-panicking workers run to
+// completion before the re-raise — the barrier still holds, so callers
+// never observe a half-running loop after recovering.
+func TestForPanicBarrierCompletes(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	const n = 100_000
+	covered := make([]int32, n)
+	recoverWorkerPanic(t, func() {
+		For(n, Options{Threads: 4, Chunk: 64}, func(tid, lo, hi int) {
+			if lo == 0 {
+				panic("first chunk dies")
+			}
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+		})
+	})
+	// Every index outside the panicking chunk was visited exactly once.
+	for i := 64; i < n; i++ {
+		if covered[i] != 1 {
+			t.Fatalf("index %d visited %d times after worker panic", i, covered[i])
+		}
+	}
+}
+
+func TestSingleThreadPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	For(10, Options{Threads: 1}, func(tid, lo, hi int) { panic("seq") })
+}
+
+// TestDispatchFailpointCancel: an armed "par.dispatch=cancel" stops a
+// loop with a Canceler mid-range, and leaves loops without a Canceler
+// fully covered (the covering guarantee must not silently break).
+func TestDispatchFailpointCancel(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	t.Cleanup(failpoint.Reset)
+
+	failpoint.Reset()
+	if err := failpoint.Arm(FPDispatch, "cancel@1"); err != nil {
+		t.Fatal(err)
+	}
+	cn := NewCanceler()
+	var visited atomic.Int64
+	For(1_000_000, Options{Threads: 2, Chunk: 64, Cancel: cn}, func(tid, lo, hi int) {
+		visited.Add(int64(hi - lo))
+	})
+	if !cn.Canceled() {
+		t.Fatal("cancel failpoint did not trip the Canceler")
+	}
+	if v := visited.Load(); v >= 1_000_000 {
+		t.Fatalf("loop covered the full range (%d) despite cancellation", v)
+	}
+
+	// Without a Canceler the cancel action must be a no-op.
+	failpoint.Reset()
+	if err := failpoint.Arm(FPDispatch, "cancel@1"); err != nil {
+		t.Fatal(err)
+	}
+	var full atomic.Int64
+	For(100_000, Options{Threads: 2, Chunk: 64}, func(tid, lo, hi int) {
+		full.Add(int64(hi - lo))
+	})
+	if v := full.Load(); v != 100_000 {
+		t.Fatalf("cancel failpoint broke the covering guarantee on a cancel-free loop: covered %d", v)
+	}
+}
+
+// TestDispatchFailpointPanicContained: a panic injected at a chunk
+// boundary surfaces as a *WorkerPanic on the caller, not a process
+// crash from an anonymous goroutine.
+func TestDispatchFailpointPanicContained(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	t.Cleanup(failpoint.Reset)
+	failpoint.Reset()
+	if err := failpoint.Arm(FPDispatch, "panic@1#3"); err != nil {
+		t.Fatal(err)
+	}
+	wp := recoverWorkerPanic(t, func() {
+		For(100_000, Options{Threads: 4, Chunk: 64}, func(tid, lo, hi int) {})
+	})
+	if fe, ok := wp.Value.(*failpoint.Error); !ok || fe.Name != FPDispatch {
+		t.Fatalf("panic value = %v, want *failpoint.Error for %s", wp.Value, FPDispatch)
+	}
+}

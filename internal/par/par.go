@@ -17,12 +17,89 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"bgpc/internal/failpoint"
 	"bgpc/internal/obs"
 )
+
+// FPDispatch is the failpoint probed once per chunk hand-out in every
+// schedule. Arming it with "delay:DUR" turns a worker into a straggler
+// at chunk granularity; "cancel" trips the loop's Canceler (a no-op
+// when the caller armed none, preserving the covering guarantee);
+// "panic" exercises the worker-panic containment below. Disarmed it is
+// a single atomic load on the dispatch path — the same budget as the
+// obs dispatch counter.
+const FPDispatch = "par.dispatch"
+
+// WorkerPanic is the panic value a parallel loop re-raises on its
+// calling goroutine when a body panics on a worker goroutine. Without
+// this translation a panicking body would unwind an anonymous worker
+// goroutine and kill the whole process with no chance of containment;
+// with it, the panic surfaces where the loop was called, so a serving
+// layer's per-job recover (internal/service's pool) can turn it into a
+// structured error while the original worker stack is preserved for
+// logging.
+type WorkerPanic struct {
+	// Tid is the logical thread that panicked.
+	Tid int
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the panic site.
+	Stack []byte
+}
+
+func (w *WorkerPanic) String() string {
+	return fmt.Sprintf("par: worker %d panicked: %v\n%s", w.Tid, w.Value, w.Stack)
+}
+
+// panicBox collects the first worker panic of one loop; the barrier
+// re-raises it after all workers have finished, so the loop's
+// completion semantics (every worker done) hold even on the panic
+// path.
+type panicBox struct {
+	mu sync.Mutex
+	p  *WorkerPanic
+}
+
+// capture must be deferred in every worker goroutine, before wg.Done
+// in registration order so it runs first on unwind.
+func (b *panicBox) capture(tid int) {
+	if r := recover(); r != nil {
+		b.mu.Lock()
+		if b.p == nil {
+			if wp, ok := r.(*WorkerPanic); ok {
+				b.p = wp // nested loop already wrapped it
+			} else {
+				b.p = &WorkerPanic{Tid: tid, Value: r, Stack: debug.Stack()}
+			}
+		}
+		b.mu.Unlock()
+	}
+}
+
+// rethrow re-raises the first captured panic on the caller goroutine.
+func (b *panicBox) rethrow() {
+	if b.p != nil {
+		panic(b.p)
+	}
+}
+
+// dispatchFailpoint probes FPDispatch at a chunk boundary. A cancel
+// action trips cn when the caller armed a Canceler (the loop observes
+// it at its next dispatch check); err actions have no channel out of a
+// loop body and are deliberately ignored. Panics propagate to the
+// worker's capture. Kept out of line so the disarmed path inlines as
+// one load.
+func dispatchFailpoint(cn *Canceler) {
+	if err := failpoint.Inject(FPDispatch); err != nil && failpoint.IsCancel(err) && cn != nil {
+		cn.Cancel()
+	}
+}
 
 // Canceler is a cooperative cancellation flag shared between a
 // context watcher and the parallel loops. The loops poll it at
@@ -157,11 +234,13 @@ func staticFor(n, threads int, cn *Canceler, body func(tid, lo, hi int)) {
 		staticBlock(0, 0, n, cn, body)
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for tid := 0; tid < threads; tid++ {
 		go func(tid int) {
 			defer wg.Done()
+			defer box.capture(tid)
 			lo := tid * n / threads
 			hi := (tid + 1) * n / threads
 			if lo < hi {
@@ -170,6 +249,7 @@ func staticFor(n, threads int, cn *Canceler, body func(tid, lo, hi int)) {
 		}(tid)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // staticBlock runs body over [lo, hi). With cancellation armed the
@@ -185,6 +265,7 @@ func staticBlock(tid, lo, hi int, cn *Canceler, body func(tid, lo, hi int)) {
 		if cn.Canceled() {
 			return
 		}
+		dispatchFailpoint(cn)
 		end := lo + staticCancelStride
 		if end > hi {
 			end = hi
@@ -196,17 +277,20 @@ func staticBlock(tid, lo, hi int, cn *Canceler, body func(tid, lo, hi int)) {
 
 func dynamicFor(n, threads, chunk int, cn *Canceler, body func(tid, lo, hi int)) {
 	var next atomic.Int64
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for tid := 0; tid < threads; tid++ {
 		go func(tid int) {
 			defer wg.Done()
+			defer box.capture(tid)
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n || cn.Canceled() {
 					return
 				}
 				obs.CountDispatch()
+				dispatchFailpoint(cn)
 				hi := lo + chunk
 				if hi > n {
 					hi = n
@@ -216,15 +300,18 @@ func dynamicFor(n, threads, chunk int, cn *Canceler, body func(tid, lo, hi int))
 		}(tid)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 func guidedFor(n, threads, minChunk int, cn *Canceler, body func(tid, lo, hi int)) {
 	var next atomic.Int64
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for tid := 0; tid < threads; tid++ {
 		go func(tid int) {
 			defer wg.Done()
+			defer box.capture(tid)
 			for {
 				// Reserve a chunk sized to half the remaining work per
 				// thread via compare-and-swap, so the computed size and
@@ -245,11 +332,13 @@ func guidedFor(n, threads, minChunk int, cn *Canceler, body func(tid, lo, hi int
 					continue
 				}
 				obs.CountDispatch()
+				dispatchFailpoint(cn)
 				body(tid, lo, hi)
 			}
 		}(tid)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // ForEach is a convenience wrapper that invokes body once per index.
@@ -262,20 +351,25 @@ func ForEach(n int, opts Options, body func(tid, i int)) {
 }
 
 // Run executes fn(tid) on each of opts.Threads workers concurrently and
-// waits for all of them — OpenMP's bare parallel region.
+// waits for all of them — OpenMP's bare parallel region. A panic in any
+// fn is re-raised on the calling goroutine as a *WorkerPanic after the
+// barrier, like the loops above.
 func Run(opts Options, fn func(tid int)) {
 	t := opts.threads()
 	if t == 1 {
 		fn(0)
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(t)
 	for tid := 0; tid < t; tid++ {
 		go func(tid int) {
 			defer wg.Done()
+			defer box.capture(tid)
 			fn(tid)
 		}(tid)
 	}
 	wg.Wait()
+	box.rethrow()
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"bgpc/internal/bipartite"
+	"bgpc/internal/failpoint"
 	"bgpc/internal/graph"
 	"bgpc/internal/obs"
 )
@@ -57,6 +58,12 @@ func (c *graphCache) get(key string) (*cacheEntry, bool) {
 	if c == nil {
 		return nil, false
 	}
+	if err := failpoint.Inject(FPCacheGet); err != nil {
+		// An injected cache fault degrades to a miss: the request
+		// rebuilds the graph, slower but correct.
+		obs.SvcCacheMisses.Inc()
+		return nil, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
@@ -73,6 +80,11 @@ func (c *graphCache) get(key string) (*cacheEntry, bool) {
 // just wraps g so callers have a uniform entry type.
 func (c *graphCache) put(key string, g *bipartite.Graph) *cacheEntry {
 	if c == nil {
+		return &cacheEntry{key: key, g: g}
+	}
+	if err := failpoint.Inject(FPCachePut); err != nil {
+		// Degrade to an uncached entry; the job proceeds with it and
+		// the next request for this graph just misses.
 		return &cacheEntry{key: key, g: g}
 	}
 	c.mu.Lock()

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bgpc/internal/mtx"
+)
+
+// FuzzColorRequest hardens the service request decoder: arbitrary
+// bytes must never panic, and any rejection must carry a 4xx status —
+// malformed input is never the server's fault. Accepted inline
+// matrices are additionally pushed through the MatrixMarket parser
+// (the next thing a worker would do with them), which must also not
+// panic. Seeds wrap the mtx fuzz corpus in request JSON, plus the
+// structured field combinations the validator branches on.
+func FuzzColorRequest(f *testing.F) {
+	// The mtx parser corpus, wrapped into request bodies.
+	mtxSeeds := []string{
+		"%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 1\n2 3\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1.5\n3 1 -2\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 0 1\n",
+		"%%MatrixMarket matrix coordinate integer skew-symmetric\n2 2 1\n2 1 7\n",
+		"% not a banner\n1 1 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n0 0 0\n",
+		"",
+	}
+	for _, m := range mtxSeeds {
+		body, err := json.Marshal(ColorRequest{Matrix: m, Algorithm: "V-V", Threads: 2})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	structured := []ColorRequest{
+		{Preset: "channel", Scale: 0.25, Mode: "d2", Algorithm: "N1-N2", Balance: "B2", TimeoutMS: 500},
+		{Preset: "nope", Scale: -1, Mode: "d3", Balance: "B9", TimeoutMS: -5},
+		{Matrix: "x", Preset: "channel"}, // both set: must be rejected
+		{},                               // neither set: must be rejected
+	}
+	for _, r := range structured {
+		body, err := json.Marshal(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte(`{"matrix": 3}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"threads": 1e99, "timeout_ms": 9223372036854775807}`))
+
+	// decodeColorRequest touches only cfg, so a bare Server (no pool
+	// goroutines, no listener) drives the full decode+validate path.
+	cfg := Config{}
+	srv := &Server{cfg: cfg.withDefaults()}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		spec, status, err := srv.decodeColorRequest(raw)
+		if err != nil {
+			if status < 400 || status > 499 {
+				t.Fatalf("rejection with status %d (want 4xx): %v", status, err)
+			}
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		if (spec.matrix == "") == (spec.preset == "") {
+			t.Fatalf("accepted spec with matrix=%q preset=%q", spec.matrix, spec.preset)
+		}
+		if spec.timeout <= 0 || spec.opts.Threads < 1 {
+			t.Fatalf("accepted spec with timeout=%v threads=%d", spec.timeout, spec.opts.Threads)
+		}
+		// An accepted inline matrix heads straight for the parser on a
+		// worker; that step must never panic either (errors are fine —
+		// they become a 400). Bound the size so the fuzzer doesn't
+		// spend its budget parsing megabyte bodies.
+		if spec.matrix != "" && len(spec.matrix) < 1<<16 {
+			_, _ = mtx.Read(strings.NewReader(spec.matrix))
+		}
+	})
+}

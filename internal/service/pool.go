@@ -3,10 +3,13 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"bgpc/internal/failpoint"
 	"bgpc/internal/obs"
+	"bgpc/internal/par"
 )
 
 // Admission-control errors returned by pool.submit.
@@ -20,12 +23,21 @@ var (
 )
 
 // job is one unit of pool work. run executes on a worker goroutine
-// with the job's context; done is closed when run has returned, which
-// is the handler's signal that the response fields are populated.
+// with the job's context; done is closed when run has returned (or
+// panicked), which is the handler's signal that the response fields —
+// or the panic fields — are populated. The close happens-after the
+// panic fields are written, so the handler reads them without locks.
 type job struct {
 	ctx  context.Context
 	run  func(ctx context.Context)
 	done chan struct{}
+
+	// panicked is the recovered value when run panicked (nil
+	// otherwise); stack is the goroutine stack at the panic site — the
+	// worker's own stack, or the parallel worker's when the panic was
+	// re-raised by internal/par's barrier as a *par.WorkerPanic.
+	panicked any
+	stack    []byte
 }
 
 // pool is a fixed-size worker pool in front of a bounded queue — the
@@ -67,16 +79,42 @@ func (p *pool) worker() {
 	for {
 		select {
 		case j := <-p.jobs:
-			p.queued.Add(-1)
-			p.running.Add(1)
-			j.run(j.ctx)
-			close(j.done)
-			p.running.Add(-1)
-			p.inflight.Done()
+			p.runJob(j)
 		case <-p.quit:
 			return
 		}
 	}
+}
+
+// runJob executes one job with panic isolation. ALL accounting —
+// gauges, the inflight count drain depends on, and the done signal the
+// handler blocks on — lives in a single deferred function, so a
+// panicking job cannot leak a gauge increment, wedge drain, or strand
+// its handler; the worker goroutine itself survives to take the next
+// job. The done close is last: it publishes the panic fields to the
+// handler (channel-close happens-before the receive).
+func (p *pool) runJob(j *job) {
+	p.queued.Add(-1)
+	p.running.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked = r
+			if wp, ok := r.(*par.WorkerPanic); ok {
+				j.stack = wp.Stack
+			} else {
+				j.stack = debug.Stack()
+			}
+		}
+		p.running.Add(-1)
+		p.inflight.Done()
+		close(j.done)
+	}()
+	if err := failpoint.Inject(FPBeforeRun); err != nil {
+		// Non-delay actions become a contained panic: the shape of a
+		// job crashing before it could populate its response.
+		panic(err)
+	}
+	j.run(j.ctx)
 }
 
 // submit admits j or returns errQueueFull / errDraining. Admission is

@@ -37,6 +37,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"bgpc/internal/bipartite"
 	"bgpc/internal/core"
 	"bgpc/internal/d2"
+	"bgpc/internal/failpoint"
 	"bgpc/internal/gen"
 	"bgpc/internal/graph"
 	"bgpc/internal/mtx"
@@ -78,6 +80,22 @@ type Config struct {
 	// Obs, when enabled, emits the runners' per-phase trace events for
 	// every request (labeled mode/algorithm) into its sink.
 	Obs *obs.Observer
+	// QuarantineAfter is the number of worker panics on the same graph
+	// fingerprint before that fingerprint is refused (429 with
+	// Retry-After) for QuarantineFor; 0 means 3, negative disables
+	// quarantining.
+	QuarantineAfter int
+	// QuarantineFor is the quarantine cool-down; values ≤ 0 mean 30s.
+	QuarantineFor time.Duration
+	// WatchdogWindow, when positive, arms a per-job progress watchdog:
+	// a run that makes no conflict-count progress for a full window is
+	// canceled and completed by the sequential fallback (degraded 200,
+	// livelock flagged). 0 disables the watchdog.
+	WatchdogWindow time.Duration
+	// Logf, when set, receives one line per contained fault (worker
+	// panic stacks, quarantine transitions, watchdog trips). Nil
+	// discards.
+	Logf func(format string, args ...any)
 }
 
 func (c *Config) withDefaults() Config {
@@ -103,7 +121,21 @@ func (c *Config) withDefaults() Config {
 	if out.MaxThreads < 1 {
 		out.MaxThreads = runtime.GOMAXPROCS(0)
 	}
+	if out.QuarantineAfter == 0 {
+		out.QuarantineAfter = 3
+	}
+	if out.QuarantineFor <= 0 {
+		out.QuarantineFor = 30 * time.Second
+	}
 	return out
+}
+
+// logf emits one operator-facing line through Config.Logf (discarded
+// when unset).
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // ColorRequest is the POST /color body. Exactly one of Matrix or
@@ -158,6 +190,10 @@ type ColorResponse struct {
 	// can act on (raise deadline vs. back off).
 	WallMS  float64 `json:"wall_ms"`
 	QueueMS float64 `json:"queue_ms"`
+	// Livelock reports that the progress watchdog (not the client's
+	// deadline) triggered the degradation: the speculative runner was
+	// live but making no conflict-count progress. Implies Degraded.
+	Livelock bool `json:"livelock,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 status.
@@ -171,6 +207,7 @@ type Server struct {
 	cfg   Config
 	pool  *pool
 	cache *graphCache
+	quar  *quarantine
 	mux   *http.ServeMux
 	start time.Time
 }
@@ -183,6 +220,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		pool:  newPool(cfg.Workers, cfg.QueueDepth),
 		cache: newGraphCache(cfg.CacheEntries),
+		quar:  newQuarantine(cfg.QuarantineAfter, cfg.QuarantineFor),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
@@ -192,8 +230,24 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. It is also the outermost
+// containment boundary for request goroutines: a panic anywhere in a
+// handler becomes a structured 500 (best-effort — headers may already
+// be out) instead of relying on net/http's connection-killing recover.
+// http.ErrAbortHandler is re-raised per its contract.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			obs.SvcPanics.Inc()
+			s.logf("service: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			writeError(w, http.StatusInternalServerError, "internal: handler panicked: %v", rec)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // Drain stops admitting jobs and blocks until every admitted job has
 // finished (or ctx expires), then stops the workers. Call it after the
@@ -227,8 +281,24 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
+// decodeColorRequest parses and validates a POST /color body into a
+// jobSpec. Factored off the handler so the fuzz battery can drive the
+// full decode+validate path without a listener or pool; the returned
+// status is the HTTP code to use when err is non-nil (always 4xx —
+// malformed input must never be a server fault).
+func (s *Server) decodeColorRequest(raw []byte) (*jobSpec, int, error) {
 	var req ColorRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err)
+	}
+	return s.resolve(&req)
+}
+
+func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
+	if err := failpoint.Inject(FPHandleColor); err != nil {
+		writeError(w, http.StatusInternalServerError, "injected handler fault: %v", err)
+		return
+	}
 	body := io.LimitReader(r.Body, s.cfg.MaxRequestBytes+1)
 	raw, err := io.ReadAll(body)
 	if err != nil {
@@ -239,14 +309,19 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "request exceeds %d bytes", s.cfg.MaxRequestBytes)
 		return
 	}
-	if err := json.Unmarshal(raw, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	spec, status, err := s.decodeColorRequest(raw)
+	if err != nil {
+		writeError(w, status, "%v", err)
 		return
 	}
 
-	spec, status, err := s.resolve(&req)
-	if err != nil {
-		writeError(w, status, "%v", err)
+	// Fault containment gate: inputs that keep crashing workers are
+	// refused during their cool-down so retry storms cannot re-poison
+	// the pool.
+	if blocked, retry := s.quar.check(spec.key); blocked {
+		obs.SvcQuarantined.Inc()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Round(time.Second).Seconds())))
+		writeError(w, http.StatusTooManyRequests, "graph %s is quarantined after repeated worker panics; retry in %s", spec.key, retry.Round(time.Second))
 		return
 	}
 
@@ -281,6 +356,19 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		<-j.done
 		return
 	}
+	if j.panicked != nil {
+		// The job crashed on its worker; the worker survived and the
+		// pool accounting is already settled (runJob's defer). Turn the
+		// panic into a structured 500, log the worker stack, and count
+		// a quarantine strike against this graph.
+		obs.SvcPanics.Inc()
+		s.logf("service: job panicked (graph %s): %v\n%s", spec.key, j.panicked, j.stack)
+		if s.quar.strike(spec.key) {
+			s.logf("service: quarantining graph %s for %s after repeated panics", spec.key, s.cfg.QuarantineFor)
+		}
+		writeError(w, http.StatusInternalServerError, "internal: job panicked: %v", j.panicked)
+		return
+	}
 	if jobErr != nil {
 		if jobStatus == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
@@ -288,6 +376,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		writeError(w, jobStatus, "%v", jobErr)
 		return
 	}
+	s.quar.clear(spec.key)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -306,6 +395,7 @@ type jobSpec struct {
 	d2mode  bool
 	opts    core.Options
 	algo    string
+	label   string // obs run label ("svc/…"), reused by the watchdog tap
 	timeout time.Duration
 }
 
@@ -384,12 +474,12 @@ func (s *Server) resolve(req *ColorRequest) (*jobSpec, int, error) {
 		spec.key = presetKey(req.Preset, spec.scale)
 	}
 
+	spec.label = "svc/" + algo
+	if d2mode {
+		spec.label = "svc/d2/" + algo
+	}
 	if s.cfg.Obs.Enabled() {
-		label := "svc/" + algo
-		if d2mode {
-			label = "svc/d2/" + algo
-		}
-		spec.opts.Obs = s.cfg.Obs.WithAlgo(label)
+		spec.opts.Obs = s.cfg.Obs.WithAlgo(spec.label)
 	}
 	return spec, 0, nil
 }
@@ -408,7 +498,9 @@ func (s *Server) buildGraph(spec *jobSpec) (*cacheEntry, bool, error) {
 	if spec.matrix != "" {
 		g, err = mtx.Read(strings.NewReader(spec.matrix))
 	} else {
-		g, err = gen.Preset(spec.preset, spec.scale)
+		// TryPreset contains generator panics: a build that blows up
+		// is a rejected request, not a crashed worker.
+		g, err = gen.TryPreset(spec.preset, spec.scale)
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("building graph: %w", err)
@@ -443,12 +535,27 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 		}
 	}
 
+	// Progress watchdog: tap the run's trace-event stream through a
+	// progressSink and cancel the run (cause errLivelock) if conflict
+	// counts stop improving for a full window. Armed after graph
+	// construction so parse/build time never counts against progress.
+	runCtx := ctx
+	if s.cfg.WatchdogWindow > 0 {
+		ps := newProgressSink(spec.opts.Obs)
+		spec.opts.Obs = obs.New(ps).WithAlgo(spec.label)
+		wctx, wcancel := context.WithCancelCause(ctx)
+		defer wcancel(nil)
+		stop := watchJob(wctx, wcancel, ps, s.cfg.WatchdogWindow)
+		defer stop()
+		runCtx = wctx
+	}
+
 	start := time.Now()
 	var res *core.Result
 	if spec.d2mode {
-		res, err = d2.ColorCtx(ctx, ug, spec.opts)
+		res, err = d2.ColorCtx(runCtx, ug, spec.opts)
 	} else {
-		res, err = core.ColorCtx(ctx, entry.g, spec.opts)
+		res, err = core.ColorCtx(runCtx, entry.g, spec.opts)
 	}
 
 	resp := &ColorResponse{
@@ -470,7 +577,15 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 		}
 		resp.Degraded = true
 		obs.SvcDegraded.Inc()
+		if errors.Is(context.Cause(runCtx), errLivelock) {
+			resp.Livelock = true
+			s.logf("service: watchdog canceled job (graph %s): no progress within %s", spec.key, s.cfg.WatchdogWindow)
+		}
 	case errors.Is(err, core.ErrNoFixedPoint):
+		return nil, http.StatusInternalServerError, fmt.Errorf("coloring failed: %w", err)
+	case errors.Is(err, failpoint.ErrInjected):
+		// An injected runner fault is a server-side failure by
+		// definition — the client's request was fine.
 		return nil, http.StatusInternalServerError, fmt.Errorf("coloring failed: %w", err)
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("coloring failed: %w", err)
