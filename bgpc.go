@@ -43,6 +43,7 @@ import (
 	"bgpc/internal/gen"
 	"bgpc/internal/graph"
 	"bgpc/internal/jp"
+	"bgpc/internal/limits"
 	"bgpc/internal/mtx"
 	"bgpc/internal/obs"
 	"bgpc/internal/order"
@@ -423,6 +424,34 @@ func ReadMatrixMarket(r io.Reader) (*Bipartite, error) { return mtx.Read(r) }
 
 // ReadMatrixMarketFile parses the MatrixMarket file at path.
 func ReadMatrixMarketFile(path string) (*Bipartite, error) { return mtx.ReadFile(path) }
+
+// ParseLimits caps what an untrusted MatrixMarket document may declare
+// (rows, columns, nonzeros, line length). The zero value of any field
+// falls back to the library default; see DefaultParseLimits.
+type ParseLimits = limits.ParseLimits
+
+// DefaultParseLimits returns the caps ReadMatrixMarket enforces when
+// none are supplied explicitly.
+func DefaultParseLimits() ParseLimits { return limits.DefaultParseLimits() }
+
+// ErrMatrixTooLarge reports an input whose declared or actual size
+// exceeds the configured ParseLimits (or a job estimate over a memory
+// budget). Match with errors.Is.
+var ErrMatrixTooLarge = limits.ErrTooLarge
+
+// ReadMatrixMarketLimited is ReadMatrixMarket with explicit caps on
+// the untrusted input. Inputs over a cap fail with ErrMatrixTooLarge;
+// malformed ones with a format error. Allocation is bounded by bytes
+// actually read, never by the header's claims.
+func ReadMatrixMarketLimited(r io.Reader, lim ParseLimits) (*Bipartite, error) {
+	return mtx.ReadLimited(r, lim)
+}
+
+// ReadMatrixMarketFileLimited is ReadMatrixMarketFile with explicit
+// caps on the untrusted input.
+func ReadMatrixMarketFileLimited(path string, lim ParseLimits) (*Bipartite, error) {
+	return mtx.ReadFileLimited(path, lim)
+}
 
 // WriteMatrixMarket writes g in MatrixMarket coordinate pattern form.
 func WriteMatrixMarket(w io.Writer, g *Bipartite) error { return mtx.Write(w, g) }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bgpc/internal/client"
+	"bgpc/internal/service"
+	"bgpc/internal/testutil"
+)
+
+const hostileMtx = "%%MatrixMarket matrix coordinate pattern general\n" +
+	"2000000 2000000 1000000000000\n"
+
+// TestSelftestMode runs the deploy-time smoke check end to end: the
+// flag must boot the in-process daemon, drive the client battery, and
+// exit cleanly with a PASS report.
+func TestSelftestMode(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	out := &lineCapture{}
+	ctx, cancel := context.WithTimeout(context.Background(), testutil.Scale(60*time.Second))
+	defer cancel()
+	if err := run(ctx, []string{"-selftest"}, out); err != nil {
+		t.Fatalf("selftest: %v\n%s", err, out.buf.String())
+	}
+	got := out.buf.String()
+	if !strings.Contains(got, "selftest: PASS") {
+		t.Fatalf("no PASS line in output:\n%s", got)
+	}
+}
+
+// TestDaemonGovernanceFlags boots a real daemon with a tight memory
+// budget and parse caps and checks the operator-visible contract: the
+// startup banner reports the budget, hostile headers bounce as 413,
+// honest jobs still verify, and the nnz cap flag gates inputs the
+// library defaults would admit.
+func TestDaemonGovernanceFlags(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	out, shutdown := startDaemonCapture(t, "-mem-budget", "16000000", "-max-nnz", "5")
+	defer shutdown()
+	base, _ := out.addr()
+	base = "http://" + base
+
+	if !strings.Contains(out.buf.String(), "memory budget 16000000 bytes") {
+		t.Fatalf("no budget banner in startup output:\n%s", out.buf.String())
+	}
+
+	hc := &http.Client{Timeout: testutil.Scale(30 * time.Second)}
+	code, body, err := postJSON(hc, base, service.ColorRequest{Matrix: hostileMtx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("hostile header: status %d, want 413: %s", code, body)
+	}
+
+	// tinyMtx declares 7 entries: over the -max-nnz 5 cap, even though
+	// the library default would admit it.
+	tiny := "%%MatrixMarket matrix coordinate pattern general\n" +
+		"3 4 7\n1 1\n1 2\n1 3\n2 3\n2 4\n3 2\n3 4\n"
+	code, body, err = postJSON(hc, base, service.ColorRequest{Matrix: tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-nnz-cap matrix: status %d, want 413: %s", code, body)
+	}
+
+	// A matrix inside every cap is still served.
+	small := "%%MatrixMarket matrix coordinate pattern general\n" +
+		"2 2 3\n1 1\n1 2\n2 2\n"
+	code, body, err = postJSON(hc, base, service.ColorRequest{Matrix: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("in-cap matrix: status %d: %s", code, body)
+	}
+}
+
+// startDaemonCapture is startDaemon but also hands back the output
+// capture so tests can assert on startup banners.
+func startDaemonCapture(t *testing.T, extraArgs ...string) (*lineCapture, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &lineCapture{}
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "2"}, extraArgs...)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, out) }()
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		_, ok := out.addr()
+		return ok
+	}, "daemon to print its listen address")
+	return out, func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("daemon exited with %v", err)
+			}
+		case <-time.After(testutil.Scale(10 * time.Second)):
+			t.Error("daemon did not drain and exit after shutdown signal")
+		}
+	}
+}
+
+// TestDaemonE2EClientBreaker is the acceptance walk for the resilient
+// client against a live daemon: a fault schedule makes the daemon
+// throw 500s, the client's breaker opens, the schedule auto-disarms,
+// and after the cooldown the breaker half-opens and recovers — all
+// over real HTTP.
+func TestDaemonE2EClientBreaker(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	// Six injected handler faults: enough to trip a MinRequests=4
+	// breaker even if an early probe burns one.
+	base, shutdown := startDaemon(t, "-failpoints", "svc.handleColor=err@6")
+	defer shutdown()
+
+	tiny := "%%MatrixMarket matrix coordinate pattern general\n" +
+		"3 4 7\n1 1\n1 2\n1 3\n2 3\n2 4\n3 2\n3 4\n"
+	c := client.New(client.Config{
+		BaseURL:     base,
+		MaxAttempts: 1, // one attempt per call: deterministic window accounting
+		Breaker: client.BreakerConfig{
+			MinRequests: 4, FailureRatio: 0.5,
+			Cooldown: 200 * time.Millisecond, HalfOpenProbes: 2,
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), testutil.Scale(60*time.Second))
+	defer cancel()
+
+	var sawServerFault bool
+	for i := 0; i < 4; i++ {
+		_, err := c.Color(ctx, service.ColorRequest{Matrix: tiny})
+		if err == nil {
+			t.Fatalf("call %d during fault schedule unexpectedly succeeded", i+1)
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusInternalServerError {
+			sawServerFault = true
+		}
+	}
+	if !sawServerFault {
+		t.Fatal("fault schedule never produced a 500 — breaker was fed nothing real")
+	}
+	if got := c.BreakerState(); got != client.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	// Open means fail-fast: refused before the network.
+	if _, err := c.Color(ctx, service.ColorRequest{Matrix: tiny}); !errors.Is(err, client.ErrBreakerOpen) {
+		t.Fatalf("open breaker did not refuse: %v", err)
+	}
+
+	// The remaining armed faults die with the cooldown: retry until
+	// the daemon heals and two probes close the breaker.
+	testutil.WaitFor(t, testutil.Scale(30*time.Second), func() bool {
+		_, err := c.Color(ctx, service.ColorRequest{Matrix: tiny})
+		return err == nil
+	}, "breaker never recovered through half-open")
+	if _, err := c.Color(ctx, service.ColorRequest{Matrix: tiny}); err != nil {
+		t.Fatalf("second recovery call: %v", err)
+	}
+	if got := c.BreakerState(); got != client.BreakerClosed {
+		t.Fatalf("breaker state after recovery = %v, want closed", got)
+	}
+}

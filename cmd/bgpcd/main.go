@@ -8,13 +8,18 @@
 //	      [-timeout 30s] [-max-timeout 2m] [-cache 64] [-max-threads N]
 //	      [-trace trace.jsonl] [-metrics]
 //	      [-watchdog 0] [-quarantine 3] [-quarantine-for 30s]
+//	      [-mem-budget BYTES] [-max-job-bytes BYTES]
+//	      [-max-rows N] [-max-cols N] [-max-nnz N] [-max-line-bytes N]
 //	      [-failpoints name=kind[:arg][@times][#skip];…]
+//	      [-selftest]
 //
 // API (see internal/service for the full request/response schema):
 //
 //	POST /color    run a job; 200 on success (possibly degraded),
-//	               400 malformed, 429 queue full or deadline expired
-//	               while queued, 503 draining
+//	               400 malformed, 413 estimated footprint over the
+//	               per-job cap or whole budget, 429 queue full, byte
+//	               budget exhausted, or deadline expired while queued
+//	               (with Retry-After), 503 draining
 //	GET  /healthz  liveness
 //	GET  /statsz   queue depth, active jobs, cache size, counters
 //	GET  /debug/vars (with -metrics) expvar counters and pool gauges
@@ -47,6 +52,7 @@ import (
 	"time"
 
 	"bgpc/internal/failpoint"
+	"bgpc/internal/limits"
 	"bgpc/internal/obs"
 	"bgpc/internal/service"
 )
@@ -79,6 +85,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	quarAfter := fs.Int("quarantine", 3, "worker panics on one graph before it is quarantined (negative disables)")
 	quarFor := fs.Duration("quarantine-for", 30*time.Second, "how long a quarantined graph is refused")
 	failpoints := fs.String("failpoints", "", "arm failpoints for chaos testing, e.g. 'pool.beforeRun=panic@1;par.dispatch=delay:2ms' (applied after $"+failpoint.EnvVar+")")
+	memBudget := fs.Int64("mem-budget", 0, "total bytes of estimated job memory admitted at once (0 = half of GOMEMLIMIT when set, else unlimited; negative = unlimited)")
+	maxJobBytes := fs.Int64("max-job-bytes", 0, "reject any single job whose estimated footprint exceeds this many bytes with 413 (0 = no per-job cap)")
+	maxRows := fs.Int("max-rows", 0, "reject matrices declaring more rows than this (0 = library default)")
+	maxCols := fs.Int("max-cols", 0, "reject matrices declaring more columns than this (0 = library default)")
+	maxNNZ := fs.Int64("max-nnz", 0, "reject matrices declaring more nonzeros than this (0 = library default)")
+	maxLineBytes := fs.Int("max-line-bytes", 0, "reject matrix lines longer than this many bytes (0 = library default)")
+	selftestFlag := fs.Bool("selftest", false, "start an in-process daemon, run the client battery against it, print a report, and exit non-zero on failure")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,7 +120,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		WatchdogWindow:  *watchdog,
 		QuarantineAfter: *quarAfter,
 		QuarantineFor:   *quarFor,
-		Logf:            log.Printf,
+		MemBudget:       *memBudget,
+		MaxJobBytes:     *maxJobBytes,
+		ParseLimits: limits.ParseLimits{
+			MaxRows:      *maxRows,
+			MaxCols:      *maxCols,
+			MaxNNZ:       *maxNNZ,
+			MaxLineBytes: *maxLineBytes,
+		},
+		Logf: log.Printf,
+	}
+	if *selftestFlag {
+		return selftest(ctx, cfg, stdout)
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -123,6 +147,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv := service.New(cfg)
+	if b := srv.MemBudget(); b > 0 {
+		fmt.Fprintf(stdout, "bgpcd: memory budget %d bytes\n", b)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	if *metrics {

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"bgpc/internal/client"
+	"bgpc/internal/failpoint"
+	"bgpc/internal/limits"
+	"bgpc/internal/mtx"
+	"bgpc/internal/service"
+	"bgpc/internal/verify"
+)
+
+// selftest boots an in-process daemon on an ephemeral port and drives
+// the full resource-governance contract through the real HTTP client:
+// liveness, a verified coloring, permanent 413 rejection of an
+// oversized job, retryable 429s under budget pressure that the
+// client's backoff rides out, and a circuit-breaker open/half-open/
+// recover cycle against injected faults. It is the deploy-time smoke
+// check: `bgpcd -selftest` exits 0 only if the daemon and client agree
+// on the whole protocol.
+func selftest(ctx context.Context, cfg service.Config, stdout io.Writer) error {
+	// The battery needs deterministic admission, so it overrides the
+	// sizing knobs; everything else (parse limits, timeouts, cache)
+	// is taken from the operator's flags and exercised as configured.
+	cfg.Workers = 2
+	cfg.QueueDepth = 2
+	tiny := "%%MatrixMarket matrix coordinate pattern general\n" +
+		"3 4 7\n1 1\n1 2\n1 3\n2 3\n2 4\n3 2\n3 4\n"
+
+	srv := service.New(cfg)
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(dctx)
+	}()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "selftest: daemon on %s\n", base)
+
+	c := client.New(client.Config{
+		BaseURL:     base,
+		MaxAttempts: 6,
+		BaseBackoff: 20 * time.Millisecond,
+		MaxBackoff:  250 * time.Millisecond,
+		Breaker: client.BreakerConfig{
+			MinRequests: 4, FailureRatio: 0.5, Cooldown: 300 * time.Millisecond, HalfOpenProbes: 2,
+		},
+	})
+
+	pass := 0
+	step := func(name string, fn func() error) error {
+		if err := fn(); err != nil {
+			fmt.Fprintf(stdout, "selftest: FAIL %s: %v\n", name, err)
+			return fmt.Errorf("selftest %s: %w", name, err)
+		}
+		pass++
+		fmt.Fprintf(stdout, "selftest: ok   %s\n", name)
+		return nil
+	}
+
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"healthz", func() error {
+			return c.Healthz(ctx)
+		}},
+		{"color-and-verify", func() error {
+			resp, err := c.Color(ctx, service.ColorRequest{Matrix: tiny, Algorithm: "N1-N2", Threads: 2})
+			if err != nil {
+				return err
+			}
+			g, err := mtx.ReadLimited(strings.NewReader(tiny), limits.DefaultParseLimits())
+			if err != nil {
+				return err
+			}
+			return verify.BGPC(g, resp.Colors)
+		}},
+		{"oversized-413", func() error {
+			hostile := "%%MatrixMarket matrix coordinate pattern general\n" +
+				"2000000 2000000 1000000000000\n"
+			_, err := c.Color(ctx, service.ColorRequest{Matrix: hostile})
+			var apiErr *client.APIError
+			if !errors.As(err, &apiErr) || apiErr.Status != http.StatusRequestEntityTooLarge {
+				return fmt.Errorf("want 413, got %v", err)
+			}
+			if apiErr.Temporary() {
+				return errors.New("413 classified as temporary")
+			}
+			return nil
+		}},
+		{"backpressure-retry", func() error {
+			// Two injected estimate faults produce real 429s (with
+			// Retry-After) that the client must absorb and still land
+			// the job.
+			if err := failpoint.ArmFromSpec(limits.FPEstimate + "=err@2"); err != nil {
+				return err
+			}
+			defer failpoint.Reset()
+			_, err := c.Color(ctx, service.ColorRequest{Matrix: tiny, Algorithm: "V-V"})
+			return err
+		}},
+		{"breaker-opens-and-recovers", func() error {
+			// A dedicated single-attempt client makes the breaker walk
+			// deterministic: every Color call is exactly one attempt,
+			// so the injected fault count maps 1:1 onto the window.
+			cb := client.New(client.Config{
+				BaseURL:     base,
+				MaxAttempts: 1,
+				Breaker: client.BreakerConfig{
+					MinRequests: 4, FailureRatio: 0.5, Cooldown: 300 * time.Millisecond, HalfOpenProbes: 2,
+				},
+			})
+			if err := failpoint.ArmFromSpec(client.FPAttempt + "=err@4"); err != nil {
+				return err
+			}
+			defer failpoint.Reset()
+			for i := 0; i < 4; i++ {
+				if _, err := cb.Color(ctx, service.ColorRequest{Matrix: tiny}); err == nil {
+					return fmt.Errorf("faulted call %d unexpectedly succeeded", i+1)
+				}
+			}
+			if got := cb.BreakerState(); got != client.BreakerOpen {
+				return fmt.Errorf("breaker state = %v, want open", got)
+			}
+			// Faults are spent, but the open breaker must refuse
+			// without dialing until the cooldown elapses.
+			if _, err := cb.Color(ctx, service.ColorRequest{Matrix: tiny}); !errors.Is(err, client.ErrBreakerOpen) {
+				return fmt.Errorf("open breaker did not fail fast: %v", err)
+			}
+			time.Sleep(350 * time.Millisecond) // past the cooldown
+			// Two successful half-open probes close it again.
+			for i := 0; i < 2; i++ {
+				if _, err := cb.Color(ctx, service.ColorRequest{Matrix: tiny, Algorithm: "V-V"}); err != nil {
+					return fmt.Errorf("recovery call %d: %w", i+1, err)
+				}
+			}
+			if got := cb.BreakerState(); got != client.BreakerClosed {
+				return fmt.Errorf("breaker state = %v, want closed", got)
+			}
+			return nil
+		}},
+		{"gauges-at-baseline", func() error {
+			if got := srv.BytesInFlight(); got != 0 {
+				return fmt.Errorf("bytes in flight = %d, want 0", got)
+			}
+			if d, a := srv.QueueDepth(), srv.ActiveJobs(); d != 0 || a != 0 {
+				return fmt.Errorf("queue=%d active=%d, want 0/0", d, a)
+			}
+			return nil
+		}},
+	}
+	for _, s := range steps {
+		if err := step(s.name, s.fn); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "selftest: PASS (%d checks)\n", pass)
+	return nil
+}

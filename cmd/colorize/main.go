@@ -43,6 +43,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "count hot-path runtime events and print them after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (with per-phase pprof labels) to this file")
 	failpoints := flag.String("failpoints", "", "arm failpoints for fault-injection runs, e.g. 'core.iterate=delay:10ms' (applied after $"+failpoint.EnvVar+")")
+	maxRows := flag.Int("max-rows", 0, "reject -mtx files declaring more rows than this (0 = library default)")
+	maxCols := flag.Int("max-cols", 0, "reject -mtx files declaring more columns than this (0 = library default)")
+	maxNNZ := flag.Int64("max-nnz", 0, "reject -mtx files declaring more nonzeros than this (0 = library default)")
+	maxLineBytes := flag.Int("max-line-bytes", 0, "reject -mtx lines longer than this many bytes (0 = library default)")
 	flag.Parse()
 
 	if err := failpoint.ArmFromEnv(); err != nil {
@@ -93,7 +97,12 @@ func main() {
 		}()
 	}
 
-	g, name, err := load(*mtxPath, *preset, *scale)
+	g, name, err := load(*mtxPath, *preset, *scale, bgpc.ParseLimits{
+		MaxRows:      *maxRows,
+		MaxCols:      *maxCols,
+		MaxNNZ:       *maxNNZ,
+		MaxLineBytes: *maxLineBytes,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -265,12 +274,12 @@ func main() {
 	}
 }
 
-func load(mtxPath, preset string, scale float64) (*bgpc.Bipartite, string, error) {
+func load(mtxPath, preset string, scale float64, lim bgpc.ParseLimits) (*bgpc.Bipartite, string, error) {
 	switch {
 	case mtxPath != "" && preset != "":
 		return nil, "", fmt.Errorf("give either -mtx or -preset, not both")
 	case mtxPath != "":
-		g, err := bgpc.ReadMatrixMarketFile(mtxPath)
+		g, err := bgpc.ReadMatrixMarketFileLimited(mtxPath, lim)
 		return g, mtxPath, err
 	case preset != "":
 		g, err := bgpc.Preset(preset, scale)

@@ -45,17 +45,17 @@ func TestMakeOrder(t *testing.T) {
 }
 
 func TestLoad(t *testing.T) {
-	if _, _, err := load("", "", 1); err == nil {
+	if _, _, err := load("", "", 1, bgpc.DefaultParseLimits()); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, _, err := load("a.mtx", "channel", 1); err == nil {
+	if _, _, err := load("a.mtx", "channel", 1, bgpc.DefaultParseLimits()); err == nil {
 		t.Error("both sources accepted")
 	}
-	g, name, err := load("", "channel", 0.02)
+	g, name, err := load("", "channel", 0.02, bgpc.DefaultParseLimits())
 	if err != nil || name != "channel" || g.NumEdges() == 0 {
 		t.Errorf("preset load: %v %s", err, name)
 	}
-	if _, _, err := load(filepath.Join(t.TempDir(), "missing.mtx"), "", 1); err == nil {
+	if _, _, err := load(filepath.Join(t.TempDir(), "missing.mtx"), "", 1, bgpc.DefaultParseLimits()); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -9,16 +9,32 @@
 // run — the overhead the paper's algorithms eliminate by sharing one
 // color array.
 //
+// The second half moves from simulated ranks to a real distributed
+// deployment shape: an in-process coloring daemon behind HTTP with a
+// tight memory budget, and a fleet of clients using the library's
+// governed client — capped exponential backoff with full jitter,
+// Retry-After honoring, and a circuit breaker — so overload surfaces
+// as absorbed retries instead of meltdown.
+//
 // Run with:
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"bgpc"
+	"bgpc/internal/client"
+	"bgpc/internal/service"
 )
 
 func main() {
@@ -62,4 +78,90 @@ func main() {
 		res.NumColors, res.Iterations)
 	fmt.Println("the boundary exchange above is exactly the overhead the paper's")
 	fmt.Println("shared-memory reformulation removes")
+
+	if err := serviceDemo(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serviceDemo is the deployment-shape half: a budget-constrained
+// daemon, a client fleet, and the retry/backoff/breaker discipline
+// that turns overload into throughput instead of failure.
+func serviceDemo() error {
+	fmt.Println("\n--- coloring as a service, under a memory budget ---")
+
+	// A deliberately small budget: each job here estimates to ~330KB,
+	// so only about three reservations fit at once — fewer than the
+	// pool's admission slots, making the byte budget (not the queue)
+	// the binding constraint under the burst below.
+	srv := service.New(service.Config{
+		Workers:   2,
+		MemBudget: 1 << 20,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	fmt.Printf("daemon on %s, budget %d bytes\n", ln.Addr(), srv.MemBudget())
+
+	// Eight clients, each its own breaker, all racing for the budget.
+	const clients = 8
+	const jobsPerClient = 4
+	var ok, failed, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := client.New(client.Config{
+				BaseURL:     "http://" + ln.Addr().String(),
+				MaxAttempts: 6,
+				BaseBackoff: 25 * time.Millisecond,
+				MaxBackoff:  500 * time.Millisecond,
+			})
+			for j := 0; j < jobsPerClient; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				resp, err := c.Color(ctx, service.ColorRequest{
+					Preset: "channel", Scale: 0.1, Algorithm: "N1-N2", Threads: 2,
+				})
+				cancel()
+				switch {
+				case err == nil:
+					ok.Add(1)
+					_ = resp
+				case isPermanent(err):
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	fmt.Printf("%d clients × %d jobs: %d ok, %d rejected-permanent, %d failed\n",
+		clients, jobsPerClient, ok.Load(), rejected.Load(), failed.Load())
+	fmt.Printf("daemon after the burst: %d bytes in flight (must be 0)\n", srv.BytesInFlight())
+	if failed.Load() > 0 || ok.Load() != clients*jobsPerClient {
+		return fmt.Errorf("service demo: %d ok, %d failed — backoff did not absorb the contention", ok.Load(), failed.Load())
+	}
+	if srv.BytesInFlight() != 0 {
+		return errors.New("service demo: leaked budget reservation")
+	}
+	fmt.Println("every job landed: 429s and queueing were absorbed by jittered retries")
+	return nil
+}
+
+// isPermanent reports a rejection retrying cannot fix (400/413).
+func isPermanent(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && !apiErr.Temporary()
 }

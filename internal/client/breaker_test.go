@@ -1,0 +1,177 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker deterministically in tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
+	clk := newFakeClock()
+	cfg.now = clk.now
+	return newBreaker(cfg), clk
+}
+
+func TestBreakerStaysClosedUnderMinRequests(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{MinRequests: 5})
+	// Four straight failures: under the volume floor, must not trip.
+	for i := 0; i < 4; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("allow %d: %v", i, err)
+		}
+		b.record(false)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerTripsOnFailureRatio(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{MinRequests: 5, FailureRatio: 0.5})
+	// 3 ok + 2 fail = 40% failures at the volume floor: stays closed.
+	for i := 0; i < 3; i++ {
+		b.allow()
+		b.record(true)
+	}
+	for i := 0; i < 2; i++ {
+		b.allow()
+		b.record(false)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 40%% failures = %v, want closed", got)
+	}
+	// One more failure: 50% — trips.
+	b.allow()
+	b.record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 50%% failures = %v, want open", got)
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	cfg := BreakerConfig{MinRequests: 2, FailureRatio: 0.5, Cooldown: time.Second, HalfOpenProbes: 2}
+	b, clk := testBreaker(cfg)
+	b.allow()
+	b.record(false)
+	b.allow()
+	b.record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	// Still cooling down.
+	clk.advance(500 * time.Millisecond)
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("mid-cooldown allow: %v", err)
+	}
+	// Cooldown over: half-open admits probes.
+	clk.advance(600 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("first probe refused: %v", err)
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	b.record(true)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.record(true)
+	// Two consecutive probe successes close it — with a clean window,
+	// so the old failures cannot immediately re-trip.
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after recovery = %v, want closed", got)
+	}
+	b.allow()
+	b.record(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("window not cleared on close: %v", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	cfg := BreakerConfig{MinRequests: 2, FailureRatio: 0.5, Cooldown: time.Second, HalfOpenProbes: 2}
+	b, clk := testBreaker(cfg)
+	b.allow()
+	b.record(false)
+	b.allow()
+	b.record(false)
+	clk.advance(1100 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.record(false) // failed probe: full cooldown again
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("reopened breaker allowed a call: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeBudget(t *testing.T) {
+	cfg := BreakerConfig{MinRequests: 2, FailureRatio: 0.5, Cooldown: time.Second, HalfOpenProbes: 2}
+	b, clk := testBreaker(cfg)
+	b.allow()
+	b.record(false)
+	b.allow()
+	b.record(false)
+	clk.advance(1100 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe 1: %v", err)
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe 2: %v", err)
+	}
+	// Budget exhausted while both probes are in flight.
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("third concurrent probe admitted: %v", err)
+	}
+	// One probe returning frees a slot.
+	b.record(true)
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe after slot freed: %v", err)
+	}
+}
+
+func TestBreakerWindowExpiry(t *testing.T) {
+	cfg := BreakerConfig{Window: time.Second, Buckets: 10, MinRequests: 4, FailureRatio: 0.5}
+	b, clk := testBreaker(cfg)
+	// Three old failures...
+	for i := 0; i < 3; i++ {
+		b.allow()
+		b.record(false)
+	}
+	// ...that age out of the window entirely.
+	clk.advance(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		b.allow()
+		b.record(true)
+	}
+	// One fresh failure: window is 3 ok + 1 fail = 25%, under ratio.
+	b.allow()
+	b.record(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (old failures expired)", got)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package client is the disciplined way to call a bgpcd coloring
+// daemon: an HTTP client with capped exponential backoff and full
+// jitter, Retry-After honoring, per-attempt deadline propagation, and a
+// rolling-window circuit breaker. The daemon's admission control
+// (queue-full and byte-budget 429s, drain 503s) only protects the
+// server if clients back off instead of hammering; this package is that
+// other half of the contract, the retry shape production partitioner
+// services put in front of shared solver fleets.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"bgpc/internal/failpoint"
+	"bgpc/internal/obs"
+	"bgpc/internal/service"
+)
+
+// FPAttempt is probed immediately before every HTTP attempt. "err"
+// makes attempts fail without touching the network — breaker food for
+// chaos schedules — and "delay" turns the client into a straggler.
+const FPAttempt = "client.attempt"
+
+// APIError is a non-200 response from the daemon, carrying everything
+// the retry loop needs: the status, the server's message, and — for
+// 429s — the queue depth and Retry-After the server chose.
+type APIError struct {
+	Status     int
+	Message    string
+	QueueDepth int
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+// Temporary reports whether retrying the same request can succeed:
+// backpressure (429), drain (503), and server faults (5xx) are
+// temporary; 400/413-class rejections are permanent.
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests ||
+		e.Status == http.StatusServiceUnavailable ||
+		e.Status >= 500
+}
+
+// Config tunes a Client. Only BaseURL is required; the zero value of
+// every other field picks serving-friendly defaults.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8972".
+	BaseURL string
+	// HTTPClient overrides the transport; nil means a dedicated
+	// http.Client with no global timeout (deadlines are per-attempt).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call (first attempt included);
+	// < 1 means 4.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff schedule; ≤ 0 means
+	// 100ms. Retry n sleeps a uniformly random duration in
+	// (0, min(MaxBackoff, BaseBackoff·2ⁿ)] — "full jitter", which
+	// decorrelates a fleet of retrying clients instead of marching them
+	// into the server in waves.
+	BaseBackoff time.Duration
+	// MaxBackoff caps any single sleep; ≤ 0 means 5s.
+	MaxBackoff time.Duration
+	// AttemptTimeout is the per-attempt deadline, layered under the
+	// caller's context so one black-holed attempt cannot consume the
+	// whole call budget; ≤ 0 means 30s.
+	AttemptTimeout time.Duration
+	// Breaker tunes the circuit breaker; the zero value uses defaults.
+	Breaker BreakerConfig
+	// Logf, when set, receives one line per retry and breaker
+	// transition. Nil discards.
+	Logf func(format string, args ...any)
+
+	// rand overrides the jitter source in tests; nil seeds from the
+	// clock.
+	rand *rand.Rand
+}
+
+// Client calls a bgpcd daemon with retries and a circuit breaker. Safe
+// for concurrent use.
+type Client struct {
+	cfg  Config
+	http *http.Client
+	br   *breaker
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns a ready Client for the daemon at cfg.BaseURL.
+func New(cfg Config) *Client {
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 30 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	rng := cfg.rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &Client{cfg: cfg, http: hc, br: newBreaker(cfg.Breaker), rng: rng}
+}
+
+// BreakerState reports the circuit breaker's current state.
+func (c *Client) BreakerState() BreakerState { return c.br.State() }
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Color submits one coloring job and returns the decoded response,
+// retrying temporary failures with backoff until ctx expires, the
+// attempt budget runs out, or the breaker opens. Permanent rejections
+// (400, 413) return an *APIError immediately.
+func (c *Client) Color(ctx context.Context, req service.ColorRequest) (*service.ColorResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			obs.ClientRetries.Inc()
+			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return nil, fmt.Errorf("client: %w (last attempt: %v)", err, lastErr)
+			}
+		}
+		if err := c.br.allow(); err != nil {
+			// The breaker refusing is not itself a failed attempt — do
+			// not record it — but it is retryable: the cooldown may
+			// elapse within the caller's deadline.
+			c.logf("client: attempt %d refused: %v", attempt+1, err)
+			lastErr = err
+			continue
+		}
+		resp, err := c.attempt(ctx, body)
+		if err == nil {
+			c.br.record(true)
+			return resp, nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			// The server answered, so it is alive: only 5xx counts
+			// against the breaker. Backpressure (429) and client-fault
+			// rejections are healthy behaviour.
+			c.br.record(apiErr.Status < 500)
+			if !apiErr.Temporary() {
+				return nil, err
+			}
+		} else {
+			// Transport-level failure (or injected fault): breaker food.
+			c.br.record(false)
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), lastErr)
+		}
+		c.logf("client: attempt %d/%d failed: %v", attempt+1, c.cfg.MaxAttempts, err)
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// attempt performs one POST /color under its own deadline.
+func (c *Client) attempt(ctx context.Context, body []byte) (*service.ColorResponse, error) {
+	if err := failpoint.Inject(FPAttempt); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.BaseURL+"/color", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 256<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: hresp.StatusCode, RetryAfter: parseRetryAfter(hresp.Header.Get("Retry-After"))}
+		var e service.ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+			apiErr.QueueDepth = e.QueueDepth
+		} else {
+			apiErr.Message = string(raw)
+		}
+		return nil, apiErr
+	}
+	var resp service.ColorResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Healthz checks the daemon's liveness endpoint once (no retries).
+func (c *Client) Healthz(ctx context.Context) error {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodGet, c.cfg.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return &APIError{Status: hresp.StatusCode, Message: "healthz failed"}
+	}
+	return nil
+}
+
+// backoff computes the sleep before retry `attempt` (1-based): full
+// jitter under an exponentially growing cap, raised to the server's
+// Retry-After when the last rejection carried a larger one.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	cap := c.cfg.BaseBackoff << uint(attempt-1)
+	if cap > c.cfg.MaxBackoff || cap <= 0 {
+		cap = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(cap))) + 1
+	c.mu.Unlock()
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+	}
+	return d
+}
+
+// sleep waits for d or until ctx is done.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// parseRetryAfter handles both RFC 9110 forms of the header: a delay in
+// seconds and an HTTP-date. Unparseable or absent values are 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar registers the client's breaker state with the
+// process-wide expvar registry as "bgpc.client_breaker_state". First
+// client wins; safe to call more than once.
+func (c *Client) PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("bgpc.client_breaker_state", expvar.Func(func() any { return c.br.State().String() }))
+	})
+}

@@ -28,6 +28,12 @@ type PresetInfo struct {
 	Description string
 
 	build func(scale float64) *bipartite.Graph
+	// dims predicts the built graph's shape without building it:
+	// admission control charges preset jobs against the memory budget
+	// before a worker allocates anything. Estimates lean high (they
+	// mirror each generator's degree parameters with slack); see
+	// EstimateDims.
+	dims func(scale float64) (rows, cols int, nnz int64)
 }
 
 // presets are ordered as the paper's Table II.
@@ -40,6 +46,15 @@ var presets = []PresetInfo{
 			cols := scaleInt(4000, s)
 			return ZipfBipartite(rows, cols, 8, cols/2, 1.05, 0.8, 0x20BEEF)
 		},
+		dims: func(s float64) (int, int, int64) {
+			rows, cols := scaleInt(800, s), scaleInt(4000, s)
+			// Truncated-Zipf row degrees grow with the column count.
+			deg := int64(cols / 20)
+			if deg < 20 {
+				deg = 20
+			}
+			return rows, cols, int64(rows) * deg
+		},
 	},
 	{
 		Name: "afshell", Paper: "af_shell10", Symmetric: true,
@@ -47,6 +62,10 @@ var presets = []PresetInfo{
 		build: func(s float64) *bipartite.Graph {
 			side := scaleSide(24, s)
 			return Stencil3D(side, side, side, 34, true)
+		},
+		dims: func(s float64) (int, int, int64) {
+			n := cube(scaleSide(24, s))
+			return n, n, int64(n) * 35
 		},
 	},
 	{
@@ -56,6 +75,10 @@ var presets = []PresetInfo{
 			side := scaleSide(20, s)
 			return JitteredStencil3D(side, side, side, 26, 0.10, 16, 0xB0E010)
 		},
+		dims: func(s float64) (int, int, int64) {
+			n := cube(scaleSide(20, s))
+			return n, n, int64(n) * 30
+		},
 	},
 	{
 		Name: "channel", Paper: "channel-500x100x100-b050", Symmetric: true,
@@ -63,6 +86,10 @@ var presets = []PresetInfo{
 		build: func(s float64) *bipartite.Graph {
 			side := scaleSide(16, s)
 			return Stencil3D(2*side, side, side, 17, true)
+		},
+		dims: func(s float64) (int, int, int64) {
+			n := 2 * cube(scaleSide(16, s))
+			return n, n, int64(n) * 18
 		},
 	},
 	{
@@ -72,6 +99,10 @@ var presets = []PresetInfo{
 			n := scaleInt(8000, s)
 			return ChungLu(n, 28, 2.1, true, 0xC0DB)
 		},
+		dims: func(s float64) (int, int, int64) {
+			n := scaleInt(8000, s)
+			return n, n, int64(n) * 30
+		},
 	},
 	{
 		Name: "hv15r", Paper: "HV15R", Symmetric: false,
@@ -79,6 +110,10 @@ var presets = []PresetInfo{
 		build: func(s float64) *bipartite.Graph {
 			n := scaleInt(6000, s)
 			return BandedRandom(n, 56, 22, 200, 80, 0x115)
+		},
+		dims: func(s float64) (int, int, int64) {
+			n := scaleInt(6000, s)
+			return n, n, int64(n) * 56
 		},
 	},
 	{
@@ -88,6 +123,11 @@ var presets = []PresetInfo{
 			side := scaleSide(16, s)
 			return KKT(side, side, side, 22, 3, 0x1201)
 		},
+		dims: func(s float64) (int, int, int64) {
+			// KKT: side³ primal variables plus side³/2 dual constraints.
+			n := cube(scaleSide(16, s)) * 3 / 2
+			return n, n, int64(n) * 18
+		},
 	},
 	{
 		Name: "uk2002", Paper: "uk-2002", Symmetric: false,
@@ -95,6 +135,10 @@ var presets = []PresetInfo{
 		build: func(s float64) *bipartite.Graph {
 			n := scaleInt(20000, s)
 			return ChungLu(n, 16, 2.0, false, 0x2002)
+		},
+		dims: func(s float64) (int, int, int64) {
+			n := scaleInt(20000, s)
+			return n, n, int64(n) * 10
 		},
 	},
 }
@@ -113,6 +157,26 @@ func scaleSide(base int, s float64) int {
 		v = 3
 	}
 	return v
+}
+
+func cube(side int) int { return side * side * side }
+
+// EstimateDims predicts the shape of Preset(name, scale) without
+// building it, for budget-based admission control. The nonzero count is
+// an engineering estimate calibrated against the generators (each
+// preset's degree parameters plus slack); tests pin it to within a
+// small factor of the built graph, and budget math only needs the
+// order of magnitude.
+func EstimateDims(name string, scale float64) (rows, cols int, nnz int64, err error) {
+	if scale <= 0 {
+		return 0, 0, 0, fmt.Errorf("gen: non-positive scale %v", scale)
+	}
+	p, err := Lookup(name)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rows, cols, nnz = p.dims(scale)
+	return rows, cols, nnz, nil
 }
 
 // PresetNames returns all preset names in Table II order.

@@ -2,8 +2,11 @@ package mtx
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"bgpc/internal/limits"
 )
 
 // FuzzRead hardens the MatrixMarket parser: arbitrary input must never
@@ -39,6 +42,47 @@ func FuzzRead(f *testing.F) {
 			t.Fatalf("round trip changed dimensions: %dx%d/%d vs %dx%d/%d",
 				g.NumNets(), g.NumVertices(), g.NumEdges(),
 				g2.NumNets(), g2.NumVertices(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzReadHeader attacks the untrusted header path specifically:
+// banners, comment runs, and size lines of arbitrary shape must either
+// produce a consistent Info or a typed error — never a panic, and
+// never an Info that violates the configured caps.
+func FuzzReadHeader(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate pattern general\n2 3 2\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2000000 2000000 1000000000000\n",
+		"%%MatrixMarket matrix coordinate pattern general\n9223372036854775807 1 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n-1 -1 -1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n1 1 99999999999999999999999\n",
+		"%%MatrixMarket matrix coordinate pattern general\n% c\n% c\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate pattern general\n1 1 1 1 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n\x00 \x00 \x00\n",
+		"%%MatrixMarket matrix coordinate pattern general",
+		"%%MatrixMarket matrix coordinate integer skew-symmetric\n4 4 1\n",
+		"%%MatrixMarket\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lim := limits.ParseLimits{MaxRows: 1 << 20, MaxCols: 1 << 20, MaxNNZ: 1 << 30, MaxLineBytes: 256}
+	f.Fuzz(func(t *testing.T, input string) {
+		info, err := PeekInfo(strings.NewReader(input), lim)
+		if err != nil {
+			if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("untyped header error: %v", err)
+			}
+			return
+		}
+		if info.Rows < 0 || info.Cols < 0 || info.NNZ < 0 {
+			t.Fatalf("accepted negative dims: %+v", info)
+		}
+		if info.Rows > lim.MaxRows || info.Cols > lim.MaxCols || info.NNZ > lim.MaxNNZ {
+			t.Fatalf("accepted dims beyond caps: %+v", info)
 		}
 	})
 }

@@ -1,0 +1,155 @@
+package mtx
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"bgpc/internal/limits"
+)
+
+// allocDelta returns the bytes allocated while running fn, measured
+// from the runtime's cumulative TotalAlloc so GC cycles in between
+// cannot hide anything.
+func allocDelta(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestHostileHeaderBoundedAlloc is the acceptance check for untrusted
+// headers: a ~60-byte file claiming a trillion nonzeros must be
+// rejected while allocating well under 1 MiB. Before the streaming
+// limits, Read pre-sized its edge slice from the header — this input
+// was a one-line denial-of-service.
+func TestHostileHeaderBoundedAlloc(t *testing.T) {
+	hostile := "%%MatrixMarket matrix coordinate pattern general\n" +
+		"2000000 2000000 1000000000000\n"
+
+	// Under default limits the trillion-edge claim trips MaxNNZ.
+	var err error
+	delta := allocDelta(func() {
+		_, err = Read(strings.NewReader(hostile))
+	})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if delta >= 1<<20 {
+		t.Fatalf("rejecting hostile header allocated %d bytes, want < 1MiB", delta)
+	}
+
+	// Even with the nnz cap raised past the claim, the parser must not
+	// trust the header: allocation grows with bytes actually scanned
+	// (here: none), so the empty body fails cheaply with ErrFormat.
+	lim := limits.DefaultParseLimits()
+	lim.MaxNNZ = 1 << 62
+	delta = allocDelta(func() {
+		_, err = ReadLimited(strings.NewReader(hostile), lim)
+	})
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("raised-cap err = %v, want ErrFormat (missing entries)", err)
+	}
+	if delta >= 1<<20 {
+		t.Fatalf("parsing hostile header allocated %d bytes, want < 1MiB", delta)
+	}
+}
+
+func TestHeaderCaps(t *testing.T) {
+	lim := limits.ParseLimits{MaxRows: 100, MaxCols: 200, MaxNNZ: 1000, MaxLineBytes: 1 << 16}
+	cases := map[string]string{
+		"rows over cap": "%%MatrixMarket matrix coordinate pattern general\n101 10 5\n",
+		"cols over cap": "%%MatrixMarket matrix coordinate pattern general\n10 201 5\n",
+		"nnz over cap":  "%%MatrixMarket matrix coordinate pattern general\n100 200 1001\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadLimited(strings.NewReader(in), lim); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("%s: err = %v, want ErrTooLarge", name, err)
+		}
+	}
+	// At the caps exactly: admitted (and then fails only for the
+	// missing entries, which is a format error, not a size one).
+	atCap := "%%MatrixMarket matrix coordinate pattern general\n100 200 3\n1 1\n1 2\n1 3\n"
+	if _, err := ReadLimited(strings.NewReader(atCap), lim); err != nil {
+		t.Fatalf("at-cap input rejected: %v", err)
+	}
+}
+
+func TestInconsistentHeaderClaim(t *testing.T) {
+	// nnz greater than rows×cols is impossible; reject it as malformed
+	// before any entry is read.
+	in := "%%MatrixMarket matrix coordinate pattern general\n3 3 10\n"
+	if _, err := Read(strings.NewReader(in)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestOversizedLines(t *testing.T) {
+	lim := limits.DefaultParseLimits()
+	lim.MaxLineBytes = 64
+
+	long := strings.Repeat("x", 200)
+	cases := map[string]string{
+		"long banner":  "%%MatrixMarket matrix coordinate pattern " + long + "\n1 1 1\n1 1\n",
+		"long comment": "%%MatrixMarket matrix coordinate pattern general\n%" + long + "\n1 1 1\n1 1\n",
+		"long size":    "%%MatrixMarket matrix coordinate pattern general\n1 1 1   " + long + "\n1 1\n",
+		"long entry":   "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2   " + long + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadLimited(strings.NewReader(in), lim); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+	// A line exactly at the cap still parses.
+	pad := strings.Repeat(" ", 60)
+	ok := "%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 1" + pad + "\n"
+	if _, err := ReadLimited(strings.NewReader(ok), lim); err != nil {
+		t.Fatalf("at-cap line rejected: %v", err)
+	}
+}
+
+func TestPeekInfo(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real symmetric\n% note\n30 40 17\n1 1 2.5\n"
+	info, err := PeekInfo(strings.NewReader(in), limits.DefaultParseLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 30 || info.Cols != 40 || info.NNZ != 17 {
+		t.Fatalf("info = %+v", info)
+	}
+	if !info.Symmetric || info.Field != "real" {
+		t.Fatalf("info = %+v", info)
+	}
+
+	// PeekInfo must reject the same hostile headers as ReadLimited
+	// without reading a single entry line.
+	big := "%%MatrixMarket matrix coordinate pattern general\n2000000 2000000 1000000000000\n"
+	if _, err := PeekInfo(strings.NewReader(big), limits.DefaultParseLimits()); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("hostile peek: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := PeekInfo(strings.NewReader("%%nope\n"), limits.DefaultParseLimits()); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad banner peek: err = %v, want ErrFormat", err)
+	}
+}
+
+// TestLargeValidStillParses pins down that the caps do not reject
+// honest inputs whose nnz merely exceeds the start-small hint.
+func TestLargeValidStillParses(t *testing.T) {
+	const n = 10000 // > the 4096-entry capHint clamp
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%%%%MatrixMarket matrix coordinate pattern general\n%d %d %d\n", n, 1, n)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&sb, "%d 1\n", i)
+	}
+	g, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != n {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), n)
+	}
+}

@@ -5,6 +5,15 @@
 // discarded; pattern, real, integer, and complex fields are accepted,
 // as are general, symmetric, and skew-symmetric symmetry modes
 // (symmetric entries are expanded).
+//
+// The parser treats its input as untrusted. Nothing is ever allocated
+// from header claims alone: the edge buffer starts small and grows
+// geometrically with data actually scanned, every line (banner,
+// comment, size, entry) is length-capped, and declared dimensions are
+// checked against limits.ParseLimits before a byte of data is read.
+// Violations surface as two typed errors — ErrFormat for malformed
+// input, limits.ErrTooLarge for well-formed input over a cap — so
+// serving layers can map them to 400 and 413 respectively.
 package mtx
 
 import (
@@ -19,10 +28,15 @@ import (
 
 	"bgpc/internal/bipartite"
 	"bgpc/internal/failpoint"
+	"bgpc/internal/limits"
 )
 
 // ErrFormat reports malformed MatrixMarket input.
 var ErrFormat = errors.New("mtx: malformed MatrixMarket input")
+
+// ErrTooLarge re-exports the cap-violation sentinel so callers can
+// match oversized input without importing internal/limits.
+var ErrTooLarge = limits.ErrTooLarge
 
 // FPReadEntry is probed once per data line while scanning coordinate
 // entries. An injected error surfaces as a format error mid-stream —
@@ -37,22 +51,73 @@ type header struct {
 	symmetry  string // general | symmetric | skew-symmetric | hermitian
 	rows      int
 	cols      int
-	nnz       int
+	nnz       int64
 	valueCols int // numbers after the two indices on each entry line
 }
 
+// Info is the declared shape of a MatrixMarket document — what the
+// header claims, before any data is scanned. Admission layers use it to
+// estimate a job's footprint without paying for the parse.
+type Info struct {
+	Rows int
+	Cols int
+	NNZ  int64
+	// Symmetric reports a non-general symmetry mode: the in-memory
+	// entry count doubles under expansion.
+	Symmetric bool
+	Field     string
+}
+
+// PeekInfo parses only the banner, comments, and size line, enforcing
+// lim's caps, and returns the declared shape. It reads a bounded prefix
+// of r (at most the header lines), never the data section.
+func PeekInfo(r io.Reader, lim limits.ParseLimits) (Info, error) {
+	lim = lim.WithDefaults()
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, err := readHeader(br, lim)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Rows:      h.rows,
+		Cols:      h.cols,
+		NNZ:       h.nnz,
+		Symmetric: h.symmetry != "general",
+		Field:     h.field,
+	}, nil
+}
+
 // Read parses MatrixMarket coordinate input into a bipartite graph with
-// rows as nets and columns as vertices.
+// rows as nets and columns as vertices, under the library-default caps.
 func Read(r io.Reader) (*bipartite.Graph, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	h, err := readHeader(br)
+	return ReadLimited(r, limits.DefaultParseLimits())
+}
+
+// ReadLimited is Read with caller-supplied caps on declared dimensions
+// and line lengths. Zero-valued fields of lim fall back to the
+// defaults.
+func ReadLimited(r io.Reader, lim limits.ParseLimits) (*bipartite.Graph, error) {
+	lim = lim.WithDefaults()
+	// 64KiB read buffer: readLine accumulates longer lines itself (up
+	// to lim.MaxLineBytes), so the buffer need not fit a whole line —
+	// and a rejected hostile header must not have cost a big buffer.
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, err := readHeader(br, lim)
 	if err != nil {
 		return nil, err
 	}
-	edges := make([]bipartite.Edge, 0, h.nnz*expandFactor(h.symmetry))
+	// Never pre-size from the untrusted header: cap the hint so peak
+	// allocation tracks bytes actually scanned (append grows the slice
+	// geometrically), not the header's claim. A crafted "nnz=10^12"
+	// costs the attacker one small slice, not gigabytes.
+	capHint := h.nnz * int64(expandFactor(h.symmetry))
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	edges := make([]bipartite.Edge, 0, capHint)
 	sc := bufio.NewScanner(br)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	seen := 0
+	sc.Buffer(make([]byte, 1<<16), lim.MaxLineBytes)
+	seen := int64(0)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || line[0] == '%' {
@@ -78,6 +143,12 @@ func Read(r io.Reader) (*bipartite.Graph, error) {
 		seen++
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The raw bufio error must not leak to API error paths: a
+			// too-long line is a malformed document, same as any other
+			// format violation.
+			return nil, fmt.Errorf("%w: entry line exceeds %d bytes", ErrFormat, lim.MaxLineBytes)
+		}
 		return nil, err
 	}
 	if seen != h.nnz {
@@ -93,9 +164,35 @@ func expandFactor(symmetry string) int {
 	return 2
 }
 
-func readHeader(br *bufio.Reader) (header, error) {
+// readLine reads one newline-terminated line of at most max bytes from
+// br. Longer lines are a format violation, reported before more than
+// one buffer's worth has been accumulated — header parsing must never
+// buffer an attacker-sized "line". io.EOF is returned alongside the
+// final unterminated line, mirroring bufio.Reader.ReadString.
+func readLine(br *bufio.Reader, max int) (string, error) {
+	var sb strings.Builder
+	for {
+		frag, err := br.ReadSlice('\n')
+		sb.Write(frag)
+		if sb.Len() > max {
+			return "", fmt.Errorf("%w: header line exceeds %d bytes", ErrFormat, max)
+		}
+		switch {
+		case err == nil:
+			return sb.String(), nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		case errors.Is(err, io.EOF):
+			return sb.String(), io.EOF
+		default:
+			return "", err
+		}
+	}
+}
+
+func readHeader(br *bufio.Reader, lim limits.ParseLimits) (header, error) {
 	var h header
-	banner, err := br.ReadString('\n')
+	banner, err := readLine(br, lim.MaxLineBytes)
 	if err != nil && !errors.Is(err, io.EOF) {
 		return h, err
 	}
@@ -124,7 +221,7 @@ func readHeader(br *bufio.Reader) (header, error) {
 	}
 	// Skip comments, then read the size line.
 	for {
-		line, err := br.ReadString('\n')
+		line, err := readLine(br, lim.MaxLineBytes)
 		if err != nil && !errors.Is(err, io.EOF) {
 			return h, err
 		}
@@ -139,15 +236,32 @@ func readHeader(br *bufio.Reader) (header, error) {
 		if len(parts) != 3 {
 			return h, fmt.Errorf("%w: bad size line %q", ErrFormat, trimmed)
 		}
-		dims := make([]int, 3)
+		dims := make([]int64, 3)
 		for i, p := range parts {
-			v, convErr := strconv.Atoi(p)
+			v, convErr := strconv.ParseInt(p, 10, 64)
 			if convErr != nil || v < 0 {
 				return h, fmt.Errorf("%w: bad size line %q", ErrFormat, trimmed)
 			}
 			dims[i] = v
 		}
-		h.rows, h.cols, h.nnz = dims[0], dims[1], dims[2]
+		// Hard caps on the declared shape — checked before any data is
+		// scanned, so an oversized claim is rejected for the cost of
+		// reading its header.
+		if dims[0] > int64(lim.MaxRows) {
+			return h, fmt.Errorf("%w: declared %d rows exceeds cap %d", ErrTooLarge, dims[0], lim.MaxRows)
+		}
+		if dims[1] > int64(lim.MaxCols) {
+			return h, fmt.Errorf("%w: declared %d columns exceeds cap %d", ErrTooLarge, dims[1], lim.MaxCols)
+		}
+		if dims[2] > lim.MaxNNZ {
+			return h, fmt.Errorf("%w: declared %d nonzeros exceeds cap %d", ErrTooLarge, dims[2], lim.MaxNNZ)
+		}
+		// rows/cols are ≤ MaxInt32 here (capped above), so the product
+		// fits in int64; a claim beyond it is internally inconsistent.
+		if dims[0]*dims[1] < dims[2] {
+			return h, fmt.Errorf("%w: declared %d nonzeros in a %dx%d matrix", ErrFormat, dims[2], dims[0], dims[1])
+		}
+		h.rows, h.cols, h.nnz = int(dims[0]), int(dims[1]), dims[2]
 		return h, nil
 	}
 }
@@ -178,6 +292,11 @@ func parseEntry(line string, h header) (row, col int, err error) {
 // are decompressed transparently (SuiteSparse distributes compressed
 // MatrixMarket archives).
 func ReadFile(path string) (*bipartite.Graph, error) {
+	return ReadFileLimited(path, limits.DefaultParseLimits())
+}
+
+// ReadFileLimited is ReadFile with caller-supplied parse caps.
+func ReadFileLimited(path string, lim limits.ParseLimits) (*bipartite.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -189,9 +308,9 @@ func ReadFile(path string) (*bipartite.Graph, error) {
 			return nil, fmt.Errorf("mtx: %s: %w", path, err)
 		}
 		defer zr.Close()
-		return Read(zr)
+		return ReadLimited(zr, lim)
 	}
-	return Read(f)
+	return ReadLimited(f, lim)
 }
 
 // Write emits g in MatrixMarket "coordinate pattern general" form with

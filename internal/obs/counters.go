@@ -75,6 +75,24 @@ var (
 	// SvcWatchdogFired counts jobs the progress watchdog canceled for
 	// making no conflict-count progress across its window.
 	SvcWatchdogFired Counter
+	// SvcTooLarge counts jobs refused outright because their estimated
+	// footprint exceeds a hard cap or the whole memory budget (413 —
+	// retrying cannot help).
+	SvcTooLarge Counter
+	// SvcBudgetRejected counts jobs refused because the byte budget was
+	// momentarily exhausted (429 with Retry-After — retrying helps).
+	SvcBudgetRejected Counter
+)
+
+// Client-side counters (internal/client): the daemon's HTTP client
+// with retry/backoff and a circuit breaker.
+var (
+	// ClientRetries counts attempts beyond the first (each one followed
+	// a backoff sleep).
+	ClientRetries Counter
+	// ClientBreakerOpens counts closed→open transitions of the client's
+	// circuit breaker.
+	ClientBreakerOpens Counter
 )
 
 var metricsOn atomic.Bool
@@ -117,19 +135,23 @@ func countTraceEvent() {
 // counterNames maps the expvar/dump names to the counters, in one
 // place so Snapshot, WriteMetrics and PublishExpvar cannot drift.
 var counterNames = map[string]*Counter{
-	"bgpc.chunk_dispatches":    &ChunkDispatches,
-	"bgpc.shared_queue_pushes": &SharedQueuePushes,
-	"bgpc.forbidden_scans":     &ForbiddenScans,
-	"bgpc.trace_events":        &TraceEvents,
-	"bgpc.svc_accepted":        &SvcAccepted,
-	"bgpc.svc_rejected":        &SvcRejected,
-	"bgpc.svc_completed":       &SvcCompleted,
-	"bgpc.svc_degraded":        &SvcDegraded,
-	"bgpc.svc_cache_hits":      &SvcCacheHits,
-	"bgpc.svc_cache_misses":    &SvcCacheMisses,
-	"bgpc.svc_panics":          &SvcPanics,
-	"bgpc.svc_quarantined":     &SvcQuarantined,
-	"bgpc.svc_watchdog_fired":  &SvcWatchdogFired,
+	"bgpc.chunk_dispatches":     &ChunkDispatches,
+	"bgpc.shared_queue_pushes":  &SharedQueuePushes,
+	"bgpc.forbidden_scans":      &ForbiddenScans,
+	"bgpc.trace_events":         &TraceEvents,
+	"bgpc.svc_accepted":         &SvcAccepted,
+	"bgpc.svc_rejected":         &SvcRejected,
+	"bgpc.svc_completed":        &SvcCompleted,
+	"bgpc.svc_degraded":         &SvcDegraded,
+	"bgpc.svc_cache_hits":       &SvcCacheHits,
+	"bgpc.svc_cache_misses":     &SvcCacheMisses,
+	"bgpc.svc_panics":           &SvcPanics,
+	"bgpc.svc_quarantined":      &SvcQuarantined,
+	"bgpc.svc_watchdog_fired":   &SvcWatchdogFired,
+	"bgpc.svc_too_large":        &SvcTooLarge,
+	"bgpc.svc_budget_rejected":  &SvcBudgetRejected,
+	"bgpc.client_retries":       &ClientRetries,
+	"bgpc.client_breaker_opens": &ClientBreakerOpens,
 }
 
 // Snapshot returns the current value of every counter keyed by its

@@ -7,12 +7,14 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"bgpc/internal/failpoint"
 	"bgpc/internal/gen"
 	"bgpc/internal/graph"
+	"bgpc/internal/limits"
 	"bgpc/internal/mtx"
 	"bgpc/internal/obs"
 	"bgpc/internal/testutil"
@@ -131,6 +133,7 @@ func TestChaosBattery(t *testing.T) {
 		{"cache-rot", FPCacheGet + "=err@8;" + FPCachePut + "=err@8"},
 		{"build-crashes", gen.FPBuild + "=panic@3#1"},
 		{"handler-panics", FPHandleColor + "=panic@3#2"},
+		{"estimate-faults", limits.FPEstimate + "=err@8#2"},
 		{"kitchen-sink", FPBeforeRun + "=panic@3#3," +
 			"par.dispatch=delay:500us@24#6," +
 			"mtx.readEntry=err@2#2," +
@@ -306,4 +309,70 @@ func TestChaosGaugeBaselineSnapshot(t *testing.T) {
 	if stats.QueueDepth != 0 || stats.ActiveJobs != 0 {
 		t.Fatalf("statsz gauges: %+v", stats)
 	}
+}
+
+// TestChaosBudgetSqueeze runs the storm against a deliberately tight
+// memory budget with estimation faults armed on top: real 429s from
+// budget contention interleave with injected ones, stragglers hold
+// reservations longer than usual, and the invariant under all of it is
+// that no reservation leaks — bytes in flight return to exactly zero
+// and a probe job is admitted once the storm passes.
+func TestChaosBudgetSqueeze(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	req := ColorRequest{Matrix: tinyMtx, Algorithm: "V-V", TimeoutMS: 10_000}
+	sizer := newTestServer(t, Config{Workers: 1})
+	spec, _, err := sizer.resolve(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Room for roughly two tiny jobs: enough to admit, tight enough
+	// that eight clients contend on the budget for real.
+	s := newTestServer(t, Config{
+		Workers:    4,
+		QueueDepth: 32,
+		MemBudget:  2*spec.estBytes + spec.estBytes/2,
+	})
+	loads := chaosWorkloads(t)
+	arm(t, limits.FPEstimate+"=err@6#3,"+FPBeforeRun+"=delay:2ms@20#4")
+
+	var wg sync.WaitGroup
+	var got200, got429 atomic.Int64
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				wl := loads[(c+i)%len(loads)]
+				w := post(t, s, wl.req)
+				switch w.Code {
+				case http.StatusOK:
+					got200.Add(1)
+				case http.StatusTooManyRequests:
+					got429.Add(1)
+					if w.Header().Get("Retry-After") == "" {
+						t.Errorf("[budget-squeeze] 429 without Retry-After")
+					}
+				}
+				wellFormed(t, "budget-squeeze", w.Code, w.Body.Bytes())
+			}
+		}(c)
+	}
+	wg.Wait()
+	failpoint.Reset()
+
+	testutil.WaitFor(t, testutil.Scale(5*time.Second), func() bool {
+		return s.QueueDepth() == 0 && s.ActiveJobs() == 0 && s.BytesInFlight() == 0
+	}, "budget gauges did not return to baseline: depth=%d active=%d bytes=%d",
+		s.QueueDepth(), s.ActiveJobs(), s.BytesInFlight())
+
+	if got200.Load() == 0 {
+		t.Fatal("budget squeeze admitted nothing — storm config is wrong")
+	}
+	if w := post(t, s, req); w.Code != http.StatusOK {
+		t.Fatalf("probe after squeeze: status %d: %s", w.Code, w.Body)
+	}
+	if got := s.BytesInFlight(); got != 0 {
+		t.Fatalf("probe left %d bytes in flight", got)
+	}
+	t.Logf("budget squeeze: %d ok, %d rejected-retryable", got200.Load(), got429.Load())
 }

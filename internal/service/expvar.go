@@ -10,4 +10,6 @@ func publishGauges(s *Server) {
 	expvar.Publish("bgpc.svc_queue_depth", expvar.Func(func() any { return s.QueueDepth() }))
 	expvar.Publish("bgpc.svc_active_jobs", expvar.Func(func() any { return s.ActiveJobs() }))
 	expvar.Publish("bgpc.svc_cached_graphs", expvar.Func(func() any { return s.CachedGraphs() }))
+	expvar.Publish("bgpc.svc_bytes_inflight", expvar.Func(func() any { return s.BytesInFlight() }))
+	expvar.Publish("bgpc.svc_mem_budget", expvar.Func(func() any { return s.MemBudget() }))
 }

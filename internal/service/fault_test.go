@@ -74,7 +74,7 @@ func TestJobPanicReturns500AndPoolSurvives(t *testing.T) {
 // poison subsequent submits or drain.
 func TestPoolAccountingAfterPanic(t *testing.T) {
 	testutil.CheckGoroutineLeaks(t)
-	p := newPool(1, 2)
+	p := newPool(1, 2, nil)
 
 	bad := &job{ctx: context.Background(), done: make(chan struct{})}
 	bad.run = func(context.Context) { panic("job bug") }
@@ -112,7 +112,7 @@ func TestPoolAccountingAfterPanic(t *testing.T) {
 func TestDrainUnderFault(t *testing.T) {
 	testutil.CheckGoroutineLeaks(t)
 	arm(t, FPBeforeRun+"=delay:100ms")
-	p := newPool(2, 4)
+	p := newPool(2, 4, nil)
 
 	panicky := &job{ctx: context.Background(), done: make(chan struct{})}
 	panicky.run = func(context.Context) { panic("mid-drain crash") }

@@ -3,11 +3,13 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"bgpc/internal/failpoint"
+	"bgpc/internal/limits"
 	"bgpc/internal/obs"
 	"bgpc/internal/par"
 )
@@ -32,6 +34,11 @@ type job struct {
 	run  func(ctx context.Context)
 	done chan struct{}
 
+	// bytes is the job's estimated peak memory, reserved against the
+	// pool's byte budget at admission and released when the job
+	// finishes (runJob's defer, alongside the other accounting).
+	bytes int64
+
 	// panicked is the recovered value when run panicked (nil
 	// otherwise); stack is the goroutine stack at the panic site — the
 	// worker's own stack, or the parallel worker's when the panic was
@@ -51,6 +58,12 @@ type pool struct {
 	jobs chan *job
 	quit chan struct{}
 
+	// budget bounds the estimated bytes of concurrently admitted jobs.
+	// Counting jobs alone is not enough at scale: a queue of
+	// large-but-legal matrices can OOM the process while every slot is
+	// nominally free. Nil means unlimited.
+	budget *limits.Budget
+
 	mu       sync.Mutex // guards draining flips vs. admissions
 	draining bool
 
@@ -61,11 +74,13 @@ type pool struct {
 }
 
 // newPool starts `workers` worker goroutines behind a queue of `depth`
-// waiting slots (admitted jobs beyond the running workers).
-func newPool(workers, depth int) *pool {
+// waiting slots (admitted jobs beyond the running workers), with
+// admissions charged against budget (nil = unlimited).
+func newPool(workers, depth int, budget *limits.Budget) *pool {
 	p := &pool{
-		jobs: make(chan *job, depth),
-		quit: make(chan struct{}),
+		jobs:   make(chan *job, depth),
+		quit:   make(chan struct{}),
+		budget: budget,
 	}
 	p.workers.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -105,6 +120,7 @@ func (p *pool) runJob(j *job) {
 				j.stack = debug.Stack()
 			}
 		}
+		p.budget.Release(j.bytes)
 		p.running.Add(-1)
 		p.inflight.Done()
 		close(j.done)
@@ -131,6 +147,19 @@ func (p *pool) submit(j *job) error {
 		obs.SvcRejected.Inc()
 		return errDraining
 	}
+	// Byte-budget admission precedes slot admission: a job the budget
+	// cannot hold must not occupy a queue slot. The reservation is
+	// released by runJob's accounting defer — or right here if the
+	// queue turns out to be full.
+	if err := p.budget.TryAcquire(j.bytes); err != nil {
+		if errors.Is(err, limits.ErrTooLarge) {
+			obs.SvcTooLarge.Inc()
+		} else {
+			obs.SvcBudgetRejected.Inc()
+		}
+		obs.SvcRejected.Inc()
+		return fmt.Errorf("service: %w", err)
+	}
 	p.inflight.Add(1)
 	p.queued.Add(1)
 	select {
@@ -140,6 +169,7 @@ func (p *pool) submit(j *job) error {
 	default:
 		p.inflight.Done()
 		p.queued.Add(-1)
+		p.budget.Release(j.bytes)
 		obs.SvcRejected.Inc()
 		return errQueueFull
 	}
@@ -183,3 +213,6 @@ func (p *pool) depth() int { return int(p.queued.Load()) }
 
 // active reports jobs currently executing on workers.
 func (p *pool) active() int { return int(p.running.Load()) }
+
+// bytesInflight reports the estimated bytes of admitted jobs.
+func (p *pool) bytesInflight() int64 { return p.budget.InFlight() }

@@ -27,7 +27,7 @@ func blockingJob(release <-chan struct{}) (*job, <-chan struct{}) {
 
 func TestPoolAdmissionControl(t *testing.T) {
 	testutil.CheckGoroutineLeaks(t)
-	p := newPool(1, 2)
+	p := newPool(1, 2, nil)
 	release := make(chan struct{})
 
 	// First job occupies the single worker...
@@ -64,7 +64,7 @@ func TestPoolAdmissionControl(t *testing.T) {
 
 func TestPoolDrainWaitsForInflight(t *testing.T) {
 	testutil.CheckGoroutineLeaks(t)
-	p := newPool(2, 4)
+	p := newPool(2, 4, nil)
 	release := make(chan struct{})
 	j, started := blockingJob(release)
 	if err := p.submit(j); err != nil {
@@ -94,7 +94,7 @@ func TestPoolDrainWaitsForInflight(t *testing.T) {
 }
 
 func TestPoolDrainContextExpiry(t *testing.T) {
-	p := newPool(1, 1)
+	p := newPool(1, 1, nil)
 	release := make(chan struct{})
 	defer close(release)
 	j, started := blockingJob(release)
@@ -118,7 +118,7 @@ func TestPoolDrainContextExpiry(t *testing.T) {
 // worker stuck on a job follows once the job completes.
 func TestPoolDrainTimeoutStopsIdleWorkers(t *testing.T) {
 	testutil.CheckGoroutineLeaks(t)
-	p := newPool(4, 4)
+	p := newPool(4, 4, nil)
 	release := make(chan struct{})
 	j, started := blockingJob(release)
 	if err := p.submit(j); err != nil {
@@ -144,7 +144,7 @@ func TestPoolDrainTimeoutStopsIdleWorkers(t *testing.T) {
 // and panic (and depth would go transiently negative).
 func TestPoolSubmitFastJobStress(t *testing.T) {
 	testutil.CheckGoroutineLeaks(t)
-	p := newPool(8, 8)
+	p := newPool(8, 8, nil)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -177,7 +177,7 @@ func TestPoolSubmitFastJobStress(t *testing.T) {
 func TestPoolShutdownLeakFree(t *testing.T) {
 	testutil.CheckGoroutineLeaks(t)
 	for i := 0; i < 10; i++ {
-		p := newPool(4, 8)
+		p := newPool(4, 8, nil)
 		for k := 0; k < 8; k++ {
 			j := &job{ctx: context.Background(), done: make(chan struct{})}
 			j.run = func(context.Context) {}

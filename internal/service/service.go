@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -48,6 +49,7 @@ import (
 	"bgpc/internal/failpoint"
 	"bgpc/internal/gen"
 	"bgpc/internal/graph"
+	"bgpc/internal/limits"
 	"bgpc/internal/mtx"
 	"bgpc/internal/obs"
 	"bgpc/internal/verify"
@@ -87,6 +89,22 @@ type Config struct {
 	QuarantineAfter int
 	// QuarantineFor is the quarantine cool-down; values ≤ 0 mean 30s.
 	QuarantineFor time.Duration
+	// MemBudget bounds the estimated bytes of concurrently admitted
+	// jobs (the byte dimension of admission control — slots alone do
+	// not stop a queue of huge matrices from OOMing the process). 0
+	// derives the budget from GOMEMLIMIT (half of it; see
+	// limits.DefaultBudgetBytes), which is 'unlimited' when no limit is
+	// set; negative disables budgeting explicitly. Jobs that can never
+	// fit get 413, jobs that do not fit right now get 429 + Retry-After.
+	MemBudget int64
+	// MaxJobBytes caps a single job's estimated footprint independently
+	// of the shared budget; values ≤ 0 mean no separate cap (the budget
+	// capacity still applies).
+	MaxJobBytes int64
+	// ParseLimits caps what an inline MatrixMarket document may declare
+	// (rows, cols, nnz, line length). Zero-valued fields use the
+	// library defaults; see limits.DefaultParseLimits.
+	ParseLimits limits.ParseLimits
 	// WatchdogWindow, when positive, arms a per-job progress watchdog:
 	// a run that makes no conflict-count progress for a full window is
 	// canceled and completed by the sequential fallback (degraded 200,
@@ -127,6 +145,13 @@ func (c *Config) withDefaults() Config {
 	if out.QuarantineFor <= 0 {
 		out.QuarantineFor = 30 * time.Second
 	}
+	if out.MemBudget == 0 {
+		out.MemBudget = limits.DefaultBudgetBytes()
+	}
+	if out.MemBudget < 0 {
+		out.MemBudget = 0
+	}
+	out.ParseLimits = out.ParseLimits.WithDefaults()
 	return out
 }
 
@@ -196,33 +221,45 @@ type ColorResponse struct {
 	Livelock bool `json:"livelock,omitempty"`
 }
 
-// ErrorResponse is the body of every non-200 status.
+// ErrorResponse is the body of every non-200 status. Retryable
+// rejections (429) additionally carry the queue depth and the
+// Retry-After the server chose, so clients can modulate their backoff
+// on load they can observe rather than guess.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// QueueDepth is the number of jobs admitted but not yet running at
+	// rejection time (429 responses only).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// RetryAfterS mirrors the Retry-After header in seconds (429
+	// responses only).
+	RetryAfterS int `json:"retry_after_s,omitempty"`
 }
 
 // Server is the coloring daemon: an http.Handler backed by the worker
 // pool and graph cache. Create with New, shut down with Drain.
 type Server struct {
-	cfg   Config
-	pool  *pool
-	cache *graphCache
-	quar  *quarantine
-	mux   *http.ServeMux
-	start time.Time
+	cfg    Config
+	pool   *pool
+	budget *limits.Budget
+	cache  *graphCache
+	quar   *quarantine
+	mux    *http.ServeMux
+	start  time.Time
 }
 
 // New returns a ready Server with cfg's defaults applied and its
 // worker pool running.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	budget := limits.NewBudget(cfg.MemBudget)
 	s := &Server{
-		cfg:   cfg,
-		pool:  newPool(cfg.Workers, cfg.QueueDepth),
-		cache: newGraphCache(cfg.CacheEntries),
-		quar:  newQuarantine(cfg.QuarantineAfter, cfg.QuarantineFor),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:    cfg,
+		pool:   newPool(cfg.Workers, cfg.QueueDepth, budget),
+		budget: budget,
+		cache:  newGraphCache(cfg.CacheEntries),
+		quar:   newQuarantine(cfg.QuarantineAfter, cfg.QuarantineFor),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
 	}
 	s.mux.HandleFunc("POST /color", s.handleColor)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -263,6 +300,13 @@ func (s *Server) ActiveJobs() int { return s.pool.active() }
 // CachedGraphs reports the number of graphs in the content-hash cache.
 func (s *Server) CachedGraphs() int { return s.cache.len() }
 
+// BytesInFlight reports the estimated bytes of admitted jobs (the
+// svc_bytes_inflight gauge); 0 when budgeting is disabled.
+func (s *Server) BytesInFlight() int64 { return s.pool.bytesInflight() }
+
+// MemBudget reports the configured byte budget; 0 means unlimited.
+func (s *Server) MemBudget() int64 { return s.budget.Capacity() }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
@@ -272,12 +316,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"queue_depth":   s.pool.depth(),
-		"active_jobs":   s.pool.active(),
-		"cached_graphs": s.cache.len(),
-		"workers":       s.cfg.Workers,
-		"queue_cap":     s.cfg.QueueDepth,
-		"counters":      obs.Snapshot(),
+		"queue_depth":    s.pool.depth(),
+		"active_jobs":    s.pool.active(),
+		"cached_graphs":  s.cache.len(),
+		"workers":        s.cfg.Workers,
+		"queue_cap":      s.cfg.QueueDepth,
+		"bytes_inflight": s.BytesInFlight(),
+		"mem_budget":     s.MemBudget(),
+		"counters":       obs.Snapshot(),
 	})
 }
 
@@ -311,6 +357,12 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, status, err := s.decodeColorRequest(raw)
 	if err != nil {
+		if status == http.StatusTooManyRequests {
+			// Budget-shaped rejections from resolve (e.g. an injected
+			// estimation fault) are retryable: tell the client when.
+			s.writeRetryable(w, err)
+			return
+		}
 		writeError(w, status, "%v", err)
 		return
 	}
@@ -330,7 +382,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout)
 	defer cancel()
 
-	j := &job{ctx: ctx, done: make(chan struct{})}
+	j := &job{ctx: ctx, done: make(chan struct{}), bytes: spec.estBytes}
 	var resp *ColorResponse
 	var jobStatus int
 	var jobErr error
@@ -339,12 +391,19 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		resp, jobStatus, jobErr = s.execute(ctx, spec, time.Since(enqueued))
 	}
 	if err := s.pool.submit(j); err != nil {
-		status := http.StatusTooManyRequests
-		if errors.Is(err, errDraining) {
-			status = http.StatusServiceUnavailable
+		switch {
+		case errors.Is(err, errDraining):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, limits.ErrTooLarge):
+			// The job's estimated footprint exceeds the whole budget:
+			// no amount of retrying helps, refuse it outright.
+			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		default:
+			// Queue full or byte budget momentarily exhausted — both
+			// retryable backpressure.
+			s.writeRetryable(w, err)
 		}
-		w.Header().Set("Retry-After", "1")
-		writeError(w, status, "%v", err)
 		return
 	}
 
@@ -371,7 +430,8 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	}
 	if jobErr != nil {
 		if jobStatus == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			s.writeRetryable(w, jobErr)
+			return
 		}
 		writeError(w, jobStatus, "%v", jobErr)
 		return
@@ -388,15 +448,16 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 // concurrent builds on handler goroutines and defeat the backpressure
 // model.
 type jobSpec struct {
-	key     string // graph-cache key
-	matrix  string // inline MatrixMarket body ("" when preset is set)
-	preset  string
-	scale   float64
-	d2mode  bool
-	opts    core.Options
-	algo    string
-	label   string // obs run label ("svc/…"), reused by the watchdog tap
-	timeout time.Duration
+	key      string // graph-cache key
+	matrix   string // inline MatrixMarket body ("" when preset is set)
+	preset   string
+	scale    float64
+	d2mode   bool
+	opts     core.Options
+	algo     string
+	label    string // obs run label ("svc/…"), reused by the watchdog tap
+	timeout  time.Duration
+	estBytes int64 // estimated peak footprint, charged against the budget
 }
 
 // resolve validates everything cheap about the request — field shapes,
@@ -474,6 +535,30 @@ func (s *Server) resolve(req *ColorRequest) (*jobSpec, int, error) {
 		spec.key = presetKey(req.Preset, spec.scale)
 	}
 
+	// Memory governance: estimate the job's footprint from its declared
+	// shape — the matrix header (never trusted further than its size
+	// line, which ParseLimits caps) or the preset's predicted
+	// dimensions — before anything is built. Oversized jobs are refused
+	// here, on the handler goroutine, for the cost of a header peek.
+	shape, status, err := s.jobShape(spec)
+	if err != nil {
+		return nil, status, err
+	}
+	shape.D2 = d2mode
+	shape.Threads = opts.Threads
+	est, err := limits.Estimate(shape)
+	if err != nil {
+		// Estimation itself failed (injected chaos fault): treat the
+		// job as unbudgetable-right-now, a retryable condition.
+		return nil, http.StatusTooManyRequests, err
+	}
+	if s.cfg.MaxJobBytes > 0 && est > s.cfg.MaxJobBytes {
+		obs.SvcTooLarge.Inc()
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%w: job needs ~%d bytes, per-job cap is %d", limits.ErrTooLarge, est, s.cfg.MaxJobBytes)
+	}
+	spec.estBytes = est
+
 	spec.label = "svc/" + algo
 	if d2mode {
 		spec.label = "svc/d2/" + algo
@@ -482,6 +567,28 @@ func (s *Server) resolve(req *ColorRequest) (*jobSpec, int, error) {
 		spec.opts.Obs = s.cfg.Obs.WithAlgo(spec.label)
 	}
 	return spec, 0, nil
+}
+
+// jobShape derives the declared Shape of spec's graph material. Matrix
+// jobs peek only the MatrixMarket header under the configured parse
+// caps; preset jobs use the generator's predicted dimensions.
+func (s *Server) jobShape(spec *jobSpec) (limits.Shape, int, error) {
+	if spec.matrix != "" {
+		info, err := mtx.PeekInfo(strings.NewReader(spec.matrix), s.cfg.ParseLimits)
+		switch {
+		case errors.Is(err, limits.ErrTooLarge):
+			obs.SvcTooLarge.Inc()
+			return limits.Shape{}, http.StatusRequestEntityTooLarge, err
+		case err != nil:
+			return limits.Shape{}, http.StatusBadRequest, err
+		}
+		return limits.Shape{Rows: info.Rows, Cols: info.Cols, NNZ: info.NNZ, Symmetric: info.Symmetric}, 0, nil
+	}
+	rows, cols, nnz, err := gen.EstimateDims(spec.preset, spec.scale)
+	if err != nil {
+		return limits.Shape{}, http.StatusBadRequest, err
+	}
+	return limits.Shape{Rows: rows, Cols: cols, NNZ: nnz}, 0, nil
 }
 
 // buildGraph resolves spec's graph material to a cache entry, parsing
@@ -496,7 +603,7 @@ func (s *Server) buildGraph(spec *jobSpec) (*cacheEntry, bool, error) {
 	var g *bipartite.Graph
 	var err error
 	if spec.matrix != "" {
-		g, err = mtx.Read(strings.NewReader(spec.matrix))
+		g, err = mtx.ReadLimited(strings.NewReader(spec.matrix), s.cfg.ParseLimits)
 	} else {
 		// TryPreset contains generator panics: a build that blows up
 		// is a rejected request, not a crashed worker.
@@ -524,6 +631,11 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 	}
 	entry, hit, err := s.buildGraph(spec)
 	if err != nil {
+		if errors.Is(err, limits.ErrTooLarge) {
+			// The data section outgrew what its own header declared —
+			// the header peek at admission could not have caught it.
+			return nil, http.StatusRequestEntityTooLarge, err
+		}
 		return nil, http.StatusBadRequest, err
 	}
 	var ug *graph.Graph
@@ -619,6 +731,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeRetryable answers a retryable rejection (queue full, byte budget
+// exhausted, deadline expired while queued) with 429, an adaptive
+// Retry-After scaled by queue pressure, and the observed queue depth in
+// the body — the contract internal/client's backoff consumes.
+func (s *Server) writeRetryable(w http.ResponseWriter, err error) {
+	depth := s.pool.depth()
+	retry := 1 + depth/s.cfg.Workers
+	if retry > 30 {
+		retry = 30
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error:       err.Error(),
+		QueueDepth:  depth,
+		RetryAfterS: retry,
+	})
 }
 
 var expvarOnce sync.Once
