@@ -366,6 +366,51 @@ type (
 	TraceSink = obs.Sink
 )
 
+// Request-scoped telemetry re-exports (see internal/obs): a Recorder
+// travels in a context.Context through ColorContext / ColorD2Context
+// and captures that one run's timeline — named spans plus one event per
+// phase per speculative iteration — without any process-wide trace
+// sink. This is the same machinery the bgpcd daemon uses for its
+// /debug/requests timelines.
+type (
+	// Recorder captures one run's telemetry into a bounded timeline.
+	// Nil is a valid disabled recorder.
+	Recorder = obs.Recorder
+	// Timeline is a Recorder snapshot: spans, per-iteration events,
+	// attributes, and drop counts.
+	Timeline = obs.Timeline
+	// TimelineSpan is one named interval of a Timeline.
+	TimelineSpan = obs.Span
+	// TimelineIter is one runner phase of one speculative iteration.
+	TimelineIter = obs.IterEvent
+)
+
+// NewRecorder returns a Recorder for one run. id is a correlation id
+// (see NewRequestID); maxSpans/maxIters < 1 mean the library defaults.
+func NewRecorder(id string, maxSpans, maxIters int) *Recorder {
+	return obs.NewRecorder(id, maxSpans, maxIters)
+}
+
+// ContextWithRecorder returns a context carrying rec; the context-aware
+// runners (ColorContext, ColorD2Context) tee their phase events into it.
+func ContextWithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return obs.ContextWithRecorder(ctx, rec)
+}
+
+// RecorderFromContext returns the context's Recorder, or nil.
+func RecorderFromContext(ctx context.Context) *Recorder {
+	return obs.RecorderFromContext(ctx)
+}
+
+// NewRequestID mints a 32-hex-character random correlation id, the
+// shape of a W3C trace-id.
+func NewRequestID() string { return obs.NewRequestID() }
+
+// WritePrometheus writes the library's full metrics surface — counters,
+// registered gauges, and latency/size histograms — in Prometheus text
+// exposition format v0.0.4 (the body of bgpcd's /metrics endpoint).
+func WritePrometheus(w io.Writer) error { return obs.WritePrometheus(w) }
+
 // NewObserver returns an Observer emitting into sink (nil sink =
 // disabled observer).
 func NewObserver(sink TraceSink) *Observer { return obs.New(sink) }

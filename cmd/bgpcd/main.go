@@ -6,7 +6,7 @@
 //
 //	bgpcd [-addr :8972] [-workers N] [-queue N]
 //	      [-timeout 30s] [-max-timeout 2m] [-cache 64] [-max-threads N]
-//	      [-trace trace.jsonl] [-metrics]
+//	      [-trace trace.jsonl] [-metrics] [-request-ring 128] [-log-json]
 //	      [-watchdog 0] [-quarantine 3] [-quarantine-for 30s]
 //	      [-mem-budget BYTES] [-max-job-bytes BYTES]
 //	      [-max-rows N] [-max-cols N] [-max-nnz N] [-max-line-bytes N]
@@ -22,7 +22,17 @@
 //	               (with Retry-After), 503 draining
 //	GET  /healthz  liveness
 //	GET  /statsz   queue depth, active jobs, cache size, counters
+//	GET  /metrics  Prometheus text exposition: counters, live gauges,
+//	               and latency/size histograms by algorithm variant
+//	GET  /debug/requests       ring of recent request timelines (JSON)
+//	GET  /debug/requests/{id}  one request's timeline by correlation id
 //	GET  /debug/vars (with -metrics) expvar counters and pool gauges
+//
+// Every request carries a correlation id — adopted from a client's
+// traceparent or X-Request-ID header, minted otherwise — echoed as the
+// X-Request-ID response header and in every JSON body, and logged in
+// one structured access line per request (slog; -log-json switches the
+// handler to JSON).
 //
 // On SIGTERM/SIGINT the daemon stops accepting connections, lets
 // admitted jobs finish (bounded by -drain-grace), then exits.
@@ -42,7 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -81,6 +91,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	drainGrace := fs.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	traceFile := fs.String("trace", "", "write a JSON-lines trace event per phase of every job to this file")
 	metrics := fs.Bool("metrics", false, "enable hot-path counters and expose /debug/vars")
+	requestRing := fs.Int("request-ring", 128, "completed request timelines kept for /debug/requests (negative disables)")
+	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 	watchdog := fs.Duration("watchdog", 0, "cancel jobs making no coloring progress for this window and finish them sequentially (0 disables)")
 	quarAfter := fs.Int("quarantine", 3, "worker panics on one graph before it is quarantined (negative disables)")
 	quarFor := fs.Duration("quarantine-for", 30*time.Second, "how long a quarantined graph is refused")
@@ -110,6 +122,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "bgpcd: failpoints armed: %s\n", strings.Join(active, ", "))
 	}
 
+	// Structured logging: one access line per request plus contained
+	// fault reports, all through slog so every line is parseable and
+	// carries the request id where one applies.
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
 	cfg := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -122,13 +145,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		QuarantineFor:   *quarFor,
 		MemBudget:       *memBudget,
 		MaxJobBytes:     *maxJobBytes,
+		RequestRing:     *requestRing,
 		ParseLimits: limits.ParseLimits{
 			MaxRows:      *maxRows,
 			MaxCols:      *maxCols,
 			MaxNNZ:       *maxNNZ,
 			MaxLineBytes: *maxLineBytes,
 		},
-		Logf: log.Printf,
+		Log: logger,
 	}
 	if *selftestFlag {
 		return selftest(ctx, cfg, stdout)

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"bgpc/internal/client"
+	"bgpc/internal/obs"
+	"bgpc/internal/service"
+)
+
+// TestDaemonMetricsLint is the in-process version of CI's metrics-lint
+// job: boot the daemon, drive real traffic, scrape /metrics, and
+// validate the exposition with the package's strict parser (the stand-in
+// for promtool, which the container does not have).
+func TestDaemonMetricsLint(t *testing.T) {
+	base, shutdown := startDaemon(t)
+	defer shutdown()
+	hc := &http.Client{}
+
+	code, _, err := postJSON(hc, base,
+		service.ColorRequest{Preset: "channel", Scale: 0.1, Algorithm: "V-V", Threads: 2})
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("seed request: code=%d err=%v", code, err)
+	}
+
+	resp, err := hc.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, raw)
+	}
+
+	// The lint contract: every family declares a TYPE, counters end in
+	// _total, and the request made above is visible in the histograms.
+	for name, fam := range fams {
+		if fam.Type == "untyped" {
+			t.Errorf("family %s has no TYPE line", name)
+		}
+		if fam.Type == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("counter %s does not end in _total", name)
+		}
+		if len(fam.Samples) == 0 {
+			// Unobserved histogram vecs legitimately expose only
+			// HELP/TYPE; anything else must carry samples.
+			if fam.Type != "histogram" {
+				t.Errorf("family %s (%s) has no samples", name, fam.Type)
+			}
+		}
+	}
+	lat := fams["bgpc_svc_latency_seconds"]
+	if lat == nil || lat.Type != "histogram" {
+		t.Fatalf("no latency histogram in scrape")
+	}
+	var seen float64
+	for _, s := range lat.Samples {
+		if strings.HasSuffix(s.Name, "_count") && s.Label("variant") == "V-V" {
+			seen += s.Value
+		}
+	}
+	if seen < 1 {
+		t.Fatalf("latency histogram did not record the request: %+v", lat.Samples)
+	}
+}
+
+// TestDaemonE2ETimelineThroughClient: a request made through the retry
+// client resolves, by the id echoed in the response, to a timeline with
+// per-iteration conflict counts on the daemon's debug endpoint.
+func TestDaemonE2ETimelineThroughClient(t *testing.T) {
+	base, shutdown := startDaemon(t)
+	defer shutdown()
+
+	c := client.New(client.Config{BaseURL: base})
+	resp, err := c.Color(context.Background(),
+		service.ColorRequest{Preset: "channel", Scale: 0.1, Algorithm: "N1-N2", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.RequestID) != 32 {
+		t.Fatalf("response request_id = %q, want a minted 32-hex id", resp.RequestID)
+	}
+
+	hresp, err := http.Get(base + "/debug/requests/" + resp.RequestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline lookup status %d", hresp.StatusCode)
+	}
+	var tl obs.Timeline
+	if err := json.NewDecoder(hresp.Body).Decode(&tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Status != http.StatusOK || tl.Attrs["variant"] != "N1-N2" {
+		t.Fatalf("timeline wrong: status=%d attrs=%v", tl.Status, tl.Attrs)
+	}
+	conflictRounds := 0
+	for _, it := range tl.Iters {
+		if it.Phase == obs.PhaseConflict {
+			conflictRounds++
+		}
+	}
+	if conflictRounds == 0 {
+		t.Fatalf("timeline has no per-iteration conflict events: %+v", tl.Iters)
+	}
+}

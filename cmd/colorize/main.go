@@ -7,6 +7,7 @@
 //	colorize -mtx path/to/matrix.mtx -algorithm N1-N2 -threads 16
 //	colorize -preset copapers -scale 0.5 -algorithm V-N2 -balance B2
 //	colorize -preset channel -d2 -algorithm V-N1
+//	colorize -preset channel -scale 0.1 -timeline
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,6 +39,7 @@ func main() {
 	d1Mode := flag.Bool("d1", false, "distance-1 color the matrix (square symmetric; V-V* algorithms only)")
 	kDist := flag.Int("k", 0, "distance-k color the matrix for this k (square symmetric; V-V* algorithms only)")
 	perIter := flag.Bool("iters", false, "print per-iteration phase breakdown")
+	timeline := flag.Bool("timeline", false, "record the run's telemetry timeline (spans + per-round events, as the bgpcd daemon would) and print it; context-aware runs only (BGPC and -d2)")
 	recolor := flag.Int("recolor", 0, "BGPC only: run up to N iterated-greedy recoloring passes to compact the colors")
 	colorsOut := flag.String("o", "", "write the final coloring to this file (one color id per line, vertex order)")
 	traceFile := flag.String("trace", "", "write a JSON-lines trace event per phase per iteration to this file (parallel algorithms only)")
@@ -128,6 +131,15 @@ func main() {
 		var cancelCtx context.CancelFunc
 		ctx, cancelCtx = context.WithTimeout(ctx, *timeout)
 		defer cancelCtx()
+	}
+	// -timeline rides the same context plumbing the daemon uses: the
+	// runners see the Recorder via ctx and tee their phase events into
+	// it, whether or not a -trace observer is attached.
+	var rec *bgpc.Recorder
+	if *timeline {
+		rec = bgpc.NewRecorder(bgpc.NewRequestID(), 0, 0)
+		rec.Annotate("variant", *algorithm)
+		ctx = bgpc.ContextWithRecorder(ctx, rec)
 	}
 	degraded := false
 	degrade := func(res *bgpc.Result, err error, finish func([]int32) int) *bgpc.Result {
@@ -271,6 +283,44 @@ func main() {
 				i+1, it.QueueLen, kind(it.NetColoring), msf(it.ColoringTime),
 				kind(it.NetCR), msf(it.ConflictTime), it.Conflicts)
 		}
+	}
+	if *timeline {
+		printTimeline(rec.Snapshot())
+	}
+}
+
+// printTimeline renders a run's telemetry timeline — the same data the
+// daemon serves at /debug/requests/{id}, for a single CLI run.
+func printTimeline(t bgpc.Timeline) {
+	fmt.Printf("timeline %s:\n", t.ID)
+	keys := make([]string, 0, len(t.Attrs))
+	for k := range t.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  attr %s=%s\n", k, t.Attrs[k])
+	}
+	for _, sp := range t.Spans {
+		fmt.Printf("  span %-8s +%.2fms %.2fms\n", sp.Name,
+			float64(sp.StartNS)/1e6, float64(sp.DurNS)/1e6)
+	}
+	if len(t.Iters) == 0 {
+		fmt.Println("  (no per-round events: sequential or non-context run)")
+	}
+	for _, it := range t.Iters {
+		line := fmt.Sprintf("  round %d %s[%s] %.2fms items=%d colors=%d",
+			it.Round, it.Phase, it.Kind, float64(it.WallNS)/1e6, it.Items, it.Colors)
+		if it.Phase == "conflict" {
+			line += fmt.Sprintf(" conflicts=%d", it.Conflicts)
+		}
+		if it.Dispatches > 0 {
+			line += fmt.Sprintf(" dispatches=%d", it.Dispatches)
+		}
+		fmt.Println(line)
+	}
+	if t.DroppedSpans > 0 || t.DroppedIters > 0 {
+		fmt.Printf("  dropped: %d spans, %d events\n", t.DroppedSpans, t.DroppedIters)
 	}
 }
 

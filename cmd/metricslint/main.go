@@ -1,0 +1,98 @@
+// Command metricslint validates a Prometheus text exposition (format
+// v0.0.4) using the repo's own strict parser — the stand-in for
+// promtool in environments without it, and the teeth of CI's
+// metrics-lint job. It fetches the given URL (or reads stdin when the
+// argument is "-"), parses the payload, enforces the naming contract
+// on top of the format rules, and prints a one-line summary per
+// family.
+//
+// Usage:
+//
+//	metricslint http://127.0.0.1:8972/metrics
+//	curl -s host:port/metrics | metricslint -
+//
+// Exit status is non-zero on any format violation: missing TYPE
+// lines, counters not ending in _total, histogram buckets that are
+// non-cumulative or whose +Inf bucket disagrees with _count.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"bgpc/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: metricslint <url|->")
+	}
+	var body io.Reader
+	if args[0] == "-" {
+		body = os.Stdin
+	} else {
+		hc := &http.Client{Timeout: 30 * time.Second}
+		resp, err := hc.Get(args[0])
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("scrape returned %s", resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			return fmt.Errorf("unexpected Content-Type %q", ct)
+		}
+		body = resp.Body
+	}
+
+	fams, err := obs.ParseExposition(body)
+	if err != nil {
+		return err
+	}
+	if len(fams) == 0 {
+		return fmt.Errorf("exposition is empty")
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var bad int
+	for _, name := range names {
+		fam := fams[name]
+		problem := ""
+		switch {
+		case fam.Type == "untyped":
+			problem = "no TYPE line"
+		case fam.Type == "counter" && !strings.HasSuffix(name, "_total"):
+			problem = "counter not suffixed _total"
+		case fam.Help == "":
+			problem = "no HELP line"
+		}
+		if problem != "" {
+			bad++
+			fmt.Fprintf(stdout, "FAIL %-40s %s: %s\n", name, fam.Type, problem)
+			continue
+		}
+		fmt.Fprintf(stdout, "ok   %-40s %s, %d samples\n", name, fam.Type, len(fam.Samples))
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d families failed lint", bad, len(fams))
+	}
+	fmt.Fprintf(stdout, "metricslint: %d families clean\n", len(fams))
+	return nil
+}

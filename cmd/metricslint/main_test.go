@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bgpc/internal/obs"
+)
+
+func TestLintAcceptsServerExposition(t *testing.T) {
+	obs.SvcQueueWait.Observe(0.01)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w)
+	}))
+	defer srv.Close()
+	var out bytes.Buffer
+	if err := run([]string{srv.URL}, &out); err != nil {
+		t.Fatalf("lint failed on our own exposition: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "families clean") {
+		t.Fatalf("no summary line:\n%s", out.String())
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		ct   string
+	}{
+		{"untyped family", "m 1\n", "text/plain; version=0.0.4; charset=utf-8"},
+		{"counter without _total", "# HELP m C.\n# TYPE m counter\nm 1\n", "text/plain; version=0.0.4; charset=utf-8"},
+		{"broken histogram", "# HELP h H.\n# TYPE h histogram\n" + `h_bucket{le="1"} 2` + "\n" + `h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n", "text/plain; version=0.0.4; charset=utf-8"},
+		{"wrong content type", "# HELP m C.\n# TYPE m counter\nm_total 1\n", "text/html"},
+		{"empty", "", "text/plain; version=0.0.4; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", tc.ct)
+				w.Write([]byte(tc.body))
+			}))
+			defer srv.Close()
+			var out bytes.Buffer
+			if err := run([]string{srv.URL}, &out); err == nil {
+				t.Fatalf("lint accepted %s:\n%s", tc.name, out.String())
+			}
+		})
+	}
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no-arg run must fail with usage")
+	}
+}

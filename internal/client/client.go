@@ -40,9 +40,16 @@ type APIError struct {
 	Message    string
 	QueueDepth int
 	RetryAfter time.Duration
+	// RequestID is the failing request's correlation id, from the error
+	// body or the X-Request-ID response header — quote it to resolve
+	// the failure in the daemon's access log and /debug/requests/{id}.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("client: server returned %d: %s (request id %s)", e.Status, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
 }
 
@@ -122,7 +129,15 @@ func New(cfg Config) *Client {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
-	return &Client{cfg: cfg, http: hc, br: newBreaker(cfg.Breaker), rng: rng}
+	c := &Client{cfg: cfg, http: hc, br: newBreaker(cfg.Breaker), rng: rng}
+	// The breaker state rides in the unified metrics surface (/metrics
+	// and WriteMetrics) as a numeric gauge; registration replaces, so
+	// the last-constructed client wins — matching a daemon-side process
+	// that holds one client.
+	obs.RegisterGauge("bgpc.client_breaker_state",
+		"Circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+		func() int64 { return int64(c.br.State()) })
+	return c
 }
 
 // BreakerState reports the circuit breaker's current state.
@@ -138,11 +153,16 @@ func (c *Client) logf(format string, args ...any) {
 // retrying temporary failures with backoff until ctx expires, the
 // attempt budget runs out, or the breaker opens. Permanent rejections
 // (400, 413) return an *APIError immediately.
+//
+// One request id is minted per Color call and sent as X-Request-ID on
+// every attempt, so all retries of one logical request correlate to a
+// single id in the daemon's access log and timelines.
 func (c *Client) Color(ctx context.Context, req service.ColorRequest) (*service.ColorResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
+	reqID := obs.NewRequestID()
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -159,7 +179,7 @@ func (c *Client) Color(ctx context.Context, req service.ColorRequest) (*service.
 			lastErr = err
 			continue
 		}
-		resp, err := c.attempt(ctx, body)
+		resp, err := c.attempt(ctx, body, reqID)
 		if err == nil {
 			c.br.record(true)
 			return resp, nil
@@ -186,8 +206,9 @@ func (c *Client) Color(ctx context.Context, req service.ColorRequest) (*service.
 	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
-// attempt performs one POST /color under its own deadline.
-func (c *Client) attempt(ctx context.Context, body []byte) (*service.ColorResponse, error) {
+// attempt performs one POST /color under its own deadline, carrying
+// the call's correlation id.
+func (c *Client) attempt(ctx context.Context, body []byte, reqID string) (*service.ColorResponse, error) {
 	if err := failpoint.Inject(FPAttempt); err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -198,6 +219,7 @@ func (c *Client) attempt(ctx context.Context, body []byte) (*service.ColorRespon
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-ID", reqID)
 	hresp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -208,11 +230,18 @@ func (c *Client) attempt(ctx context.Context, body []byte) (*service.ColorRespon
 		return nil, fmt.Errorf("client: reading response: %w", err)
 	}
 	if hresp.StatusCode != http.StatusOK {
-		apiErr := &APIError{Status: hresp.StatusCode, RetryAfter: parseRetryAfter(hresp.Header.Get("Retry-After"))}
+		apiErr := &APIError{
+			Status:     hresp.StatusCode,
+			RetryAfter: parseRetryAfter(hresp.Header.Get("Retry-After")),
+			RequestID:  hresp.Header.Get("X-Request-ID"),
+		}
 		var e service.ErrorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
 			apiErr.QueueDepth = e.QueueDepth
+			if e.RequestID != "" {
+				apiErr.RequestID = e.RequestID
+			}
 		} else {
 			apiErr.Message = string(raw)
 		}

@@ -52,21 +52,24 @@ func UsedColors(c *Colors) int {
 // EmitPhaseEvent assembles and emits the trace event for one finished
 // phase. It is shared by the BGPC (core) and D2GC (internal/d2)
 // runners; callers must have checked tr.Enabled() so the disabled path
-// never reaches the Event assembly.
+// never reaches the Event assembly. When o.Stats is armed the event
+// additionally carries the phase's chunk-dispatch count (the take
+// resets the accumulator, so each event sees only its own phase).
 func EmitPhaseEvent(tr *obs.Observer, o *Options, iter int, phase string, netBased bool,
 	items, conflicts int, c *Colors, wall time.Duration, work, maxWork int64) {
 	tr.Emit(obs.Event{
-		Iter:      iter,
-		Phase:     phase,
-		Kind:      PhaseKind(netBased),
-		Sched:     SchedName(o),
-		Chunk:     o.chunk(),
-		Threads:   o.threads(),
-		Items:     items,
-		Conflicts: conflicts,
-		Colors:    UsedColors(c),
-		WallNS:    wall.Nanoseconds(),
-		Work:      work,
-		MaxWork:   maxWork,
+		Iter:       iter,
+		Phase:      phase,
+		Kind:       PhaseKind(netBased),
+		Sched:      SchedName(o),
+		Chunk:      o.chunk(),
+		Threads:    o.threads(),
+		Items:      items,
+		Conflicts:  conflicts,
+		Colors:     UsedColors(c),
+		WallNS:     wall.Nanoseconds(),
+		Work:       work,
+		MaxWork:    maxWork,
+		Dispatches: o.Stats.TakeDispatches(),
 	})
 }

@@ -41,7 +41,7 @@ func (o *Options) parOpts(cn *par.Canceler) par.Options {
 	if o.Guided {
 		sched = par.Guided
 	}
-	return par.Options{Threads: o.threads(), Chunk: o.chunk(), Schedule: sched, Cancel: cn}
+	return par.Options{Threads: o.threads(), Chunk: o.chunk(), Schedule: sched, Cancel: cn, Stats: o.Stats}
 }
 
 // colorVertexPhase is BGPC-COLORWORKQUEUE-VERTEX (Algorithm 4) with the

@@ -46,6 +46,16 @@ func ColorCtx(ctx context.Context, g *bipartite.Graph, opts Options) (*Result, e
 	if err := opts.validate(g.NumVertices()); err != nil {
 		return nil, err
 	}
+	// Request-scoped telemetry: a Recorder riding in ctx (installed by
+	// the serving layer's ingress, or a CLI's -timeline flag) tees the
+	// per-phase trace events into the request's timeline and arms the
+	// scheduler's dispatch stats — even when no process-wide Observer
+	// is configured. One context lookup per run; the per-vertex hot
+	// paths never see it.
+	if rec := obs.RecorderFromContext(ctx); rec != nil {
+		opts.Obs = opts.Obs.AttachRecorder(rec)
+		opts.Stats = rec.LoopStats()
+	}
 	start := time.Now()
 	var cn *par.Canceler
 	if ctx != nil && ctx.Done() != nil {

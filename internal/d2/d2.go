@@ -96,6 +96,13 @@ func ColorCtx(ctx context.Context, g *graph.Graph, opts Options) (*core.Result, 
 	if err := validate(&opts, g.NumVertices()); err != nil {
 		return nil, err
 	}
+	// Adopt a request-scoped Recorder from ctx, mirroring core.ColorCtx:
+	// phase trace events tee into the request timeline and the parallel
+	// loops count chunk dispatches for it. One lookup per run.
+	if rec := obs.RecorderFromContext(ctx); rec != nil {
+		opts.Obs = opts.Obs.AttachRecorder(rec)
+		opts.Stats = rec.LoopStats()
+	}
 	start := time.Now()
 	var cn *par.Canceler
 	if ctx != nil && ctx.Done() != nil {

@@ -38,7 +38,7 @@ func parOpts(o *Options, cn *par.Canceler) par.Options {
 	if o.Guided {
 		sched = par.Guided
 	}
-	return par.Options{Threads: threadsOf(o), Chunk: chunkOf(o), Schedule: sched, Cancel: cn}
+	return par.Options{Threads: threadsOf(o), Chunk: chunkOf(o), Schedule: sched, Cancel: cn, Stats: o.Stats}
 }
 
 // colorVertexPhase colors each queued vertex against its full

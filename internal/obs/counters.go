@@ -171,16 +171,27 @@ func ResetMetrics() {
 	}
 }
 
-// WriteMetrics writes a stable "name value" line per counter, sorted
-// by name — the CLI's -metrics report.
+// WriteMetrics writes a stable "name value" line per metric, sorted by
+// name — the CLI's -metrics report. The snapshot is unified: monotonic
+// counters AND every registered live gauge (queue depth, active jobs,
+// bytes in flight, memory budget, breaker state) appear in one pass,
+// so an operator's text scrape never needs a second expvar round-trip
+// to see the daemon's current state next to its history.
 func WriteMetrics(w io.Writer) error {
-	names := make([]string, 0, len(counterNames))
-	for name := range counterNames {
+	values := make(map[string]int64, len(counterNames))
+	for name, c := range counterNames {
+		values[name] = c.Load()
+	}
+	for name, v := range GaugeSnapshot() {
+		values[name] = v
+	}
+	names := make([]string, 0, len(values))
+	for name := range values {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if _, err := fmt.Fprintf(w, "%s %d\n", name, counterNames[name].Load()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, values[name]); err != nil {
 			return err
 		}
 	}

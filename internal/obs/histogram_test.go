@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le-inclusive bucket contract:
+// a value exactly on an upper bound counts in that bound's bucket, the
+// next larger value spills into the following one, and values beyond
+// the last finite bound land only in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	cases := []struct {
+		name   string
+		value  float64
+		bucket int // index into Snapshot().Buckets of the first bucket counting it
+	}{
+		{"below first bound", 0.0001, 0},
+		{"exactly first bound", 0.001, 0},
+		{"just above first bound", 0.0010001, 1},
+		{"mid-range", 0.05, 2},
+		{"exactly last finite bound", 1, 3},
+		{"above last finite bound", 2, 4},
+		{"negative", -5, 0},
+		{"negative infinity", math.Inf(-1), 0},
+		{"positive infinity", math.Inf(+1), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram("t", "", bounds)
+			h.Observe(tc.value)
+			s := h.Snapshot()
+			if s.Count != 1 {
+				t.Fatalf("count = %d, want 1", s.Count)
+			}
+			// Cumulative buckets: zero below the winning bucket, one from
+			// it (inclusive) up through +Inf.
+			for i, c := range s.Buckets {
+				want := int64(0)
+				if i >= tc.bucket {
+					want = 1
+				}
+				if c != want {
+					t.Fatalf("value %v: bucket[%d] = %d, want %d (buckets %v)",
+						tc.value, i, c, want, s.Buckets)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramDropsNaNKeepsSum(t *testing.T) {
+	h := NewHistogram("t", "", []float64{1, 2})
+	h.Observe(math.NaN())
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("NaN observed: count=%d sum=%v", s.Count, s.Sum)
+	}
+	h.Observe(0.5)
+	h.Observe(1.5)
+	if s := h.Snapshot(); s.Count != 2 || s.Sum != 2 {
+		t.Fatalf("count=%d sum=%v, want 2 and 2", s.Count, s.Sum)
+	}
+}
+
+// TestHistogramNormalizesBounds: NewHistogram must drop +Inf,
+// duplicates, and out-of-order bounds rather than corrupt the search.
+func TestHistogramNormalizesBounds(t *testing.T) {
+	h := NewHistogram("t", "", []float64{1, 1, 2, 2, math.Inf(+1)})
+	if got := h.Bounds(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("bounds = %v, want [1 2]", got)
+	}
+	if got := len(h.Snapshot().Buckets); got != 3 {
+		t.Fatalf("buckets = %d, want 3 (two finite + Inf)", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("t", "", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	// 100 observations uniform over (0, 10]: quantiles should track the
+	// value scale within one bucket width.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 4 || p50 > 6 {
+		t.Fatalf("p50 = %v, want ≈5", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 9 || p99 > 10 {
+		t.Fatalf("p99 = %v, want ≈9.9", p99)
+	}
+	if p0 := s.Quantile(0); p0 < 0 || p0 > 1 {
+		t.Fatalf("p0 = %v, want within first bucket", p0)
+	}
+	if !math.IsNaN(s.Quantile(-0.1)) || !math.IsNaN(s.Quantile(1.1)) {
+		t.Fatal("out-of-range q must return NaN")
+	}
+
+	empty := NewHistogram("t", "", []float64{1}).Snapshot()
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+
+	// Overflow clamps to the last finite bound instead of inventing a
+	// value beyond the layout.
+	over := NewHistogram("t", "", []float64{1, 2})
+	over.Observe(100)
+	if got := over.Snapshot().Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestHistogramVecSharesPerLabelState(t *testing.T) {
+	v := NewHistogramVec("t", "", "variant", []float64{1})
+	a1 := v.With("V-V")
+	a2 := v.With("V-V")
+	if a1 != a2 {
+		t.Fatal("With must return the same histogram per label")
+	}
+	v.With("N1-N2").Observe(0.5)
+	if got := v.labels(); len(got) != 2 || got[0] != "N1-N2" || got[1] != "V-V" {
+		t.Fatalf("labels = %v, want sorted [N1-N2 V-V]", got)
+	}
+	v.Reset()
+	if got := v.labels(); len(got) != 0 {
+		t.Fatalf("labels after Reset = %v", got)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot hammers one histogram from
+// writer goroutines while a reader snapshots continuously, under the
+// race detector. Every snapshot must satisfy the exposition invariants
+// (+Inf bucket == Count, cumulative monotone) even mid-flight — that is
+// the whole point of deriving Count from the bucket sum.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := NewHistogram("t", "", []float64{1, 2, 5, 10})
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Buckets[len(s.Buckets)-1] != s.Count {
+				t.Errorf("+Inf bucket %d != count %d", s.Buckets[len(s.Buckets)-1], s.Count)
+				return
+			}
+			for i := 1; i < len(s.Buckets); i++ {
+				if s.Buckets[i] < s.Buckets[i-1] {
+					t.Errorf("buckets not cumulative: %v", s.Buckets)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64((w+i)%12) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	if s.Buckets[len(s.Buckets)-1] != s.Count {
+		t.Fatalf("+Inf bucket %d != count %d", s.Buckets[len(s.Buckets)-1], s.Count)
+	}
+}
+
+func TestResetHistogramsClearsGlobals(t *testing.T) {
+	SvcQueueWait.Observe(0.1)
+	SvcLatency.With("test-variant").Observe(0.2)
+	ResetHistograms()
+	if got := SvcQueueWait.Snapshot().Count; got != 0 {
+		t.Fatalf("SvcQueueWait count after reset = %d", got)
+	}
+	if got := SvcLatency.labels(); len(got) != 0 {
+		t.Fatalf("SvcLatency labels after reset = %v", got)
+	}
+}

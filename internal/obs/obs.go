@@ -69,6 +69,10 @@ type Event struct {
 	// share (the cost-model critical path).
 	Work    int64 `json:"work"`
 	MaxWork int64 `json:"max_work"`
+	// Dispatches is the phase's chunk-dispatch count, populated only
+	// when a request Recorder armed scheduler telemetry (omitted — and
+	// absent from the pinned schema — otherwise).
+	Dispatches int64 `json:"dispatches,omitempty"`
 }
 
 // Observer emits per-phase trace events into a Sink and tags phase

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"sort"
 	"strings"
@@ -120,11 +121,17 @@ func TestEnabledObserverPhaseRunsFn(t *testing.T) {
 }
 
 // TestNopHotPathZeroAllocs is the acceptance-criteria allocation test:
-// with no observer attached and metrics off, every per-event hook on
-// the hot path must allocate nothing.
+// with no observer attached, no request recorder in the context, and
+// metrics off, every per-event hook on the hot path must allocate
+// nothing — including the Recorder/LoopStats instrumentation points,
+// which run unconditionally and must stay one pointer test when
+// disabled.
 func TestNopHotPathZeroAllocs(t *testing.T) {
 	EnableMetrics(false)
 	var o *Observer
+	var rec *Recorder
+	st := rec.LoopStats() // nil: the disabled loop-stats path
+	ctx := context.Background()
 	ev := sampleEvent()
 	allocs := testing.AllocsPerRun(1000, func() {
 		if o.Enabled() {
@@ -133,6 +140,18 @@ func TestNopHotPathZeroAllocs(t *testing.T) {
 		CountDispatch()
 		CountQueuePush()
 		CountForbiddenScans(64)
+		if r := RecorderFromContext(ctx); r != nil {
+			t.Fatal("unexpected recorder")
+		}
+		if o.AttachRecorder(rec) != o {
+			t.Fatal("nil attach must be identity")
+		}
+		sp := rec.StartSpan("phase")
+		sp.End()
+		rec.Emit(ev)
+		rec.Annotate("k", "v")
+		st.CountDispatch()
+		_ = st.TakeDispatches()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled observability allocated %.1f per run", allocs)
@@ -199,14 +218,22 @@ func TestWriteMetricsStableFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != len(Snapshot()) {
-		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	// One line per counter plus one per registered gauge — the unified
+	// metrics surface.
+	if want := len(Snapshot()) + len(GaugeSnapshot()); len(lines) != want {
+		t.Fatalf("got %d lines, want %d: %q", len(lines), want, buf.String())
 	}
 	if !sort.StringsAreSorted(lines) {
 		t.Fatalf("lines not sorted: %q", lines)
 	}
-	if lines[0] != "bgpc.chunk_dispatches 1" {
-		t.Fatalf("unexpected first line %q", lines[0])
+	found := false
+	for _, l := range lines {
+		if l == "bgpc.chunk_dispatches 1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing counter line in %q", lines)
 	}
 	ResetMetrics()
 }

@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a deliberately small Prometheus text-exposition parser —
+// enough to validate what WritePrometheus (and therefore /metrics)
+// serves without depending on promtool or the client_golang libraries
+// the container does not have. The CI metrics-lint job and the golden
+// exposition test both go through ParseExposition.
+
+// MetricFamily is one parsed family: its TYPE, HELP, and samples.
+type MetricFamily struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", "untyped"
+	Help    string
+	Samples []Sample
+}
+
+// Sample is one exposition line: a metric name (possibly a family
+// suffix like _bucket), its label pairs in source order, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for a label name ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseExposition parses Prometheus text format v0.0.4 and returns the
+// families keyed by name. It enforces the format rules a scraper
+// depends on: HELP/TYPE comment syntax, one TYPE per family appearing
+// before its samples, well-formed sample lines, and — for histograms —
+// cumulative bucket monotonicity with the +Inf bucket equal to _count.
+func ParseExposition(r io.Reader) (map[string]*MetricFamily, error) {
+	fams := make(map[string]*MetricFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, fams); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		famName := familyOf(s.Name)
+		fam := fams[famName]
+		if fam == nil {
+			// Samples may appear without HELP/TYPE (untyped), but a
+			// WritePrometheus stream always declares first; accept both.
+			fam = &MetricFamily{Name: famName, Type: "untyped"}
+			fams[famName] = fam
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := checkHistogram(fam); err != nil {
+				return nil, fmt.Errorf("family %s: %w", fam.Name, err)
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parseComment(line string, fams map[string]*MetricFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		name := fields[2]
+		fam := ensureFamily(fams, name)
+		if len(fields) == 4 {
+			fam.Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", typ, name)
+		}
+		fam := ensureFamily(fams, name)
+		if len(fam.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		if fam.Type != "untyped" && fam.Type != "" && fam.Type != typ {
+			return fmt.Errorf("conflicting TYPE for %s: %s then %s", name, fam.Type, typ)
+		}
+		fam.Type = typ
+	}
+	return nil
+}
+
+func ensureFamily(fams map[string]*MetricFamily, name string) *MetricFamily {
+	if fam := fams[name]; fam != nil {
+		return fam
+	}
+	fam := &MetricFamily{Name: name, Type: "untyped"}
+	fams[name] = fam
+	return fam
+}
+
+// familyOf strips the histogram/summary sample suffixes so _bucket,
+// _sum and _count samples attach to their declared family.
+func familyOf(sample string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok {
+			return base
+		}
+	}
+	return sample
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	// A timestamp after the value is legal; anything beyond is not.
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp] after %q", s.Name)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, into map[string]string) error {
+	// WritePrometheus emits %q-quoted values, which never contain an
+	// unescaped '"', so a quote-aware split is sufficient here.
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing '='", body)
+		}
+		name := strings.TrimSpace(body[:eq])
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		rest := body[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("label %s value not quoted", name)
+		}
+		val, remainder, err := unquoteLabel(rest)
+		if err != nil {
+			return err
+		}
+		into[name] = val
+		body = strings.TrimPrefix(strings.TrimSpace(remainder), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+// unquoteLabel consumes a leading quoted string (with \" \\ \n escapes)
+// and returns its value and the remainder.
+func unquoteLabel(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value in %q", s)
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// checkHistogram validates one histogram family's invariants per label
+// set: cumulative _bucket counts non-decreasing in `le` order, a +Inf
+// bucket present, and _count equal to the +Inf bucket.
+func checkHistogram(fam *MetricFamily) error {
+	type series struct {
+		bounds []float64
+		counts []float64
+		count  float64
+		gotCnt bool
+	}
+	bySeries := map[string]*series{}
+	key := func(labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	for _, s := range fam.Samples {
+		se := bySeries[key(s.Labels)]
+		if se == nil {
+			se = &series{}
+			bySeries[key(s.Labels)] = se
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le := s.Label("le")
+			if le == "" {
+				return fmt.Errorf("bucket sample without le label")
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("bad le %q", le)
+			}
+			se.bounds = append(se.bounds, bound)
+			se.counts = append(se.counts, s.Value)
+		case strings.HasSuffix(s.Name, "_count"):
+			se.count = s.Value
+			se.gotCnt = true
+		}
+	}
+	for k, se := range bySeries {
+		if len(se.bounds) == 0 {
+			return fmt.Errorf("series {%s} has no buckets", k)
+		}
+		if !sort.Float64sAreSorted(se.bounds) {
+			return fmt.Errorf("series {%s} buckets out of le order", k)
+		}
+		if !math.IsInf(se.bounds[len(se.bounds)-1], +1) {
+			return fmt.Errorf("series {%s} missing +Inf bucket", k)
+		}
+		for i := 1; i < len(se.counts); i++ {
+			if se.counts[i] < se.counts[i-1] {
+				return fmt.Errorf("series {%s} bucket counts not cumulative", k)
+			}
+		}
+		if !se.gotCnt {
+			return fmt.Errorf("series {%s} missing _count", k)
+		}
+		if se.count != se.counts[len(se.counts)-1] {
+			return fmt.Errorf("series {%s} _count %v != +Inf bucket %v",
+				k, se.count, se.counts[len(se.counts)-1])
+		}
+	}
+	return nil
+}

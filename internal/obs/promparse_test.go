@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseExpositionAccepts(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP m_total A counter.",
+		"# TYPE m_total counter",
+		"m_total 3",
+		"# bare comment without HELP/TYPE",
+		"",
+		"# TYPE g gauge",
+		"g -2.5",
+		`labeled{a="x",b="y \"quoted\" \\ \n"} 1 1700000000`,
+		"# TYPE h histogram",
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="+Inf"} 2`,
+		"h_sum 3.5",
+		"h_count 2",
+		"untyped_sample 0",
+		"nan_sample NaN",
+		"inf_sample +Inf",
+	}, "\n") + "\n"
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["m_total"].Type != "counter" || fams["m_total"].Samples[0].Value != 3 {
+		t.Fatalf("counter: %+v", fams["m_total"])
+	}
+	if fams["g"].Samples[0].Value != -2.5 {
+		t.Fatalf("gauge: %+v", fams["g"])
+	}
+	ls := fams["labeled"].Samples[0]
+	if ls.Label("a") != "x" || ls.Label("b") != "y \"quoted\" \\ \n" {
+		t.Fatalf("labels: %+v", ls.Labels)
+	}
+	if fams["h"].Type != "histogram" {
+		t.Fatalf("histogram: %+v", fams["h"])
+	}
+	if fams["untyped_sample"].Type != "untyped" {
+		t.Fatalf("untyped: %+v", fams["untyped_sample"])
+	}
+	if !math.IsNaN(fams["nan_sample"].Samples[0].Value) {
+		t.Fatal("NaN value not parsed")
+	}
+	if !math.IsInf(fams["inf_sample"].Samples[0].Value, +1) {
+		t.Fatal("+Inf value not parsed")
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"type after samples", "m 1\n# TYPE m counter\n", "after its samples"},
+		{"unknown type", "# TYPE m frobnicator\n", "unknown TYPE"},
+		{"conflicting type", "# TYPE m counter\n# TYPE m gauge\n", "conflicting TYPE"},
+		{"malformed type line", "# TYPE m\n", "malformed TYPE"},
+		{"bad metric name", "9metric 1\n", "invalid metric name"},
+		{"no value", "lonely\n", "no value"},
+		{"bad value", "m notanumber\n", "bad sample value"},
+		{"trailing garbage", "m 1 2 3\n", "expected value"},
+		{"unterminated labels", `m{a="x" 1` + "\n", "unterminated"},
+		{"unquoted label value", "m{a=x} 1\n", "not quoted"},
+		{"bad label name", `m{9a="x"} 1` + "\n", "invalid label name"},
+		{"dangling escape", `m{a="x\"} 1` + "\n", "unterminated"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket 1\nh_count 1\n", "without le"},
+		{
+			"missing +Inf bucket",
+			"# TYPE h histogram\n" + `h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+			"missing +Inf",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\n" + `h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+			"not cumulative",
+		},
+		{
+			"buckets out of order",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 3` + "\n" + `h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 3\n",
+			"out of le order",
+		},
+		{
+			"count disagrees with +Inf",
+			"# TYPE h histogram\n" + `h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 9\n",
+			"!= +Inf bucket",
+		},
+		{
+			"missing count",
+			"# TYPE h histogram\n" + `h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\nh_sum 1\n",
+			"missing _count",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseExposition(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("parsed invalid exposition:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseExpositionHistogramPerSeries: the histogram invariants are
+// checked per label set, so one healthy variant must not mask a broken
+// one.
+func TestParseExpositionHistogramPerSeries(t *testing.T) {
+	in := strings.Join([]string{
+		"# TYPE h histogram",
+		`h_bucket{variant="good",le="1"} 1`,
+		`h_bucket{variant="good",le="+Inf"} 2`,
+		`h_sum{variant="good"} 1`,
+		`h_count{variant="good"} 2`,
+		`h_bucket{variant="bad",le="1"} 5`,
+		`h_bucket{variant="bad",le="+Inf"} 3`,
+		`h_sum{variant="bad"} 1`,
+		`h_count{variant="bad"} 3`,
+	}, "\n") + "\n"
+	_, err := ParseExposition(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "variant=bad") {
+		t.Fatalf("broken series not attributed: %v", err)
+	}
+}

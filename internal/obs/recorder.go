@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder captures one request's telemetry into a bounded in-memory
+// timeline: named spans (parse, queue wait, graph build, the coloring
+// run, sequential repair, verification) and one IterEvent per runner
+// phase per speculative iteration — the paper's per-round conflict and
+// color trajectory, scoped to a single request instead of a whole
+// process trace.
+//
+// A Recorder travels in a context.Context (ContextWithRecorder /
+// RecorderFromContext) from the HTTP ingress through the worker pool
+// into the core/d2 runners, which tee their Observer event stream into
+// it. Every method is nil-safe: a nil *Recorder records nothing and
+// allocates nothing, so instrumentation points run unconditionally and
+// the disabled path stays a pointer test — the same contract as the
+// nil *Observer, and pinned by the same zero-alloc test.
+//
+// A Recorder is safe for concurrent use; its bounds make the worst
+// case (a pathological run with thousands of iterations) drop the tail
+// and count the drops rather than grow without limit.
+type Recorder struct {
+	mu    sync.Mutex
+	id    string
+	start time.Time
+	attrs map[string]string
+	spans []Span
+	iters []IterEvent
+
+	maxSpans, maxIters         int
+	droppedSpans, droppedIters int
+
+	// stats accumulates scheduler-level telemetry (chunk dispatches)
+	// from the parallel loops of the run this Recorder is attached to.
+	stats LoopStats
+}
+
+// DefaultMaxSpans and DefaultMaxIters bound a Recorder when the caller
+// passes no explicit limits. A healthy request produces well under ten
+// spans and — per the paper's convergence argument — a handful of
+// iterations; the headroom exists for livelocked runs the watchdog is
+// about to kill.
+const (
+	DefaultMaxSpans = 64
+	DefaultMaxIters = 256
+)
+
+// NewRecorder returns a Recorder for one request. id is the request's
+// correlation id (see NewRequestID); maxSpans and maxIters bound the
+// retained timeline, with values < 1 meaning the package defaults.
+func NewRecorder(id string, maxSpans, maxIters int) *Recorder {
+	if maxSpans < 1 {
+		maxSpans = DefaultMaxSpans
+	}
+	if maxIters < 1 {
+		maxIters = DefaultMaxIters
+	}
+	return &Recorder{
+		id:       id,
+		start:    time.Now(),
+		maxSpans: maxSpans,
+		maxIters: maxIters,
+	}
+}
+
+// ID returns the recorder's request id ("" when nil).
+func (r *Recorder) ID() string {
+	if r == nil {
+		return ""
+	}
+	return r.id
+}
+
+// Span is one named interval of a request timeline. Offsets are
+// nanoseconds since the timeline's start, so a timeline is
+// self-contained and diffable across requests.
+type Span struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// IterEvent is one runner phase of one speculative iteration, distilled
+// from the Observer's Event stream: the per-round conflict-count and
+// color trajectory the paper's Table I plots, plus the phase wall time
+// and the scheduler's chunk-dispatch count for the phase.
+type IterEvent struct {
+	Round      int    `json:"round"`
+	Phase      string `json:"phase"`
+	Kind       string `json:"kind"`
+	Items      int    `json:"items"`
+	Conflicts  int    `json:"conflicts"`
+	Colors     int    `json:"colors"`
+	WallNS     int64  `json:"wall_ns"`
+	Dispatches int64  `json:"dispatches,omitempty"`
+}
+
+// Timeline is a completed request's telemetry snapshot — the JSON shape
+// served by /debug/requests/{id}.
+type Timeline struct {
+	ID    string    `json:"id"`
+	Start time.Time `json:"start"`
+	// Status is the HTTP status the request finished with (0 for
+	// timelines snapshotted mid-flight or outside a server).
+	Status int `json:"status,omitempty"`
+	// DurNS is the end-to-end request duration; 0 until the serving
+	// layer stamps it at completion.
+	DurNS int64             `json:"dur_ns,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Spans []Span            `json:"spans"`
+	Iters []IterEvent       `json:"iters"`
+	// DroppedSpans / DroppedIters count entries the bounds discarded.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+	DroppedIters int `json:"dropped_iters,omitempty"`
+}
+
+// ActiveSpan is an in-flight span handle returned by StartSpan. The
+// zero value (from a nil Recorder) is valid and End on it is a no-op,
+// so callers never branch.
+type ActiveSpan struct {
+	r     *Recorder
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span named name starting now. Nil-safe: a nil
+// Recorder returns a zero handle and performs no work (not even the
+// clock read).
+func (r *Recorder) StartSpan(name string) ActiveSpan {
+	if r == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{r: r, name: name, start: time.Now()}
+}
+
+// End closes the span, recording its duration.
+func (s ActiveSpan) End() {
+	if s.r != nil {
+		s.r.AddSpan(s.name, s.start, time.Since(s.start))
+	}
+}
+
+// AddSpan records a span with an explicit start and duration — for
+// intervals measured elsewhere, like queue wait between admission and
+// worker pickup. Nil-safe.
+func (r *Recorder) AddSpan(name string, start time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.maxSpans {
+		r.droppedSpans++
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Name:    name,
+		StartNS: start.Sub(r.start).Nanoseconds(),
+		DurNS:   dur.Nanoseconds(),
+	})
+}
+
+// Annotate attaches (or overwrites) a key/value attribute on the
+// timeline — request facts like the algorithm variant, mode, graph
+// fingerprint, and final outcome. Nil-safe.
+func (r *Recorder) Annotate(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.attrs == nil {
+		r.attrs = make(map[string]string, 8)
+	}
+	r.attrs[key] = value
+}
+
+// Attr returns the annotation for key ("" when absent or nil).
+func (r *Recorder) Attr(key string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attrs[key]
+}
+
+// Emit implements Sink: the runners' per-phase trace events land here
+// when the Recorder is teed into an Observer (AttachRecorder), each one
+// distilled into a bounded IterEvent.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.iters) >= r.maxIters {
+		r.droppedIters++
+		return
+	}
+	r.iters = append(r.iters, IterEvent{
+		Round:      e.Iter,
+		Phase:      e.Phase,
+		Kind:       e.Kind,
+		Items:      e.Items,
+		Conflicts:  e.Conflicts,
+		Colors:     e.Colors,
+		WallNS:     e.WallNS,
+		Dispatches: e.Dispatches,
+	})
+}
+
+// LoopStats returns the recorder's scheduler-telemetry accumulator for
+// the parallel loops (nil from a nil Recorder, which the loops treat as
+// disabled).
+func (r *Recorder) LoopStats() *LoopStats {
+	if r == nil {
+		return nil
+	}
+	return &r.stats
+}
+
+// Snapshot returns a copy of the timeline so far. The serving layer
+// stamps Status and DurNS on the returned value at completion.
+func (r *Recorder) Snapshot() Timeline {
+	if r == nil {
+		return Timeline{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := Timeline{
+		ID:           r.id,
+		Start:        r.start,
+		Spans:        append([]Span(nil), r.spans...),
+		Iters:        append([]IterEvent(nil), r.iters...),
+		DroppedSpans: r.droppedSpans,
+		DroppedIters: r.droppedIters,
+	}
+	if len(r.attrs) > 0 {
+		t.Attrs = make(map[string]string, len(r.attrs))
+		for k, v := range r.attrs {
+			t.Attrs[k] = v
+		}
+	}
+	return t
+}
+
+// Rounds returns the number of speculative iterations recorded so far
+// (the highest round seen), and Conflicts the remaining-conflict count
+// after the most recent conflict-removal phase — the two access-log
+// facts the serving layer reports per request. Nil-safe.
+func (r *Recorder) Rounds() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rounds := 0
+	for _, it := range r.iters {
+		if it.Round > rounds {
+			rounds = it.Round
+		}
+	}
+	return rounds
+}
+
+// MaxConflicts returns the largest per-round remaining-conflict count
+// observed — the size of the speculative mess the run had to repair.
+func (r *Recorder) MaxConflicts() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := 0
+	for _, it := range r.iters {
+		if it.Phase == PhaseConflict && it.Conflicts > m {
+			m = it.Conflicts
+		}
+	}
+	return m
+}
+
+// AttachRecorder returns an Observer that additionally emits every
+// event into rec. A nil rec returns o unchanged; a disabled o yields a
+// recorder-only Observer, so runs without a process-wide trace sink
+// still produce request timelines. Nil-safe on both sides.
+func (o *Observer) AttachRecorder(rec *Recorder) *Observer {
+	if rec == nil {
+		return o
+	}
+	if !o.Enabled() {
+		return &Observer{sink: rec}
+	}
+	return &Observer{sink: teeSink{a: o.sink, b: rec}, algo: o.algo}
+}
+
+// teeSink fans one event stream out to two sinks.
+type teeSink struct {
+	a, b Sink
+}
+
+func (t teeSink) Emit(e Event) {
+	t.a.Emit(e)
+	t.b.Emit(e)
+}
+
+// LoopStats accumulates scheduler-level telemetry for the parallel
+// loops of one run — currently the chunk-dispatch count, the paper's
+// proxy for scheduling overhead (each dispatch is a contended atomic
+// RMW). A nil *LoopStats is valid and free: the loops call its methods
+// unconditionally and a nil receiver branches out immediately, so the
+// un-instrumented dispatch path pays one pointer test.
+type LoopStats struct {
+	dispatches atomic.Int64
+}
+
+// CountDispatch records one chunk hand-out. Nil-safe; keep it
+// branch-and-return, it sits on the dispatch path.
+func (s *LoopStats) CountDispatch() {
+	if s != nil {
+		s.dispatches.Add(1)
+	}
+}
+
+// TakeDispatches returns the dispatches recorded since the last Take
+// and resets the count — the per-phase delta the runners stamp into
+// trace events. Nil-safe (0).
+func (s *LoopStats) TakeDispatches() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dispatches.Swap(0)
+}
+
+// recorderKey is the context key for the request's Recorder.
+type recorderKey struct{}
+
+// ContextWithRecorder returns a context carrying rec. The serving
+// layer installs it at ingress; the runners retrieve it once per run.
+func ContextWithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey{}, rec)
+}
+
+// RecorderFromContext returns the context's Recorder, or nil. The nil
+// result is a valid disabled Recorder, so callers use it directly.
+func RecorderFromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return rec
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsSafeNoop: every Recorder method must be callable on
+// nil — that is the contract that lets instrumentation points run
+// unconditionally.
+func TestNilRecorderIsSafeNoop(t *testing.T) {
+	var r *Recorder
+	if r.ID() != "" {
+		t.Fatal("nil ID not empty")
+	}
+	sp := r.StartSpan("x")
+	sp.End()
+	r.AddSpan("y", time.Time{}, 0)
+	r.Annotate("k", "v")
+	if r.Attr("k") != "" {
+		t.Fatal("nil Attr not empty")
+	}
+	r.Emit(sampleEvent())
+	if r.LoopStats() != nil {
+		t.Fatal("nil LoopStats must be nil")
+	}
+	if tl := r.Snapshot(); tl.ID != "" || len(tl.Spans) != 0 || len(tl.Iters) != 0 {
+		t.Fatalf("nil Snapshot not zero: %+v", tl)
+	}
+	if r.Rounds() != 0 || r.MaxConflicts() != 0 {
+		t.Fatal("nil Rounds/MaxConflicts not zero")
+	}
+
+	var st *LoopStats
+	st.CountDispatch()
+	if st.TakeDispatches() != 0 {
+		t.Fatal("nil TakeDispatches not zero")
+	}
+}
+
+func TestRecorderCapturesSpansAndIters(t *testing.T) {
+	r := NewRecorder("req-1", 0, 0)
+	sp := r.StartSpan("build")
+	sp.End()
+	r.AddSpan("queue", r.Snapshot().Start, 3*time.Millisecond)
+	r.Annotate("variant", "V-V")
+
+	for round := 1; round <= 3; round++ {
+		e := sampleEvent()
+		e.Iter = round
+		e.Phase = PhaseColor
+		r.Emit(e)
+		e.Phase = PhaseConflict
+		e.Conflicts = 10 - round
+		r.Emit(e)
+	}
+
+	tl := r.Snapshot()
+	if tl.ID != "req-1" {
+		t.Fatalf("id = %q", tl.ID)
+	}
+	if len(tl.Spans) != 2 || tl.Spans[0].Name != "build" || tl.Spans[1].Name != "queue" {
+		t.Fatalf("spans: %+v", tl.Spans)
+	}
+	if tl.Spans[1].DurNS != (3 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("explicit span duration %d", tl.Spans[1].DurNS)
+	}
+	if len(tl.Iters) != 6 {
+		t.Fatalf("iters: %d", len(tl.Iters))
+	}
+	if tl.Attrs["variant"] != "V-V" {
+		t.Fatalf("attrs: %v", tl.Attrs)
+	}
+	if r.Rounds() != 3 {
+		t.Fatalf("rounds = %d", r.Rounds())
+	}
+	// Max conflicts counts only conflict-phase events: round 1's
+	// conflict event carries 9.
+	if r.MaxConflicts() != 9 {
+		t.Fatalf("max conflicts = %d", r.MaxConflicts())
+	}
+}
+
+func TestRecorderBoundsAndCountsDrops(t *testing.T) {
+	r := NewRecorder("req-2", 2, 3)
+	for i := 0; i < 5; i++ {
+		r.AddSpan(fmt.Sprintf("s%d", i), time.Now(), 0)
+		r.Emit(sampleEvent())
+	}
+	tl := r.Snapshot()
+	if len(tl.Spans) != 2 || tl.DroppedSpans != 3 {
+		t.Fatalf("spans=%d dropped=%d, want 2 and 3", len(tl.Spans), tl.DroppedSpans)
+	}
+	if len(tl.Iters) != 3 || tl.DroppedIters != 2 {
+		t.Fatalf("iters=%d dropped=%d, want 3 and 2", len(tl.Iters), tl.DroppedIters)
+	}
+	// The defaults kick in for out-of-range bounds.
+	d := NewRecorder("req-3", -1, 0)
+	if d.maxSpans != DefaultMaxSpans || d.maxIters != DefaultMaxIters {
+		t.Fatalf("defaults not applied: %d/%d", d.maxSpans, d.maxIters)
+	}
+}
+
+// TestAttachRecorderTees: with a live Observer, events must reach both
+// the original sink and the Recorder; with a nil Observer, the Recorder
+// alone; with a nil Recorder, the Observer is returned unchanged.
+func TestAttachRecorderTees(t *testing.T) {
+	ring := NewRing(8)
+	base := New(ring).WithAlgo("V-V")
+	rec := NewRecorder("req-4", 0, 0)
+
+	teed := base.AttachRecorder(rec)
+	if !teed.Enabled() {
+		t.Fatal("teed observer disabled")
+	}
+	if teed.Algo() != "V-V" {
+		t.Fatalf("algo label lost: %q", teed.Algo())
+	}
+	teed.Emit(sampleEvent())
+	if got := len(ring.Events()); got != 1 {
+		t.Fatalf("original sink got %d events", got)
+	}
+	if got := len(rec.Snapshot().Iters); got != 1 {
+		t.Fatalf("recorder got %d events", got)
+	}
+
+	var nilObs *Observer
+	solo := nilObs.AttachRecorder(rec)
+	if !solo.Enabled() {
+		t.Fatal("recorder-only observer disabled")
+	}
+	solo.Emit(sampleEvent())
+	if got := len(rec.Snapshot().Iters); got != 2 {
+		t.Fatalf("recorder-only emit lost: %d", got)
+	}
+	if len(ring.Events()) != 1 {
+		t.Fatal("recorder-only emit leaked into the old sink")
+	}
+
+	if base.AttachRecorder(nil) != base {
+		t.Fatal("nil recorder must return the observer unchanged")
+	}
+	if nilObs.AttachRecorder(nil) != nil {
+		t.Fatal("nil observer + nil recorder must stay nil")
+	}
+}
+
+func TestRecorderLoopStatsTakeDelta(t *testing.T) {
+	r := NewRecorder("req-5", 0, 0)
+	st := r.LoopStats()
+	for i := 0; i < 4; i++ {
+		st.CountDispatch()
+	}
+	if got := st.TakeDispatches(); got != 4 {
+		t.Fatalf("first take = %d, want 4", got)
+	}
+	if got := st.TakeDispatches(); got != 0 {
+		t.Fatalf("second take = %d, want 0 (Take must reset)", got)
+	}
+}
+
+func TestContextWithRecorderRoundTrip(t *testing.T) {
+	rec := NewRecorder("req-6", 0, 0)
+	ctx := ContextWithRecorder(context.Background(), rec)
+	if got := RecorderFromContext(ctx); got != rec {
+		t.Fatalf("round trip lost the recorder: %v", got)
+	}
+	if RecorderFromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil")
+	}
+	if RecorderFromContext(nil) != nil {
+		t.Fatal("nil context must yield nil")
+	}
+	if ContextWithRecorder(context.Background(), nil) != context.Background() {
+		t.Fatal("nil recorder must not wrap the context")
+	}
+}
+
+// TestRecorderConcurrentUse exercises emit/annotate/span/snapshot from
+// many goroutines under the race detector — the recorder is shared
+// between the HTTP goroutine and the pool worker in production.
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder("req-7", 1024, 1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch w % 4 {
+				case 0:
+					r.Emit(sampleEvent())
+				case 1:
+					sp := r.StartSpan("s")
+					sp.End()
+				case 2:
+					r.Annotate("k", "v")
+					_ = r.Attr("k")
+				case 3:
+					_ = r.Snapshot()
+					_ = r.Rounds()
+					_ = r.MaxConflicts()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	tl := r.Snapshot()
+	if got := len(tl.Iters) + tl.DroppedIters; got != 200 {
+		t.Fatalf("iters+dropped = %d, want 200", got)
+	}
+	if got := len(tl.Spans) + tl.DroppedSpans; got != 200 {
+		t.Fatalf("spans+dropped = %d, want 200", got)
+	}
+}

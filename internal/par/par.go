@@ -184,6 +184,12 @@ type Options struct {
 	// range only partially covered — callers that armed a Canceler must
 	// treat their shared state as partial.
 	Cancel *Canceler
+	// Stats, when non-nil, accumulates per-loop scheduler telemetry
+	// (chunk dispatches on the dynamic and guided schedules) for
+	// request-scoped timelines. The runners arm it from a context
+	// Recorder; nil — the default — costs one pointer test per chunk
+	// hand-out, the same budget as the gated obs counter next to it.
+	Stats *obs.LoopStats
 }
 
 func (o Options) threads() int {
@@ -223,9 +229,9 @@ func For(n int, opts Options, body func(tid, lo, hi int)) {
 	case Static:
 		staticFor(n, t, opts.Cancel, body)
 	case Guided:
-		guidedFor(n, t, opts.chunk(), opts.Cancel, body)
+		guidedFor(n, t, opts.chunk(), opts.Cancel, opts.Stats, body)
 	default:
-		dynamicFor(n, t, opts.chunk(), opts.Cancel, body)
+		dynamicFor(n, t, opts.chunk(), opts.Cancel, opts.Stats, body)
 	}
 }
 
@@ -275,7 +281,7 @@ func staticBlock(tid, lo, hi int, cn *Canceler, body func(tid, lo, hi int)) {
 	}
 }
 
-func dynamicFor(n, threads, chunk int, cn *Canceler, body func(tid, lo, hi int)) {
+func dynamicFor(n, threads, chunk int, cn *Canceler, st *obs.LoopStats, body func(tid, lo, hi int)) {
 	var next atomic.Int64
 	var box panicBox
 	var wg sync.WaitGroup
@@ -290,6 +296,7 @@ func dynamicFor(n, threads, chunk int, cn *Canceler, body func(tid, lo, hi int))
 					return
 				}
 				obs.CountDispatch()
+				st.CountDispatch()
 				dispatchFailpoint(cn)
 				hi := lo + chunk
 				if hi > n {
@@ -303,7 +310,7 @@ func dynamicFor(n, threads, chunk int, cn *Canceler, body func(tid, lo, hi int))
 	box.rethrow()
 }
 
-func guidedFor(n, threads, minChunk int, cn *Canceler, body func(tid, lo, hi int)) {
+func guidedFor(n, threads, minChunk int, cn *Canceler, st *obs.LoopStats, body func(tid, lo, hi int)) {
 	var next atomic.Int64
 	var box panicBox
 	var wg sync.WaitGroup
@@ -332,6 +339,7 @@ func guidedFor(n, threads, minChunk int, cn *Canceler, body func(tid, lo, hi int
 					continue
 				}
 				obs.CountDispatch()
+				st.CountDispatch()
 				dispatchFailpoint(cn)
 				body(tid, lo, hi)
 			}

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -111,9 +112,18 @@ type Config struct {
 	// livelock flagged). 0 disables the watchdog.
 	WatchdogWindow time.Duration
 	// Logf, when set, receives one line per contained fault (worker
-	// panic stacks, quarantine transitions, watchdog trips). Nil
-	// discards.
+	// panic stacks, quarantine transitions, watchdog trips). Nil routes
+	// fault lines to Log instead. Retained for embedders that want raw
+	// printf-style fault lines; the daemon itself uses Log.
 	Logf func(format string, args ...any)
+	// Log receives structured logs: one access line per request (id,
+	// variant, status, rounds, conflicts, duration, outcome) plus the
+	// contained-fault reports when Logf is unset. Nil discards.
+	Log *slog.Logger
+	// RequestRing bounds the /debug/requests ring of completed /color
+	// timelines; 0 means 128, negative disables retention (ids and
+	// access logs still work).
+	RequestRing int
 }
 
 func (c *Config) withDefaults() Config {
@@ -151,16 +161,25 @@ func (c *Config) withDefaults() Config {
 	if out.MemBudget < 0 {
 		out.MemBudget = 0
 	}
+	if out.RequestRing == 0 {
+		out.RequestRing = 128
+	}
+	if out.RequestRing < 0 {
+		out.RequestRing = 0
+	}
 	out.ParseLimits = out.ParseLimits.WithDefaults()
 	return out
 }
 
-// logf emits one operator-facing line through Config.Logf (discarded
-// when unset).
+// logf emits one operator-facing fault line through Config.Logf, or —
+// when no printf hook is installed — as a structured warning on the
+// server's logger (a no-op with the default discard logger).
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
+		return
 	}
+	s.log.Warn(fmt.Sprintf(format, args...))
 }
 
 // ColorRequest is the POST /color body. Exactly one of Matrix or
@@ -219,6 +238,10 @@ type ColorResponse struct {
 	// deadline) triggered the degradation: the speculative runner was
 	// live but making no conflict-count progress. Implies Degraded.
 	Livelock bool `json:"livelock,omitempty"`
+	// RequestID echoes the request's correlation id (also in the
+	// X-Request-ID response header): the key into /debug/requests/{id}
+	// and the daemon's access log.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 status. Retryable
@@ -233,6 +256,10 @@ type ErrorResponse struct {
 	// RetryAfterS mirrors the Retry-After header in seconds (429
 	// responses only).
 	RetryAfterS int `json:"retry_after_s,omitempty"`
+	// RequestID is the failing request's correlation id — quote it when
+	// reporting the failure; it resolves in the daemon's access log and
+	// (for jobs that ran) /debug/requests/{id}.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Server is the coloring daemon: an http.Handler backed by the worker
@@ -244,6 +271,8 @@ type Server struct {
 	cache  *graphCache
 	quar   *quarantine
 	mux    *http.ServeMux
+	log    *slog.Logger
+	ring   *requestRing
 	start  time.Time
 }
 
@@ -259,31 +288,62 @@ func New(cfg Config) *Server {
 		cache:  newGraphCache(cfg.CacheEntries),
 		quar:   newQuarantine(cfg.QuarantineAfter, cfg.QuarantineFor),
 		mux:    http.NewServeMux(),
+		log:    cfg.Log,
+		ring:   newRequestRing(cfg.RequestRing),
 		start:  time.Now(),
+	}
+	if s.log == nil {
+		s.log = discardLogger()
 	}
 	s.mux.HandleFunc("POST /color", s.handleColor)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/requests", s.handleRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}", s.handleRequestByID)
+	s.registerGauges()
 	return s
 }
 
-// ServeHTTP implements http.Handler. It is also the outermost
-// containment boundary for request goroutines: a panic anywhere in a
-// handler becomes a structured 500 (best-effort — headers may already
-// be out) instead of relying on net/http's connection-killing recover.
+// ServeHTTP implements http.Handler. It is the telemetry ingress —
+// every request gets a correlation id (adopted from traceparent /
+// X-Request-ID or minted), echoed in the X-Request-ID response header
+// before any handler runs so error bodies on every path can carry it;
+// POST /color additionally gets an obs.Recorder in its context, which
+// the runners tee their phase events into and finishRequest files in
+// the /debug/requests ring. It is also the outermost containment
+// boundary for request goroutines: a panic anywhere in a handler
+// becomes a structured 500 (best-effort — headers may already be out)
+// instead of relying on net/http's connection-killing recover.
 // http.ErrAbortHandler is re-raised per its contract.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id, adopted := obs.RequestIDFromHeaders(r.Header.Get("traceparent"), r.Header.Get("X-Request-ID"))
+	w.Header().Set("X-Request-ID", id)
+	sw := &statusWriter{ResponseWriter: w}
+
+	var rec *obs.Recorder
+	if r.Method == http.MethodPost && r.URL.Path == "/color" {
+		rec = obs.NewRecorder(id, 0, 0)
+		if adopted {
+			rec.Annotate("id_source", "client")
+		}
+		r = r.WithContext(obs.ContextWithRecorder(r.Context(), rec))
+	}
+
 	defer func() {
-		if rec := recover(); rec != nil {
-			if rec == http.ErrAbortHandler {
-				panic(rec)
+		if p := recover(); p != nil {
+			if p == http.ErrAbortHandler {
+				panic(p)
 			}
 			obs.SvcPanics.Inc()
-			s.logf("service: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-			writeError(w, http.StatusInternalServerError, "internal: handler panicked: %v", rec)
+			s.logf("service: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			rec.Annotate("outcome", "panic")
+			writeError(sw, http.StatusInternalServerError, "internal: handler panicked: %v", p)
 		}
+		s.finishRequest(sw, r, rec, id, start)
 	}()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
 }
 
 // Drain stops admitting jobs and blocks until every admitted job has
@@ -345,6 +405,8 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "injected handler fault: %v", err)
 		return
 	}
+	rec := obs.RecorderFromContext(r.Context())
+	decode := rec.StartSpan("decode")
 	body := io.LimitReader(r.Body, s.cfg.MaxRequestBytes+1)
 	raw, err := io.ReadAll(body)
 	if err != nil {
@@ -356,6 +418,11 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec, status, err := s.decodeColorRequest(raw)
+	decode.End()
+	if spec != nil {
+		rec.Annotate("variant", spec.variant)
+		rec.Annotate("graph", spec.key)
+	}
 	if err != nil {
 		if status == http.StatusTooManyRequests {
 			// Budget-shaped rejections from resolve (e.g. an injected
@@ -372,6 +439,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	// the pool.
 	if blocked, retry := s.quar.check(spec.key); blocked {
 		obs.SvcQuarantined.Inc()
+		rec.Annotate("outcome", "quarantined")
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Round(time.Second).Seconds())))
 		writeError(w, http.StatusTooManyRequests, "graph %s is quarantined after repeated worker panics; retry in %s", spec.key, retry.Round(time.Second))
 		return
@@ -388,7 +456,13 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	var jobErr error
 	enqueued := time.Now()
 	j.run = func(ctx context.Context) {
-		resp, jobStatus, jobErr = s.execute(ctx, spec, time.Since(enqueued))
+		// Queue wait — admission to worker pickup — is the backpressure
+		// component of latency; it gets its own span and histogram so
+		// "slow" decomposes into "queued" vs. "coloring".
+		wait := time.Since(enqueued)
+		obs.SvcQueueWait.Observe(wait.Seconds())
+		rec.AddSpan("queue", enqueued, wait)
+		resp, jobStatus, jobErr = s.execute(ctx, spec, wait)
 	}
 	if err := s.pool.submit(j); err != nil {
 		switch {
@@ -406,6 +480,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	obs.SvcJobBytes.Observe(float64(spec.estBytes))
 
 	select {
 	case <-j.done:
@@ -421,6 +496,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		// panic into a structured 500, log the worker stack, and count
 		// a quarantine strike against this graph.
 		obs.SvcPanics.Inc()
+		rec.Annotate("outcome", "panic")
 		s.logf("service: job panicked (graph %s): %v\n%s", spec.key, j.panicked, j.stack)
 		if s.quar.strike(spec.key) {
 			s.logf("service: quarantining graph %s for %s after repeated panics", spec.key, s.cfg.QuarantineFor)
@@ -437,6 +513,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.quar.clear(spec.key)
+	resp.RequestID = w.Header().Get("X-Request-ID")
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -455,6 +532,7 @@ type jobSpec struct {
 	d2mode   bool
 	opts     core.Options
 	algo     string
+	variant  string // histogram/annotation label: algo, "d2/"-prefixed in d2 mode
 	label    string // obs run label ("svc/…"), reused by the watchdog tap
 	timeout  time.Duration
 	estBytes int64 // estimated peak footprint, charged against the budget
@@ -559,8 +637,10 @@ func (s *Server) resolve(req *ColorRequest) (*jobSpec, int, error) {
 	}
 	spec.estBytes = est
 
+	spec.variant = algo
 	spec.label = "svc/" + algo
 	if d2mode {
+		spec.variant = "d2/" + algo
 		spec.label = "svc/d2/" + algo
 	}
 	if s.cfg.Obs.Enabled() {
@@ -629,7 +709,10 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 		// back off and retry.
 		return nil, http.StatusTooManyRequests, fmt.Errorf("deadline expired before the job could start (queued %s)", queued.Round(time.Microsecond))
 	}
+	rec := obs.RecorderFromContext(ctx)
+	build := rec.StartSpan("build")
 	entry, hit, err := s.buildGraph(spec)
+	build.End()
 	if err != nil {
 		if errors.Is(err, limits.ErrTooLarge) {
 			// The data section outgrew what its own header declared —
@@ -664,10 +747,18 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 
 	start := time.Now()
 	var res *core.Result
+	color := rec.StartSpan("color")
 	if spec.d2mode {
 		res, err = d2.ColorCtx(runCtx, ug, spec.opts)
 	} else {
 		res, err = core.ColorCtx(runCtx, entry.g, spec.opts)
+	}
+	color.End()
+	if res != nil {
+		// Per-request phase totals, the deployable form of the paper's
+		// "coloring dominates, conflict removal tails off" breakdown.
+		obs.SvcColorPhase.With(spec.variant).Observe(res.ColoringTime.Seconds())
+		obs.SvcConflictPhase.With(spec.variant).Observe(res.ConflictTime.Seconds())
 	}
 
 	resp := &ColorResponse{
@@ -678,19 +769,24 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 	switch {
 	case err == nil:
 		obs.SvcCompleted.Inc()
+		rec.Annotate("outcome", "ok")
 	case errors.Is(err, core.ErrCanceled):
 		// Graceful degradation: the canceled runner already repaired
 		// the colored prefix; finish the rest sequentially so the
 		// client still gets a complete valid coloring.
+		repair := rec.StartSpan("repair")
 		if spec.d2mode {
 			resp.DegradedFinished = d2.FinishSequential(ug, res.Colors)
 		} else {
 			resp.DegradedFinished = core.FinishSequential(entry.g, res.Colors)
 		}
+		repair.End()
 		resp.Degraded = true
 		obs.SvcDegraded.Inc()
+		rec.Annotate("outcome", "degraded")
 		if errors.Is(context.Cause(runCtx), errLivelock) {
 			resp.Livelock = true
+			rec.Annotate("outcome", "livelock")
 			s.logf("service: watchdog canceled job (graph %s): no progress within %s", spec.key, s.cfg.WatchdogWindow)
 		}
 	case errors.Is(err, core.ErrNoFixedPoint):
@@ -705,11 +801,13 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 
 	// A service must not hand out invalid colorings: the check is one
 	// O(nnz) pass, far cheaper than the run itself.
+	vspan := rec.StartSpan("verify")
 	if spec.d2mode {
 		err = verify.D2GC(ug, res.Colors)
 	} else {
 		err = verify.BGPC(entry.g, res.Colors)
 	}
+	vspan.End()
 	if err != nil {
 		return nil, http.StatusInternalServerError, fmt.Errorf("internal: produced an invalid coloring: %w", err)
 	}
@@ -729,8 +827,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeError writes the structured error body. The request id rides in
+// the X-Request-ID response header — set by ServeHTTP before any
+// handler runs — so every error path, including the recover
+// middleware's 500, carries it without threading the id around.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
 }
 
 // writeRetryable answers a retryable rejection (queue full, byte budget
@@ -748,6 +853,7 @@ func (s *Server) writeRetryable(w http.ResponseWriter, err error) {
 		Error:       err.Error(),
 		QueueDepth:  depth,
 		RetryAfterS: retry,
+		RequestID:   w.Header().Get("X-Request-ID"),
 	})
 }
 

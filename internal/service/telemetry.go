@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"bgpc/internal/obs"
+)
+
+// Request-scoped telemetry: every inbound request gets exactly one
+// correlation id (minted, or adopted from traceparent / X-Request-ID),
+// echoed as the X-Request-ID response header and in every JSON body —
+// success or error, including the recover path's 500. POST /color
+// requests additionally carry an obs.Recorder in their context; the
+// runners tee their per-phase trace events into it, and the completed
+// timeline lands in a bounded ring served by /debug/requests/{id}. One
+// structured access-log line per request closes the loop: the id in a
+// client's error message, the timeline, and the log line all correlate.
+
+// discardLogger is the nil-Config default: a *slog.Logger whose handler
+// refuses every record before any attribute is rendered.
+func discardLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// statusWriter records the response status for the access log and the
+// latency histogram without changing the write path.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// requestRing retains the last N completed request timelines for
+// /debug/requests. A nil ring (RequestRing < 0) drops everything;
+// lookups are by request id, newest first on listing.
+type requestRing struct {
+	mu   sync.Mutex
+	buf  []obs.Timeline
+	next int
+	n    int
+}
+
+func newRequestRing(size int) *requestRing {
+	if size <= 0 {
+		return nil
+	}
+	return &requestRing{buf: make([]obs.Timeline, size)}
+}
+
+func (r *requestRing) add(t obs.Timeline) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+func (r *requestRing) get(id string) (obs.Timeline, bool) {
+	if r == nil {
+		return obs.Timeline{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Newest first, so a reused id resolves to its latest timeline.
+	for i := 1; i <= r.n; i++ {
+		t := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return obs.Timeline{}, false
+}
+
+func (r *requestRing) list() []obs.Timeline {
+	out := []obs.Timeline{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// finishRequest closes out one request: it stamps the timeline with the
+// final status and duration, files it in the ring, feeds the latency
+// histogram, and writes the access-log line. rec is nil for non-/color
+// requests, which still get the log line and the latency observation.
+func (s *Server) finishRequest(sw *statusWriter, r *http.Request, rec *obs.Recorder, id string, start time.Time) {
+	dur := time.Since(start)
+	status := sw.status
+	if status == 0 {
+		// Handler wrote nothing (e.g. client gone before the job
+		// finished); net/http would have sent 200 on an empty body.
+		status = http.StatusOK
+	}
+	outcome := rec.Attr("outcome")
+	if outcome == "" {
+		if status < 400 {
+			outcome = "ok"
+		} else {
+			outcome = "error"
+		}
+	}
+	variant := rec.Attr("variant")
+
+	if rec != nil {
+		v := variant
+		if v == "" {
+			v = "unknown"
+		}
+		obs.SvcLatency.With(v).Observe(dur.Seconds())
+		t := rec.Snapshot()
+		t.Status = status
+		t.DurNS = dur.Nanoseconds()
+		s.ring.add(t)
+	}
+
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+		slog.String("id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.String("variant", variant),
+		slog.Int("rounds", rec.Rounds()),
+		slog.Int("conflicts", rec.MaxConflicts()),
+		slog.Float64("dur_ms", float64(dur.Microseconds())/1000),
+		slog.String("outcome", outcome),
+	)
+}
+
+// registerGauges exposes the server's live readings in the unified
+// metrics surface (WriteMetrics and /metrics). Registration replaces —
+// last server wins — so tests that build many Servers never collide the
+// way expvar.Publish would.
+func (s *Server) registerGauges() {
+	obs.RegisterGauge("bgpc.svc_queue_depth",
+		"Jobs admitted but not yet picked up by a worker.",
+		func() int64 { return int64(s.pool.depth()) })
+	obs.RegisterGauge("bgpc.svc_active_jobs",
+		"Jobs currently coloring on workers.",
+		func() int64 { return int64(s.pool.active()) })
+	obs.RegisterGauge("bgpc.svc_cached_graphs",
+		"Graphs resident in the content-hash cache.",
+		func() int64 { return int64(s.cache.len()) })
+	obs.RegisterGauge("bgpc.svc_bytes_inflight",
+		"Estimated bytes of admitted jobs charged against the budget.",
+		func() int64 { return s.pool.bytesInflight() })
+	obs.RegisterGauge("bgpc.svc_mem_budget",
+		"Configured admission byte budget (0 = unlimited).",
+		func() int64 { return s.budget.Capacity() })
+}
+
+// handleMetrics serves the Prometheus text exposition: counters,
+// registered gauges, and the latency/size histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w)
+}
+
+// handleRequests lists the retained timelines, newest first.
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ring.list())
+}
+
+// handleRequestByID resolves one request id to its timeline. The 404
+// carries the *current* request's id like every other error body.
+func (s *Server) handleRequestByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.ring.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"no timeline for request id %q (the ring keeps the last %d /color requests)", id, s.cfg.RequestRing)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
