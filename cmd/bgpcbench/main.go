@@ -5,6 +5,7 @@
 //
 //	bgpcbench [-experiment all|table1|…|figure3|trajectory] [-scale S]
 //	          [-threads 2,4,8,16] [-csv]
+//	          [-benchjson out.json] [-benchreps N] [-seed S]
 //	          [-trace trace.jsonl] [-metrics] [-cpuprofile cpu.out]
 //
 // With -csv the tables are emitted as CSV blocks (one per table),
@@ -51,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	outDir := fs.String("outdir", "", "write the complete artifact set (txt/csv/json tables + SVG figures) into this directory instead of stdout")
 	benchJSON := fs.String("benchjson", "", "run the named-variant benchmark sweep and write a machine-readable artifact (variant → ns/op, colors, conflicts) to this file")
 	benchReps := fs.Int("benchreps", 3, "repetitions per -benchjson cell (minimum wall time wins)")
+	benchSeed := fs.Uint64("seed", 0, "workload seed stamped into the -benchjson artifact (0 = the presets' baked deterministic seeds)")
 	timeout := fs.Duration("timeout", 0, "abort the whole invocation if it runs longer than this")
 	traceFile := fs.String("trace", "", "write a JSON-lines trace event per phase of every coloring run to this file")
 	metrics := fs.Bool("metrics", false, "count hot-path runtime events (chunk dispatches, queue pushes, forbidden scans) and print them after the run")
@@ -115,7 +117,10 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := bench.WriteBenchJSON(cfg, *benchReps, f); err != nil {
+			// Stamp provenance so trajectory entries are attributable:
+			// the workload seed and the tree that built the binary.
+			meta := bench.ArtifactMeta{Seed: *benchSeed, Git: bench.GitDescribe()}
+			if err := bench.WriteBenchJSON(cfg, *benchReps, meta, f); err != nil {
 				f.Close()
 				return err
 			}

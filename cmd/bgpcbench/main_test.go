@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bgpc/internal/bench"
+)
 
 func TestParseThreads(t *testing.T) {
 	got, err := parseThreads("2,4, 8,16")
@@ -20,5 +28,39 @@ func TestParseThreads(t *testing.T) {
 		if _, err := parseThreads(bad); err == nil {
 			t.Errorf("parseThreads(%q) accepted", bad)
 		}
+	}
+}
+
+// TestBenchJSONEmbedsProvenance drives the real -benchjson path and
+// asserts the artifact carries the workload seed and (inside a git
+// checkout) a describe string, so every trajectory entry is
+// attributable to a seed and a tree.
+func TestBenchJSONEmbedsProvenance(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-benchjson", out, "-benchreps", "1", "-scale", "0.02",
+		"-threads", "2", "-seed", "777",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art bench.BenchArtifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Seed != 777 {
+		t.Fatalf("seed = %d, want 777", art.Seed)
+	}
+	if art.GoVersion == "" {
+		t.Fatal("artifact missing go_version")
+	}
+	// Git is best-effort: assert only that in-repo runs produce a
+	// non-empty describe string when git is available at all.
+	if got := bench.GitDescribe(); got != "" && art.Git != got {
+		t.Fatalf("git = %q, want %q", art.Git, got)
 	}
 }

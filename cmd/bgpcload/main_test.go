@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgpc/internal/bench"
+)
+
+const cliMix = "channel@0.05=3,afshell@0.05:V-V-64=1,movielens@0.05:N1-N2=2"
+
+// TestLoadRunAgainstSpawnedDaemon is the CLI-level smoke test: a small
+// seeded scenario against -spawn must produce a schema-valid report
+// that then passes the -check gate, and the embedded spec must carry
+// the exact seed.
+func TestLoadRunAgainstSpawnedDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load run")
+	}
+	out := filepath.Join(t.TempDir(), "slo.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-spawn", "-seed", "1206", "-rps", "300", "-requests", "90",
+		"-mix", cliMix, "-zipf", "1.1", "-fingerprints", "4",
+		"-cancel", "0.02", "-hostile", "0.1", "-clients", "6",
+		"-out", out, "-max-burn", "1000",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.SLOReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 1206 || rep.Requests != 90 {
+		t.Fatalf("seed=%d requests=%d", rep.Seed, rep.Requests)
+	}
+
+	buf.Reset()
+	if err := run([]string{"-check", out, "-max-burn", "1000"}, &buf); err != nil {
+		t.Fatalf("check failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "valid bgpc-slo/v1 report") {
+		t.Fatalf("check output: %s", buf.String())
+	}
+}
+
+func TestLoadCheckRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"bogus"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-check", path}, &buf); err == nil {
+		t.Fatal("invalid report passed -check")
+	}
+	if err := run([]string{"-check", filepath.Join(t.TempDir(), "missing.json")}, &buf); err == nil {
+		t.Fatal("missing report passed -check")
+	}
+}
+
+// TestPrintScheduleDeterministic runs -print-schedule twice with the
+// same flags and requires byte-identical output — the CLI-level replay
+// guarantee.
+func TestPrintScheduleDeterministic(t *testing.T) {
+	args := []string{
+		"-print-schedule", "-seed", "7", "-rps", "100", "-requests", "40",
+		"-mix", cliMix, "-zipf", "1.1", "-hostile", "0.1", "-cancel", "0.05",
+	}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same flags produced different schedules")
+	}
+	if !strings.Contains(a.String(), "# 40 items") {
+		t.Fatalf("schedule header missing: %s", a.String()[:80])
+	}
+}
+
+// TestConfigFileWithFlagOverride checks the layering contract: the
+// JSON spec supplies the base, explicit flags win.
+func TestConfigFileWithFlagOverride(t *testing.T) {
+	cfg := filepath.Join(t.TempDir(), "spec.json")
+	doc := `{"seed": 5, "rps": 10, "requests": 20,
+	  "mix": [{"preset": "channel", "scale": 0.05}]}`
+	if err := os.WriteFile(cfg, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := run([]string{"-config", cfg, "-print-schedule"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), "# 20 items") {
+		t.Fatalf("config file ignored: %s", a.String()[:80])
+	}
+	if err := run([]string{"-config", cfg, "-requests", "7", "-print-schedule"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# 7 items") {
+		t.Fatalf("flag did not override config: %s", b.String()[:80])
+	}
+}

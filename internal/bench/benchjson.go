@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 
 	"bgpc/internal/core"
 )
@@ -29,14 +30,30 @@ type BenchSummary struct {
 // BenchArtifact is the schema of the CI benchmark artifact
 // (BENCH_pr<N>.json): per-(variant, workload) records plus a
 // per-variant aggregate keyed by the paper's algorithm names, so a
-// regression checker can diff runs without parsing tables.
+// regression checker can diff runs without parsing tables. Seed, Git
+// and GoVersion make each trajectory entry attributable: Seed is the
+// workload-generation seed (0 = the presets' baked per-generator
+// seeds, the default deterministic workloads), Git is `git describe
+// --always --dirty` at generation time.
 type BenchArtifact struct {
-	Schema   string                  `json:"schema"` // "bgpc-bench/v1"
-	Scale    float64                 `json:"scale"`
-	Threads  int                     `json:"threads"`
-	Reps     int                     `json:"reps"`
-	Records  []BenchRecord           `json:"records"`
-	Variants map[string]BenchSummary `json:"variants"`
+	Schema    string                  `json:"schema"` // "bgpc-bench/v1"
+	Seed      uint64                  `json:"seed"`
+	Git       string                  `json:"git,omitempty"`
+	GoVersion string                  `json:"go_version,omitempty"`
+	Scale     float64                 `json:"scale"`
+	Threads   int                     `json:"threads"`
+	Reps      int                     `json:"reps"`
+	Records   []BenchRecord           `json:"records"`
+	Variants  map[string]BenchSummary `json:"variants"`
+}
+
+// ArtifactMeta stamps provenance into a benchmark artifact so a
+// trajectory of BENCH_*.json files stays attributable and
+// reproducible: which seed produced the workloads, which tree produced
+// the binary.
+type ArtifactMeta struct {
+	Seed uint64
+	Git  string
 }
 
 // WriteBenchJSON runs every named BGPC variant on every preset at
@@ -44,7 +61,7 @@ type BenchArtifact struct {
 // minimum-wall-time of reps repetitions per cell (standard benchmark
 // practice: the minimum is the least noisy estimator on a shared
 // machine), and writes the artifact as indented JSON.
-func WriteBenchJSON(cfg Config, reps int, w io.Writer) error {
+func WriteBenchJSON(cfg Config, reps int, meta ArtifactMeta, w io.Writer) error {
 	if reps < 1 {
 		reps = 3
 	}
@@ -55,11 +72,14 @@ func WriteBenchJSON(cfg Config, reps int, w io.Writer) error {
 	}
 
 	art := BenchArtifact{
-		Schema:   "bgpc-bench/v1",
-		Scale:    cfg.scale(),
-		Threads:  threads,
-		Reps:     reps,
-		Variants: map[string]BenchSummary{},
+		Schema:    "bgpc-bench/v1",
+		Seed:      meta.Seed,
+		Git:       meta.Git,
+		GoVersion: runtime.Version(),
+		Scale:     cfg.scale(),
+		Threads:   threads,
+		Reps:      reps,
+		Variants:  map[string]BenchSummary{},
 	}
 	for _, spec := range core.NamedAlgorithms() {
 		sum := BenchSummary{}

@@ -11,7 +11,8 @@ import (
 func TestWriteBenchJSON(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{Scale: 0.02, Threads: []int{2}}
-	if err := WriteBenchJSON(cfg, 1, &buf); err != nil {
+	meta := ArtifactMeta{Seed: 1206, Git: "deadbeef-dirty"}
+	if err := WriteBenchJSON(cfg, 1, meta, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var art BenchArtifact
@@ -20,6 +21,15 @@ func TestWriteBenchJSON(t *testing.T) {
 	}
 	if art.Schema != "bgpc-bench/v1" {
 		t.Fatalf("schema = %q", art.Schema)
+	}
+	// Provenance stamps make trajectory entries attributable: the
+	// workload seed and tree description must round-trip through the
+	// artifact.
+	if art.Seed != 1206 || art.Git != "deadbeef-dirty" {
+		t.Fatalf("provenance seed=%d git=%q, want 1206/deadbeef-dirty", art.Seed, art.Git)
+	}
+	if art.GoVersion == "" {
+		t.Fatal("artifact missing go_version stamp")
 	}
 	if art.Threads != 2 || art.Reps != 1 {
 		t.Fatalf("threads=%d reps=%d", art.Threads, art.Reps)

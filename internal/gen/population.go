@@ -1,0 +1,52 @@
+package gen
+
+import "fmt"
+
+// This file is the preset plumbing for workload-mix load generation
+// (cmd/bgpcload): a fingerprint population is a ladder of (preset,
+// scale) combinations whose graphs are pairwise distinct, so a
+// popularity distribution over the ladder translates directly into a
+// popularity distribution over daemon cache fingerprints.
+
+// ScaleRungs returns n ascending scale factors for the named preset,
+// starting at base, whose predicted dimensions (EstimateDims) are
+// pairwise distinct. Distinct predicted dimensions guarantee distinct
+// built graphs — every generator is deterministic in (shape, seed) and
+// the seed is baked per preset — and therefore distinct daemon cache
+// fingerprints, which is what a Zipf-skewed popularity schedule needs
+// to exercise LRU behaviour honestly.
+//
+// Scales step up geometrically until the predicted shape changes; the
+// cube-rooted stencil presets need several steps per rung, so the tail
+// rungs of a long ladder describe noticeably larger graphs than base.
+// The search gives up (with an error) past base×1024, which no
+// realistic (preset, n) pair reaches.
+func ScaleRungs(name string, base float64, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: need at least one rung, got %d", n)
+	}
+	if base <= 0 {
+		return nil, fmt.Errorf("gen: non-positive base scale %v", base)
+	}
+	p, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	rungs := make([]float64, 0, n)
+	rungs = append(rungs, base)
+	lr, lc, ln := p.dims(base)
+	s := base
+	for len(rungs) < n {
+		s *= 1.07
+		if s > base*1024 {
+			return nil, fmt.Errorf("gen: preset %q yields only %d distinct shapes below scale %g (wanted %d rungs)",
+				name, len(rungs), base*1024, n)
+		}
+		r, c, nz := p.dims(s)
+		if r != lr || c != lc || nz != ln {
+			rungs = append(rungs, s)
+			lr, lc, ln = r, c, nz
+		}
+	}
+	return rungs, nil
+}

@@ -1,0 +1,70 @@
+package gen
+
+import "testing"
+
+func TestScaleRungsDistinctShapes(t *testing.T) {
+	for _, name := range PresetNames() {
+		rungs, err := ScaleRungs(name, 0.1, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rungs) != 8 {
+			t.Fatalf("%s: %d rungs, want 8", name, len(rungs))
+		}
+		type dims struct {
+			r, c int
+			n    int64
+		}
+		seen := map[dims]float64{}
+		prev := 0.0
+		for _, s := range rungs {
+			if s <= prev {
+				t.Fatalf("%s: rungs not ascending: %v", name, rungs)
+			}
+			prev = s
+			r, c, n, err := EstimateDims(name, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := dims{r, c, n}
+			if prior, dup := seen[d]; dup {
+				t.Fatalf("%s: scales %g and %g predict identical dims %+v", name, prior, s, d)
+			}
+			seen[d] = s
+		}
+	}
+}
+
+func TestScaleRungsDistinctFingerprintsBuilt(t *testing.T) {
+	// The real guarantee the load harness relies on: distinct rungs
+	// build graphs with distinct content fingerprints, i.e. distinct
+	// daemon cache entries.
+	rungs, err := ScaleRungs("channel", 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]float64{}
+	for _, s := range rungs {
+		g, err := Preset("channel", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := g.Fingerprint()
+		if prior, dup := seen[fp]; dup {
+			t.Fatalf("scales %g and %g share fingerprint %x", prior, s, fp)
+		}
+		seen[fp] = s
+	}
+}
+
+func TestScaleRungsRejects(t *testing.T) {
+	if _, err := ScaleRungs("channel", 0, 4); err == nil {
+		t.Fatal("zero base accepted")
+	}
+	if _, err := ScaleRungs("channel", 0.1, 0); err == nil {
+		t.Fatal("zero rung count accepted")
+	}
+	if _, err := ScaleRungs("nope", 0.1, 4); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}

@@ -1,0 +1,294 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpc/internal/bench"
+	"bgpc/internal/client"
+	"bgpc/internal/obs"
+)
+
+// Options tunes a Run beyond what the workload spec describes.
+type Options struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8972".
+	BaseURL string
+	// HTTPClient overrides the transport for both /color traffic and
+	// the /metrics scrapes; nil uses a dedicated client.
+	HTTPClient *http.Client
+	// Logf, when set, receives progress lines. Nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Run executes the schedule open-loop against the daemon and distills
+// the run into a bench.SLOReport.
+//
+// Open-loop means arrivals follow the schedule, not the daemon: the
+// dispatcher sends each request at its offset whether or not earlier
+// ones completed, which is what surfaces queueing collapse — a
+// closed-loop generator slows down with the server and hides it
+// (coordinated omission). The dispatcher hands work to a fixed pool of
+// Clients goroutines through a channel buffered for the whole
+// schedule, so dispatch itself never blocks on slow workers; if the
+// pool can't keep up, the lag shows in MaxSchedLagMS instead of
+// silently stretching the schedule.
+//
+// Daemon-side latency quantiles come from the /metrics scrape delta
+// (before/after histograms subtracted), so a shared daemon with prior
+// traffic doesn't contaminate the run's numbers.
+func Run(ctx context.Context, sched *Schedule, opt Options) (*bench.SLOReport, error) {
+	if opt.BaseURL == "" {
+		return nil, fmt.Errorf("load: Options.BaseURL required")
+	}
+	httpc := opt.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	spec := sched.Spec
+
+	before, err := scrape(ctx, httpc, opt.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("load: pre-run metrics scrape: %w", err)
+	}
+
+	// One no-retry client: the generator must observe every failure,
+	// not paper over it — retries belong to real clients, not probes.
+	attemptTimeout := 30 * time.Second
+	if spec.TimeoutMS > 0 {
+		attemptTimeout = time.Duration(spec.TimeoutMS)*time.Millisecond + 10*time.Second
+	}
+	cli := client.New(client.Config{
+		BaseURL:        opt.BaseURL,
+		HTTPClient:     httpc,
+		MaxAttempts:    1,
+		AttemptTimeout: attemptTimeout,
+	})
+
+	classes := make(map[string]int64, len(bench.SLOStatusClasses))
+	for _, c := range bench.SLOStatusClasses {
+		classes[c] = 0
+	}
+	var (
+		mu            sync.Mutex // classes, rejectedBytes
+		rejectedBytes int64
+		maxLagNS      int64 // atomic
+		wg            sync.WaitGroup
+	)
+
+	work := make(chan Item, len(sched.Items))
+	for w := 0; w < spec.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				class, rej := issue(ctx, cli, it)
+				mu.Lock()
+				classes[class]++
+				rejectedBytes += rej
+				mu.Unlock()
+			}
+		}()
+	}
+
+	logf("dispatching %d requests at %.0f rps with %d clients", len(sched.Items), spec.RPS, spec.Clients)
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	dispatched := 0
+dispatch:
+	for _, it := range sched.Items {
+		wait := it.At - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		if lag := int64(time.Since(start) - it.At); lag > atomic.LoadInt64(&maxLagNS) {
+			atomic.StoreInt64(&maxLagNS, lag)
+		}
+		work <- it
+		dispatched++
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("load: run aborted after %d/%d requests: %w", dispatched, len(sched.Items), err)
+	}
+
+	after, err := scrape(ctx, httpc, opt.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("load: post-run metrics scrape: %w", err)
+	}
+
+	rep := &bench.SLOReport{
+		Schema:        bench.SLOSchema,
+		Seed:          spec.Seed,
+		Git:           bench.GitDescribe(),
+		GoVersion:     runtime.Version(),
+		TargetRPS:     spec.RPS,
+		AchievedRPS:   float64(dispatched) / wall.Seconds(),
+		WallS:         wall.Seconds(),
+		Requests:      int64(dispatched),
+		StatusClasses: classes,
+		MaxSchedLagMS: float64(atomic.LoadInt64(&maxLagNS)) / 1e6,
+		Variants:      map[string]bench.SLOVariant{},
+		RejectedBytes: rejectedBytes,
+		DistinctKeys:  sched.DistinctKeys,
+		Counters:      map[string]int64{},
+	}
+	if raw, err := json.Marshal(spec); err == nil {
+		rep.Spec = raw
+	}
+
+	// Per-variant latency quantiles from the histogram scrape delta.
+	if fam := after["bgpc_svc_latency_seconds"]; fam != nil {
+		for _, v := range obs.HistLabelValues(fam, "variant") {
+			cur, err := obs.HistFromFamily(fam, map[string]string{"variant": v})
+			if err != nil {
+				return nil, fmt.Errorf("load: latency histogram %q: %w", v, err)
+			}
+			var prev obs.HistSnapshot
+			if bfam := before["bgpc_svc_latency_seconds"]; bfam != nil {
+				if p, err := obs.HistFromFamily(bfam, map[string]string{"variant": v}); err == nil {
+					prev = p
+				} else if !errors.Is(err, obs.ErrNoSeries) {
+					return nil, fmt.Errorf("load: latency histogram %q (pre-run): %w", v, err)
+				}
+			}
+			delta, err := cur.Sub(prev)
+			if err != nil {
+				return nil, fmt.Errorf("load: latency histogram %q: %w", v, err)
+			}
+			if delta.Count == 0 {
+				continue
+			}
+			rep.Variants[v] = bench.SLOVariant{
+				Requests: int64(delta.Count),
+				P50MS:    quantileMS(delta, 0.5),
+				P99MS:    quantileMS(delta, 0.99),
+				P999MS:   quantileMS(delta, 0.999),
+			}
+		}
+	}
+
+	// Every service counter's delta rides along for downstream
+	// analysis; the cache and rejection counters also get first-class
+	// fields.
+	for name := range after {
+		if !strings.HasPrefix(name, "bgpc_svc_") {
+			continue
+		}
+		if d, ok := obs.CounterDelta(before, after, name); ok {
+			rep.Counters[name] = int64(d)
+		}
+	}
+	rep.CacheHits = rep.Counters["bgpc_svc_cache_hits_total"]
+	rep.CacheMisses = rep.Counters["bgpc_svc_cache_misses_total"]
+	if lookups := rep.CacheHits + rep.CacheMisses; lookups > 0 {
+		rep.CacheHitRatio = float64(rep.CacheHits) / float64(lookups)
+	}
+
+	// Error budget: only server faults and transport failures burn it.
+	// 4xx rejections and 429 backpressure are the daemon protecting
+	// itself — exactly the behavior a hostile mix is meant to confirm.
+	eb := bench.SLOErrorBudget{
+		Availability:   spec.SLO.Availability,
+		Violations:     classes["5xx"] + classes["transport"],
+		BudgetRequests: (1 - spec.SLO.Availability) * float64(dispatched),
+	}
+	if eb.BudgetRequests > 0 {
+		eb.BurnedFraction = float64(eb.Violations) / eb.BudgetRequests
+	}
+	rep.ErrorBudget = eb
+
+	logf("run complete: %d requests in %.1fs (%.1f rps achieved)", dispatched, rep.WallS, rep.AchievedRPS)
+	return rep, nil
+}
+
+// issue sends one scheduled request and classifies the outcome into an
+// SLO status class, returning the class and the request-body bytes to
+// charge to the rejected-bytes total (0 for accepted requests).
+func issue(ctx context.Context, cli *client.Client, it Item) (class string, rejectedBytes int64) {
+	rctx := ctx
+	if it.CancelAfter > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, it.CancelAfter)
+		defer cancel()
+	}
+	_, err := cli.Color(rctx, it.Req)
+	if err == nil {
+		return "2xx", 0
+	}
+	bodyBytes := func() int64 {
+		raw, merr := json.Marshal(it.Req)
+		if merr != nil {
+			return 0
+		}
+		return int64(len(raw))
+	}
+	if it.CancelAfter > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+		return "canceled", 0
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		switch {
+		case ae.Status == http.StatusTooManyRequests:
+			return "429", 0
+		case ae.Status >= 500:
+			return "5xx", 0
+		default:
+			// 400/413-class rejections: the bytes the daemon refused.
+			return "4xx", bodyBytes()
+		}
+	}
+	return "transport", 0
+}
+
+// quantileMS converts a seconds-histogram quantile to milliseconds,
+// mapping the empty-histogram NaN to 0 so reports stay JSON-encodable.
+func quantileMS(s obs.HistSnapshot, q float64) float64 {
+	v := s.Quantile(q)
+	if v != v { // NaN
+		return 0
+	}
+	return v * 1000
+}
+
+// scrape fetches and parses the daemon's Prometheus exposition.
+func scrape(ctx context.Context, httpc *http.Client, baseURL string) (map[string]*obs.MetricFamily, error) {
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("GET /metrics: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return obs.ParseExposition(io.LimitReader(resp.Body, 16<<20))
+}

@@ -1,0 +1,103 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bgpc/internal/service"
+)
+
+// TestRunSLOSmoke is the end-to-end contract of the load harness: a
+// seeded mixed workload (clean + hostile + cancels, Zipf-skewed keys)
+// against an in-process daemon must produce a schema-valid SLO report
+// whose status classes partition the request count and whose hostile
+// traffic shows up in the rejection counters and byte totals.
+func TestRunSLOSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load run")
+	}
+	srv := httptest.NewServer(service.New(service.Config{
+		Workers:    2,
+		QueueDepth: 64,
+	}))
+	defer srv.Close()
+
+	spec := testSpec(t)
+	spec.Requests = 120
+	spec.RPS = 400 // keep the wall clock under a second of schedule
+	spec.HostileRate = 0.2
+	spec.CancelRate = 0.05
+	spec.Clients = 8
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, sched, Options{BaseURL: srv.URL, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Requests != 120 {
+		t.Fatalf("requests = %d, want 120", rep.Requests)
+	}
+	if rep.StatusClasses["2xx"] == 0 {
+		t.Fatalf("no successes: %v", rep.StatusClasses)
+	}
+	// A 20% hostile mix cycles every kind, so both rejection shapes
+	// must appear: header-peek 413s (oversized) and body-parse 400s.
+	if rep.StatusClasses["4xx"] == 0 {
+		t.Fatalf("hostile mix produced no 4xx: %v", rep.StatusClasses)
+	}
+	if rep.Counters["bgpc_svc_too_large_total"] == 0 {
+		t.Fatalf("oversized hostile input did not hit the too-large guard: %v", rep.Counters)
+	}
+	if rep.RejectedBytes <= 0 {
+		t.Fatalf("rejected bytes = %d, want > 0", rep.RejectedBytes)
+	}
+	// 3 mix entries × 6 fingerprints.
+	if rep.DistinctKeys != 18 {
+		t.Fatalf("distinct keys = %d, want 18", rep.DistinctKeys)
+	}
+	if len(rep.Variants) == 0 {
+		t.Fatal("no per-variant latency quantiles in report")
+	}
+	for name, v := range rep.Variants {
+		if v.Requests <= 0 {
+			t.Fatalf("variant %s recorded %d requests", name, v.Requests)
+		}
+	}
+	if rep.CacheHits+rep.CacheMisses == 0 {
+		t.Fatal("no cache lookups recorded")
+	}
+	if !strings.Contains(string(rep.Spec), `"seed": 1206`) &&
+		!strings.Contains(string(rep.Spec), `"seed":1206`) {
+		t.Fatalf("report does not embed the spec: %s", rep.Spec)
+	}
+}
+
+// TestRunAbortsOnCancel checks the driver honors its context: a
+// canceled run reports an error instead of a partial artifact.
+func TestRunAbortsOnCancel(t *testing.T) {
+	srv := httptest.NewServer(service.New(service.Config{Workers: 1}))
+	defer srv.Close()
+
+	spec := testSpec(t)
+	spec.RPS = 1 // schedule stretches 100s; cancel long before that
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := Run(ctx, sched, Options{BaseURL: srv.URL}); err == nil {
+		t.Fatal("canceled run returned a report")
+	}
+}

@@ -1,0 +1,147 @@
+package load
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testSpec(t *testing.T) Spec {
+	t.Helper()
+	s, err := ParseSpec(strings.NewReader(exampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestBuildScheduleDeterministic is the reproducibility contract: the
+// same spec (and therefore the same seed) must expand to the identical
+// request schedule, down to arrival offsets and cancel timers — this
+// is what makes a committed SLO artifact re-runnable.
+func TestBuildScheduleDeterministic(t *testing.T) {
+	spec := testSpec(t)
+	a, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Items, b.Items) {
+		t.Fatal("same spec produced different schedules")
+	}
+	if a.DistinctKeys != b.DistinctKeys {
+		t.Fatalf("distinct keys %d vs %d", a.DistinctKeys, b.DistinctKeys)
+	}
+
+	spec.Seed++
+	c, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Items, c.Items) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+func TestBuildScheduleShape(t *testing.T) {
+	spec := testSpec(t)
+	spec.Requests = 2000
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Items) != 2000 {
+		t.Fatalf("items = %d", len(sched.Items))
+	}
+	// 3 mix entries × 6 fingerprints.
+	if sched.DistinctKeys != 18 {
+		t.Fatalf("distinct keys = %d, want 18", sched.DistinctKeys)
+	}
+
+	var hostile, canceled, clean int
+	prev := sched.Items[0].At
+	for i, it := range sched.Items {
+		if i > 0 && it.At < prev {
+			t.Fatalf("arrivals not monotonic at %d", i)
+		}
+		prev = it.At
+		switch {
+		case it.Hostile != "":
+			hostile++
+			if it.Req.Matrix == "" || it.Req.Preset != "" {
+				t.Fatalf("hostile item %d carries no inline matrix: %+v", i, it.Req)
+			}
+		default:
+			clean++
+			if it.Req.Preset == "" || it.Req.Scale <= 0 {
+				t.Fatalf("clean item %d has no preset: %+v", i, it.Req)
+			}
+		}
+		if it.CancelAfter > 0 {
+			canceled++
+		}
+	}
+	// Rates are random draws; at n=2000 a factor-2 band around the
+	// target is a ~5σ-safe determinism-friendly assertion.
+	if hostile < 50 || hostile > 200 {
+		t.Fatalf("hostile = %d of 2000, want ≈100", hostile)
+	}
+	if canceled < 10 || canceled > 80 {
+		t.Fatalf("canceled = %d of 2000, want ≈40", canceled)
+	}
+	if clean+hostile != 2000 {
+		t.Fatalf("clean %d + hostile %d != 2000", clean, hostile)
+	}
+
+	// The mean inter-arrival gap should be ≈ 1/RPS.
+	meanGap := sched.Items[len(sched.Items)-1].At.Seconds() / float64(len(sched.Items)-1)
+	want := 1 / spec.RPS
+	if meanGap < want/2 || meanGap > want*2 {
+		t.Fatalf("mean gap %.4fs, want ≈%.4fs", meanGap, want)
+	}
+}
+
+// TestBuildScheduleZipfSkew checks that a skewed spec concentrates
+// traffic: the most popular key should see far more than its uniform
+// share, and uniform mode should not.
+func TestBuildScheduleZipfSkew(t *testing.T) {
+	spec := testSpec(t)
+	spec.Requests = 3000
+	spec.HostileRate = 0
+	spec.CancelRate = 0
+	spec.Mix = spec.Mix[:1]
+	spec.Mix[0].Weight = 1
+	spec.Fingerprints = 10
+
+	top := func(s Spec) float64 {
+		sched, err := BuildSchedule(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, it := range sched.Items {
+			counts[it.Key]++
+		}
+		max := 0
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		return float64(max) / float64(len(sched.Items))
+	}
+
+	spec.ZipfS = 1.2
+	skewed := top(spec)
+	spec.ZipfS = 0
+	uniform := top(spec)
+	if skewed < 0.3 {
+		t.Fatalf("zipf top-key share = %.2f, want ≥ 0.3", skewed)
+	}
+	if uniform > 0.2 {
+		t.Fatalf("uniform top-key share = %.2f, want ≤ 0.2", uniform)
+	}
+}

@@ -1,0 +1,285 @@
+// Package load is the workload-mix load generator behind cmd/bgpcload:
+// a config-driven open-loop driver that exercises a running bgpcd
+// daemon with a reproducible blend of graph presets, algorithm
+// variants, cache-skewed fingerprint popularity, client cancellations
+// and hostile inputs, then distills the run into a machine-readable
+// SLO report (bench.SLOReport).
+//
+// The package splits the job into three deliberately separable stages:
+//
+//   - Spec (this file): the declarative workload description, parsed
+//     from strict JSON — the stdlib stand-in for the YAML configs that
+//     drive comparable traffic generators. Everything is validated and
+//     capped here so a hostile or fat-fingered spec fails fast instead
+//     of building a billion-entry schedule.
+//   - Schedule (schedule.go): the spec expanded, via a seeded PRNG,
+//     into the exact sequence of timestamped requests. Same spec +
+//     same seed → byte-identical schedule, which is what makes a
+//     recorded SLO artifact reproducible.
+//   - Run (run.go): the open-loop executor that dispatches the
+//     schedule against a daemon and assembles the report from the
+//     /metrics scrape delta.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"bgpc/internal/core"
+	"bgpc/internal/gen"
+)
+
+// Hard caps on spec fields. They bound the memory and wall time a
+// parsed spec can demand — ParseSpec is fuzzed, and these are the line
+// between "big run" and "resource-exhaustion input".
+const (
+	MaxRPS          = 100000
+	MaxRequests     = 10_000_000
+	MaxClients      = 4096
+	MaxFingerprints = 100_000
+	MaxMixEntries   = 64
+	MaxZipfS        = 10
+	MaxScale        = 4
+	MaxDurationS    = 24 * 3600
+)
+
+// MixEntry is one weighted slice of the workload: a preset at a base
+// scale, colored by one algorithm variant in one mode.
+type MixEntry struct {
+	Preset string  `json:"preset"`
+	Scale  float64 `json:"scale"`
+	// Algorithm is a paper schedule name; empty means the daemon
+	// default ("N1-N2").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Mode is "" / "bgpc" (partial coloring) or "d2" (distance-2).
+	Mode string `json:"mode,omitempty"`
+	// Weight is the entry's share of clean traffic; ≤ 0 means 1.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// SLOTarget declares the availability objective the error budget is
+// accounted against.
+type SLOTarget struct {
+	// Availability is the success objective in (0,1); 0 means 0.99.
+	Availability float64 `json:"availability,omitempty"`
+	// P99MS is an advisory latency objective recorded in the report
+	// context; it does not gate the run.
+	P99MS float64 `json:"p99_ms,omitempty"`
+}
+
+// Spec is the full workload description for one load-generator run.
+type Spec struct {
+	// Seed drives every random decision in the schedule. The same
+	// (Spec, Seed) pair always produces the identical request sequence.
+	Seed uint64 `json:"seed"`
+	// RPS is the open-loop target arrival rate.
+	RPS float64 `json:"rps"`
+	// DurationS and Requests size the run; exactly one must be set
+	// (Requests wins if both are). DurationS is converted to
+	// ceil(RPS·DurationS) requests at validation time.
+	DurationS float64 `json:"duration_s,omitempty"`
+	Requests  int     `json:"requests,omitempty"`
+	// Clients is the dispatch worker-pool size; 0 means 8.
+	Clients int `json:"clients,omitempty"`
+	// Fingerprints is the distinct-graph population size per mix entry
+	// (distinct scale rungs → distinct cache fingerprints); 0 means 8.
+	Fingerprints int `json:"fingerprints,omitempty"`
+	// ZipfS skews fingerprint popularity: 0 means uniform, larger
+	// values concentrate traffic on the low rungs (cache-friendly).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// CancelRate is the fraction of requests canceled client-side
+	// shortly after dispatch, in [0,1].
+	CancelRate float64 `json:"cancel_rate,omitempty"`
+	// HostileRate is the fraction of requests replaced by hostile
+	// inline matrices (oversized, malformed, truncated), in [0,1].
+	HostileRate float64 `json:"hostile_rate,omitempty"`
+	// Threads is the per-job thread count sent to the daemon; 0 omits
+	// the field (daemon default).
+	Threads int `json:"threads,omitempty"`
+	// TimeoutMS is the per-request deadline sent to the daemon; 0
+	// omits the field.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Mix is the clean-traffic blend; at least one entry.
+	Mix []MixEntry `json:"mix"`
+	SLO SLOTarget  `json:"slo,omitempty"`
+}
+
+// ParseSpec decodes a strict-JSON workload spec: unknown fields are
+// rejected (a typoed knob must not silently become a no-op), trailing
+// garbage is rejected, and the result is validated and normalized. It
+// never panics on hostile input — that property is fuzzed.
+func ParseSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("load: parsing spec: %w", err)
+	}
+	// A second Decode must hit EOF: two concatenated documents are a
+	// config-splicing hazard, not a convenience.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Spec{}, fmt.Errorf("load: trailing data after spec document")
+	}
+	if err := s.normalize(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// normalize validates the spec against the package caps and fills
+// defaults in place. It is called by ParseSpec and by cmd/bgpcload
+// after flag overrides.
+func (s *Spec) normalize() error {
+	bad := func(field string, v float64) error {
+		return fmt.Errorf("load: spec field %s out of range (%g)", field, v)
+	}
+	if !(s.RPS > 0) || s.RPS > MaxRPS { // !(>0) also catches NaN
+		return bad("rps", s.RPS)
+	}
+	if math.IsNaN(s.DurationS) || s.DurationS < 0 || s.DurationS > MaxDurationS {
+		return bad("duration_s", s.DurationS)
+	}
+	if s.Requests < 0 || s.Requests > MaxRequests {
+		return bad("requests", float64(s.Requests))
+	}
+	if s.Requests == 0 {
+		if s.DurationS == 0 {
+			return fmt.Errorf("load: spec needs duration_s or requests")
+		}
+		s.Requests = int(math.Ceil(s.RPS * s.DurationS))
+		if s.Requests > MaxRequests {
+			return fmt.Errorf("load: rps×duration = %d requests exceeds cap %d", s.Requests, MaxRequests)
+		}
+	}
+	if s.Clients < 0 || s.Clients > MaxClients {
+		return bad("clients", float64(s.Clients))
+	}
+	if s.Clients == 0 {
+		s.Clients = 8
+	}
+	if s.Fingerprints < 0 || s.Fingerprints > MaxFingerprints {
+		return bad("fingerprints", float64(s.Fingerprints))
+	}
+	if s.Fingerprints == 0 {
+		s.Fingerprints = 8
+	}
+	if math.IsNaN(s.ZipfS) || s.ZipfS < 0 || s.ZipfS > MaxZipfS {
+		return bad("zipf_s", s.ZipfS)
+	}
+	if math.IsNaN(s.CancelRate) || s.CancelRate < 0 || s.CancelRate > 1 {
+		return bad("cancel_rate", s.CancelRate)
+	}
+	if math.IsNaN(s.HostileRate) || s.HostileRate < 0 || s.HostileRate > 1 {
+		return bad("hostile_rate", s.HostileRate)
+	}
+	if s.Threads < 0 || s.Threads > 1024 {
+		return bad("threads", float64(s.Threads))
+	}
+	if s.TimeoutMS < 0 {
+		return bad("timeout_ms", float64(s.TimeoutMS))
+	}
+	if s.SLO.Availability == 0 {
+		s.SLO.Availability = 0.99
+	}
+	if math.IsNaN(s.SLO.Availability) || s.SLO.Availability <= 0 || s.SLO.Availability >= 1 {
+		return bad("slo.availability", s.SLO.Availability)
+	}
+	if math.IsNaN(s.SLO.P99MS) || s.SLO.P99MS < 0 {
+		return bad("slo.p99_ms", s.SLO.P99MS)
+	}
+	if len(s.Mix) == 0 {
+		return fmt.Errorf("load: spec has no mix entries")
+	}
+	if len(s.Mix) > MaxMixEntries {
+		return fmt.Errorf("load: %d mix entries exceeds cap %d", len(s.Mix), MaxMixEntries)
+	}
+	for i := range s.Mix {
+		if err := s.Mix[i].normalize(); err != nil {
+			return fmt.Errorf("load: mix[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (e *MixEntry) normalize() error {
+	if _, err := gen.Lookup(e.Preset); err != nil {
+		return err
+	}
+	if math.IsNaN(e.Scale) || e.Scale <= 0 || e.Scale > MaxScale {
+		return fmt.Errorf("scale %g outside (0,%d]", e.Scale, MaxScale)
+	}
+	if e.Algorithm != "" {
+		if _, err := core.ParseAlgorithm(e.Algorithm); err != nil {
+			return err
+		}
+	}
+	switch e.Mode {
+	case "", "bgpc", "d2":
+	default:
+		return fmt.Errorf("mode %q (want bgpc or d2)", e.Mode)
+	}
+	if math.IsNaN(e.Weight) || e.Weight < 0 || math.IsInf(e.Weight, 0) {
+		return fmt.Errorf("weight %g", e.Weight)
+	}
+	if e.Weight == 0 {
+		e.Weight = 1
+	}
+	return nil
+}
+
+// ParseMix parses the compact command-line mix grammar:
+//
+//	entry   = preset "@" scale [":" algorithm ["/" mode]] ["=" weight]
+//	mix     = entry { "," entry }
+//
+// e.g. "channel@0.1=3,afshell@0.1:FF=1,roadnet@0.05:N1-N2/d2=2".
+// Entries are validated exactly like JSON mix entries.
+func ParseMix(s string) ([]MixEntry, error) {
+	parts := strings.Split(s, ",")
+	out := make([]MixEntry, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("load: empty mix entry in %q", s)
+		}
+		var e MixEntry
+		if body, w, ok := strings.Cut(p, "="); ok {
+			f, err := strconv.ParseFloat(w, 64)
+			if err != nil {
+				return nil, fmt.Errorf("load: mix entry %q: bad weight %q", p, w)
+			}
+			e.Weight = f
+			p = body
+		}
+		var spec string
+		if body, rest, ok := strings.Cut(p, ":"); ok {
+			spec = rest
+			p = body
+		}
+		name, sc, ok := strings.Cut(p, "@")
+		if !ok {
+			return nil, fmt.Errorf("load: mix entry %q: want preset@scale", p)
+		}
+		f, err := strconv.ParseFloat(sc, 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: mix entry %q: bad scale %q", p, sc)
+		}
+		e.Preset, e.Scale = name, f
+		if spec != "" {
+			if algo, mode, ok := strings.Cut(spec, "/"); ok {
+				e.Algorithm, e.Mode = algo, mode
+			} else {
+				e.Algorithm = spec
+			}
+		}
+		if err := e.normalize(); err != nil {
+			return nil, fmt.Errorf("load: mix entry %q: %w", p, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+const exampleSpec = `{
+  "seed": 1206,
+  "rps": 50,
+  "duration_s": 2,
+  "clients": 4,
+  "fingerprints": 6,
+  "zipf_s": 1.1,
+  "cancel_rate": 0.02,
+  "hostile_rate": 0.05,
+  "mix": [
+    {"preset": "channel", "scale": 0.1, "weight": 3},
+    {"preset": "afshell", "scale": 0.1, "algorithm": "V-V-64"},
+    {"preset": "movielens", "scale": 0.1, "algorithm": "N1-N2", "weight": 2}
+  ],
+  "slo": {"availability": 0.995, "p99_ms": 250}
+}`
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec(strings.NewReader(exampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests != 100 {
+		t.Fatalf("requests = %d, want ceil(50*2) = 100", s.Requests)
+	}
+	if s.Mix[1].Weight != 1 {
+		t.Fatalf("default weight = %g, want 1", s.Mix[1].Weight)
+	}
+	if s.SLO.Availability != 0.995 {
+		t.Fatalf("availability = %g", s.SLO.Availability)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"unknown field", `{"rps": 10, "duration_s": 1, "bogus": 1, "mix": [{"preset":"channel","scale":0.1}]}`},
+		{"trailing document", `{"rps": 10, "duration_s": 1, "mix": [{"preset":"channel","scale":0.1}]} {}`},
+		{"no rps", `{"duration_s": 1, "mix": [{"preset":"channel","scale":0.1}]}`},
+		{"rps cap", `{"rps": 1e9, "duration_s": 1, "mix": [{"preset":"channel","scale":0.1}]}`},
+		{"no size", `{"rps": 10, "mix": [{"preset":"channel","scale":0.1}]}`},
+		{"requests product cap", `{"rps": 100000, "duration_s": 86400, "mix": [{"preset":"channel","scale":0.1}]}`},
+		{"no mix", `{"rps": 10, "duration_s": 1}`},
+		{"unknown preset", `{"rps": 10, "duration_s": 1, "mix": [{"preset":"nope","scale":0.1}]}`},
+		{"zero scale", `{"rps": 10, "duration_s": 1, "mix": [{"preset":"channel","scale":0}]}`},
+		{"huge scale", `{"rps": 10, "duration_s": 1, "mix": [{"preset":"channel","scale":100}]}`},
+		{"unknown algorithm", `{"rps": 10, "duration_s": 1, "mix": [{"preset":"channel","scale":0.1,"algorithm":"magic"}]}`},
+		{"unknown mode", `{"rps": 10, "duration_s": 1, "mix": [{"preset":"channel","scale":0.1,"mode":"d3"}]}`},
+		{"negative cancel", `{"rps": 10, "duration_s": 1, "cancel_rate": -0.1, "mix": [{"preset":"channel","scale":0.1}]}`},
+		{"hostile over 1", `{"rps": 10, "duration_s": 1, "hostile_rate": 1.5, "mix": [{"preset":"channel","scale":0.1}]}`},
+		{"bad availability", `{"rps": 10, "duration_s": 1, "mix": [{"preset":"channel","scale":0.1}], "slo": {"availability": 2}}`},
+		{"not json", `rps: 10`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSpec(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("channel@0.1=3, afshell@0.1:V-V-64, movielens@0.1:N1-N2=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("entries = %d", len(mix))
+	}
+	if mix[0].Preset != "channel" || mix[0].Scale != 0.1 || mix[0].Weight != 3 {
+		t.Fatalf("entry 0 = %+v", mix[0])
+	}
+	if mix[1].Algorithm != "V-V-64" || mix[1].Weight != 1 {
+		t.Fatalf("entry 1 = %+v", mix[1])
+	}
+	if mix[2].Algorithm != "N1-N2" || mix[2].Weight != 2 {
+		t.Fatalf("entry 2 = %+v", mix[2])
+	}
+
+	mode, err := ParseMix("bone010@0.05:V-V-64/d2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode[0].Mode != "d2" || mode[0].Algorithm != "V-V-64" {
+		t.Fatalf("d2 entry = %+v", mode[0])
+	}
+
+	for _, bad := range []string{
+		"", "channel", "channel@x", "channel@0.1=x", "nope@0.1",
+		"channel@0.1:magic", "channel@0.1:V-V-64/d3", "channel@0.1,,",
+	} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// FuzzParseSpec asserts the workload-config parser never panics on
+// hostile input and that anything it accepts is internally consistent —
+// the spec file is an external input to cmd/bgpcload, so it gets the
+// same adversarial treatment as the matrix parser.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(exampleSpec)
+	f.Add(`{"rps": 10, "requests": 5, "mix": [{"preset":"channel","scale":0.1}]}`)
+	f.Add(`{"rps": 1e308, "duration_s": 1e308, "mix": []}`)
+	f.Add(`{"seed": 18446744073709551615, "rps": 0.0001, "duration_s": 86400, "mix": [{"preset":"channel","scale":4}]}`)
+	f.Add(`[]`)
+	f.Add(`{"mix": [{"preset":"channel","scale":1e-300}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := ParseSpec(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if s.Requests <= 0 || s.Requests > MaxRequests {
+			t.Fatalf("accepted spec with requests %d", s.Requests)
+		}
+		if !(s.RPS > 0) || s.RPS > MaxRPS {
+			t.Fatalf("accepted spec with rps %g", s.RPS)
+		}
+		if len(s.Mix) == 0 || len(s.Mix) > MaxMixEntries {
+			t.Fatalf("accepted spec with %d mix entries", len(s.Mix))
+		}
+		for _, e := range s.Mix {
+			if e.Weight <= 0 || e.Scale <= 0 || e.Scale > MaxScale {
+				t.Fatalf("accepted mix entry %+v", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package mtx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file generates hostile MatrixMarket documents for adversarial
+// load mixes and tests. Every document is crafted to be *rejected* by
+// the hardened parser — the point of sending them through a daemon is
+// to exercise the rejection paths (400 for malformed input, 413 +
+// svc_too_large for cap violations) under load, next to legitimate
+// traffic, and to pin that rejection stays cheap.
+
+// Hostile-document kinds, in the order HostileKinds returns them.
+const (
+	// HostileHugeNNZ declares more nonzeros than the default parse cap
+	// (limits.DefaultParseLimits.MaxNNZ) allows: a 60-byte header
+	// describing half a terabyte of edges. Rejected at header peek with
+	// limits.ErrTooLarge — HTTP 413 before anything is allocated.
+	HostileHugeNNZ = "huge-nnz"
+	// HostileBadBanner carries a banner the coordinate-pattern parser
+	// must refuse (array format). Rejected with ErrFormat — HTTP 400.
+	HostileBadBanner = "bad-banner"
+	// HostileNegativeDims declares a negative dimension on the size
+	// line. Rejected with ErrFormat — HTTP 400.
+	HostileNegativeDims = "negative-dims"
+	// HostileTruncated declares more entries than the body provides.
+	// The header peek passes; the streaming parse fails on a worker
+	// with ErrFormat — HTTP 400 after admission, exercising the
+	// job-side rejection path.
+	HostileTruncated = "truncated"
+	// HostileOutOfRange provides an entry outside the declared
+	// dimensions. Like HostileTruncated it passes the header peek and
+	// fails during the worker-side parse — HTTP 400.
+	HostileOutOfRange = "out-of-range"
+)
+
+var hostileKinds = []string{
+	HostileHugeNNZ, HostileBadBanner, HostileNegativeDims,
+	HostileTruncated, HostileOutOfRange,
+}
+
+// HostileKinds returns the hostile-document kinds in a stable order —
+// load schedules cycle through them deterministically.
+func HostileKinds() []string {
+	return append([]string(nil), hostileKinds...)
+}
+
+// HostileDoc returns a MatrixMarket document of the given kind, crafted
+// to be rejected by the hardened parser under the default ParseLimits.
+func HostileDoc(kind string) (string, error) {
+	const banner = "%%MatrixMarket matrix coordinate pattern general\n"
+	switch kind {
+	case HostileHugeNNZ:
+		// 1e12 nonzeros is far beyond DefaultParseLimits.MaxNNZ (1<<36).
+		return banner + "1000000 1000000 1000000000000\n", nil
+	case HostileBadBanner:
+		return "%%MatrixMarket matrix array real general\n4 4\n1.0\n", nil
+	case HostileNegativeDims:
+		return banner + "4 -4 4\n1 1\n", nil
+	case HostileTruncated:
+		return banner + "4 4 9\n1 1\n2 2\n", nil
+	case HostileOutOfRange:
+		return banner + "4 4 2\n1 1\n9 9\n", nil
+	default:
+		return "", fmt.Errorf("mtx: unknown hostile kind %q (have %s)",
+			kind, strings.Join(hostileKinds, ", "))
+	}
+}
+
+// HostileRejectedAtHeader reports whether the kind is refused by the
+// header peek alone (admission-time rejection, before any worker or
+// allocation is involved). The remaining kinds pass the peek and are
+// refused by the streaming body parse on a pool worker.
+func HostileRejectedAtHeader(kind string) bool {
+	switch kind {
+	case HostileHugeNNZ, HostileBadBanner, HostileNegativeDims:
+		return true
+	}
+	return false
+}

@@ -107,10 +107,11 @@ func (h *Histogram) Snapshot() HistSnapshot {
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
 // distribution with linear interpolation inside the winning bucket —
 // the same estimate Prometheus's histogram_quantile computes, usable
-// directly from a scrape or a test. Returns NaN on an empty histogram;
-// observations beyond the last finite bound clamp to it.
+// directly from a scrape or a test. Returns NaN on an empty histogram
+// or an out-of-range (or NaN) q; observations beyond the last finite
+// bound clamp to it.
 func (s HistSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 || q < 0 || q > 1 {
+	if s.Count == 0 || math.IsNaN(q) || q < 0 || q > 1 {
 		return math.NaN()
 	}
 	rank := q * float64(s.Count)

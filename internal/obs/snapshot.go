@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file bridges the two halves of the metrics surface: the
+// in-process histograms (histogram.go) and the scraped text exposition
+// (promparse.go). A load generator or regression checker that only sees
+// a daemon over HTTP can rebuild HistSnapshot values from a parsed
+// scrape, diff two scrapes taken around a run, and feed the delta to
+// HistSnapshot.Quantile — the same estimator the in-process path uses,
+// so client-side and server-side latency math cannot drift.
+
+// ErrNoSeries reports that a parsed metric family holds no series
+// matching the requested label set. Callers that treat "never observed"
+// as an all-zero histogram should match it with errors.Is and
+// substitute a zero HistSnapshot.
+var ErrNoSeries = errors.New("obs: no series matches the label set")
+
+// HistFromFamily reconstructs a HistSnapshot from one parsed histogram
+// family for the series whose labels (ignoring "le") are exactly match.
+// Pass nil for an unlabeled histogram. The returned snapshot carries
+// cumulative bucket counts in ascending `le` order with the +Inf bucket
+// last, the _sum, and a Count derived from the +Inf bucket — the same
+// invariants Snapshot() guarantees in-process.
+func HistFromFamily(fam *MetricFamily, match map[string]string) (HistSnapshot, error) {
+	var snap HistSnapshot
+	if fam == nil {
+		return snap, ErrNoSeries
+	}
+	matches := func(labels map[string]string, withLE bool) bool {
+		want := len(match)
+		got := 0
+		for k, v := range labels {
+			if k == "le" {
+				if !withLE {
+					return false
+				}
+				continue
+			}
+			if match[k] != v {
+				return false
+			}
+			got++
+		}
+		return got == want
+	}
+	type bucket struct {
+		bound float64
+		count float64
+	}
+	var buckets []bucket
+	var sum float64
+	found := false
+	for _, s := range fam.Samples {
+		switch {
+		case hasSuffix(s.Name, "_bucket"):
+			if !matches(s.Labels, true) {
+				continue
+			}
+			le := s.Label("le")
+			bound, err := parseValue(le)
+			if err != nil {
+				return snap, fmt.Errorf("obs: bad le %q in %s", le, fam.Name)
+			}
+			buckets = append(buckets, bucket{bound, s.Value})
+			found = true
+		case hasSuffix(s.Name, "_sum"):
+			if matches(s.Labels, false) {
+				sum = s.Value
+			}
+		}
+	}
+	if !found {
+		return snap, fmt.Errorf("%w: family %s", ErrNoSeries, fam.Name)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].bound < buckets[j].bound })
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.bound, +1) {
+		return snap, fmt.Errorf("obs: family %s series missing +Inf bucket", fam.Name)
+	}
+	snap.Bounds = make([]float64, 0, len(buckets)-1)
+	snap.Buckets = make([]int64, 0, len(buckets))
+	prev := 0.0
+	for _, b := range buckets {
+		if b.count < prev {
+			return snap, fmt.Errorf("obs: family %s buckets not cumulative", fam.Name)
+		}
+		prev = b.count
+		if !math.IsInf(b.bound, +1) {
+			snap.Bounds = append(snap.Bounds, b.bound)
+		}
+		snap.Buckets = append(snap.Buckets, int64(b.count))
+	}
+	snap.Count = snap.Buckets[len(snap.Buckets)-1]
+	snap.Sum = sum
+	return snap, nil
+}
+
+// HistLabelValues returns the distinct values of one label across a
+// parsed histogram family's bucket samples, sorted — e.g. the algorithm
+// variants a scraped bgpc_svc_latency_seconds family has seen.
+func HistLabelValues(fam *MetricFamily, label string) []string {
+	if fam == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, s := range fam.Samples {
+		if !hasSuffix(s.Name, "_bucket") {
+			continue
+		}
+		if v, ok := s.Labels[label]; ok {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sub returns the histogram delta s − prev: the distribution of
+// observations that happened between two snapshots of the same
+// histogram (two scrapes around a load run). A zero-valued prev (never
+// scraped, or the series did not exist yet) subtracts nothing. The
+// bounds must match otherwise, and every bucket of s must be ≥ prev's —
+// cumulative histograms only grow, so a shrinking bucket means the two
+// snapshots are not from the same histogram incarnation.
+func (s HistSnapshot) Sub(prev HistSnapshot) (HistSnapshot, error) {
+	if len(prev.Buckets) == 0 && prev.Count == 0 {
+		return s, nil
+	}
+	if len(prev.Bounds) != len(s.Bounds) || len(prev.Buckets) != len(s.Buckets) {
+		return HistSnapshot{}, fmt.Errorf("obs: snapshot shapes differ (%d/%d vs %d/%d bounds/buckets)",
+			len(s.Bounds), len(s.Buckets), len(prev.Bounds), len(prev.Buckets))
+	}
+	out := HistSnapshot{
+		Bounds:  s.Bounds,
+		Buckets: make([]int64, len(s.Buckets)),
+		Sum:     s.Sum - prev.Sum,
+	}
+	for i := range s.Buckets {
+		if s.Bounds != nil && i < len(s.Bounds) && s.Bounds[i] != prev.Bounds[i] {
+			return HistSnapshot{}, fmt.Errorf("obs: snapshot bounds differ at %d: %g vs %g",
+				i, s.Bounds[i], prev.Bounds[i])
+		}
+		d := s.Buckets[i] - prev.Buckets[i]
+		if d < 0 {
+			return HistSnapshot{}, fmt.Errorf("obs: bucket %d shrank by %d between snapshots", i, -d)
+		}
+		out.Buckets[i] = d
+	}
+	out.Count = out.Buckets[len(out.Buckets)-1]
+	return out, nil
+}
+
+// CounterValue returns the value of an unlabeled single-sample family
+// (a counter's _total series or a gauge) from a parsed exposition,
+// keyed by its full exposition name, e.g. "bgpc_svc_accepted_total".
+func CounterValue(fams map[string]*MetricFamily, name string) (float64, bool) {
+	fam := fams[name]
+	if fam == nil {
+		return 0, false
+	}
+	for _, s := range fam.Samples {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// CounterDelta returns after − before for one counter family, treating
+// a missing series on either side as zero. ok is false when the
+// counter exists in neither scrape.
+func CounterDelta(before, after map[string]*MetricFamily, name string) (float64, bool) {
+	b, okB := CounterValue(before, name)
+	a, okA := CounterValue(after, name)
+	return a - b, okA || okB
+}
+
+func hasSuffix(s, suffix string) bool {
+	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// scrapeFixture is a minimal valid exposition with one labeled
+// histogram family (two variants), one unlabeled histogram, and a
+// counter — the shapes the load harness reconstructs.
+const scrapeFixture = `# HELP bgpc_svc_latency_seconds End-to-end latency.
+# TYPE bgpc_svc_latency_seconds histogram
+bgpc_svc_latency_seconds_bucket{variant="FF",le="0.001"} 2
+bgpc_svc_latency_seconds_bucket{variant="FF",le="0.01"} 5
+bgpc_svc_latency_seconds_bucket{variant="FF",le="+Inf"} 6
+bgpc_svc_latency_seconds_sum{variant="FF"} 0.5
+bgpc_svc_latency_seconds_count{variant="FF"} 6
+bgpc_svc_latency_seconds_bucket{variant="N1-N2",le="0.001"} 1
+bgpc_svc_latency_seconds_bucket{variant="N1-N2",le="0.01"} 1
+bgpc_svc_latency_seconds_bucket{variant="N1-N2",le="+Inf"} 1
+bgpc_svc_latency_seconds_sum{variant="N1-N2"} 0.0004
+bgpc_svc_latency_seconds_count{variant="N1-N2"} 1
+# HELP bgpc_svc_queue_wait_seconds Queue wait.
+# TYPE bgpc_svc_queue_wait_seconds histogram
+bgpc_svc_queue_wait_seconds_bucket{le="0.001"} 3
+bgpc_svc_queue_wait_seconds_bucket{le="+Inf"} 3
+bgpc_svc_queue_wait_seconds_sum 0.001
+bgpc_svc_queue_wait_seconds_count 3
+# HELP bgpc_svc_accepted_total Jobs admitted.
+# TYPE bgpc_svc_accepted_total counter
+bgpc_svc_accepted_total 7
+`
+
+func parseFixture(t *testing.T, text string) map[string]*MetricFamily {
+	t.Helper()
+	fams, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	return fams
+}
+
+func TestHistFromFamilyLabeled(t *testing.T) {
+	fams := parseFixture(t, scrapeFixture)
+	snap, err := HistFromFamily(fams["bgpc_svc_latency_seconds"], map[string]string{"variant": "FF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 6 || snap.Sum != 0.5 {
+		t.Fatalf("count=%d sum=%g, want 6/0.5", snap.Count, snap.Sum)
+	}
+	if len(snap.Bounds) != 2 || snap.Bounds[0] != 0.001 || snap.Bounds[1] != 0.01 {
+		t.Fatalf("bounds = %v", snap.Bounds)
+	}
+	if len(snap.Buckets) != 3 || snap.Buckets[0] != 2 || snap.Buckets[2] != 6 {
+		t.Fatalf("buckets = %v", snap.Buckets)
+	}
+	// The reconstructed snapshot feeds the same quantile estimator the
+	// in-process path uses.
+	if p50 := snap.Quantile(0.5); p50 < 0.001 || p50 > 0.01 {
+		t.Fatalf("p50 = %g, want inside (0.001, 0.01]", p50)
+	}
+}
+
+func TestHistFromFamilyUnlabeled(t *testing.T) {
+	fams := parseFixture(t, scrapeFixture)
+	snap, err := HistFromFamily(fams["bgpc_svc_queue_wait_seconds"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 3 || len(snap.Bounds) != 1 {
+		t.Fatalf("count=%d bounds=%v", snap.Count, snap.Bounds)
+	}
+}
+
+func TestHistFromFamilyNoSeries(t *testing.T) {
+	fams := parseFixture(t, scrapeFixture)
+	_, err := HistFromFamily(fams["bgpc_svc_latency_seconds"], map[string]string{"variant": "nope"})
+	if !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("err = %v, want ErrNoSeries", err)
+	}
+	if _, err := HistFromFamily(nil, nil); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("nil family err = %v, want ErrNoSeries", err)
+	}
+	// An exact-label contract: nil match must not aggregate across a
+	// labeled family's series.
+	if _, err := HistFromFamily(fams["bgpc_svc_latency_seconds"], nil); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("nil match on labeled family err = %v, want ErrNoSeries", err)
+	}
+}
+
+func TestHistLabelValues(t *testing.T) {
+	fams := parseFixture(t, scrapeFixture)
+	got := HistLabelValues(fams["bgpc_svc_latency_seconds"], "variant")
+	if len(got) != 2 || got[0] != "FF" || got[1] != "N1-N2" {
+		t.Fatalf("variants = %v", got)
+	}
+	if vals := HistLabelValues(nil, "variant"); vals != nil {
+		t.Fatalf("nil family values = %v", vals)
+	}
+}
+
+func TestSnapshotSubDelta(t *testing.T) {
+	h := NewHistogram("t", "", []float64{1, 10})
+	h.Observe(0.5)
+	before := h.Snapshot()
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+	after := h.Snapshot()
+
+	delta, err := after.Sub(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", delta.Count)
+	}
+	if delta.Buckets[0] != 1 || delta.Buckets[1] != 2 || delta.Buckets[2] != 3 {
+		t.Fatalf("delta buckets = %v", delta.Buckets)
+	}
+	if math.Abs(delta.Sum-105.5) > 1e-9 {
+		t.Fatalf("delta sum = %g, want 105.5", delta.Sum)
+	}
+
+	// Zero-valued prev subtracts nothing (series did not exist at the
+	// first scrape).
+	same, err := after.Sub(HistSnapshot{})
+	if err != nil || same.Count != after.Count {
+		t.Fatalf("zero-prev sub: %v count=%d", err, same.Count)
+	}
+
+	// A shrinking bucket means two different histogram incarnations.
+	if _, err := before.Sub(after); err == nil {
+		t.Fatal("expected error subtracting a larger snapshot from a smaller one")
+	}
+
+	// Mismatched shapes are rejected.
+	other := NewHistogram("t2", "", []float64{1}).Snapshot()
+	other.Buckets[0] = 1
+	other.Count = 1
+	if _, err := after.Sub(other); err == nil {
+		t.Fatal("expected error on mismatched bounds")
+	}
+}
+
+func TestCounterValueAndDelta(t *testing.T) {
+	before := parseFixture(t, scrapeFixture)
+	afterText := strings.Replace(scrapeFixture, "bgpc_svc_accepted_total 7", "bgpc_svc_accepted_total 19", 1)
+	after := parseFixture(t, afterText)
+
+	if v, ok := CounterValue(before, "bgpc_svc_accepted_total"); !ok || v != 7 {
+		t.Fatalf("value = %g ok=%v", v, ok)
+	}
+	if _, ok := CounterValue(before, "bgpc_missing_total"); ok {
+		t.Fatal("missing counter reported ok")
+	}
+	if d, ok := CounterDelta(before, after, "bgpc_svc_accepted_total"); !ok || d != 12 {
+		t.Fatalf("delta = %g ok=%v, want 12", d, ok)
+	}
+	if d, ok := CounterDelta(before, after, "bgpc_missing_total"); ok || d != 0 {
+		t.Fatalf("missing delta = %g ok=%v", d, ok)
+	}
+	// One-sided presence still reports a usable delta.
+	if d, ok := CounterDelta(map[string]*MetricFamily{}, after, "bgpc_svc_accepted_total"); !ok || d != 19 {
+		t.Fatalf("one-sided delta = %g ok=%v", d, ok)
+	}
+}
+
+// TestQuantileEdgeCases pins HistSnapshot.Quantile off the happy path:
+// empty snapshots, a single occupied bucket, all mass beyond the last
+// finite bound, and the q=0 / q=1 extremes.
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := NewHistogram("e", "", []float64{1, 2}).Snapshot()
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty snapshot quantile should be NaN")
+	}
+
+	h := NewHistogram("one", "", []float64{1, 2, 4})
+	h.Observe(1.5)
+	h.Observe(1.5)
+	one := h.Snapshot()
+	// All mass in the (1,2] bucket: every quantile with q>0 interpolates
+	// inside it.
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		v := one.Quantile(q)
+		if v < 1 || v > 2 {
+			t.Fatalf("q=%g = %g, want inside (1,2]", q, v)
+		}
+	}
+	// q=0 has rank 0, which every cumulative bucket satisfies; the
+	// estimator answers with the first bucket's upper bound.
+	if v := one.Quantile(0); v != 1 {
+		t.Fatalf("q=0 = %g, want first bound 1", v)
+	}
+
+	inf := NewHistogram("inf", "", []float64{1, 2})
+	inf.Observe(50)
+	inf.Observe(60)
+	infSnap := inf.Snapshot()
+	// All mass in +Inf: no finite bound to interpolate toward, so the
+	// estimate clamps to the last finite bound (same as Prometheus).
+	if v := infSnap.Quantile(0.99); v != 2 {
+		t.Fatalf("all-mass-in-Inf p99 = %g, want clamp to 2", v)
+	}
+	if v := infSnap.Quantile(1); v != 2 {
+		t.Fatalf("all-mass-in-Inf q=1 = %g, want clamp to 2", v)
+	}
+
+	// Out-of-range q is NaN, not a panic or a clamp.
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(one.Quantile(q)) {
+			t.Fatalf("q=%g should be NaN", q)
+		}
+	}
+
+	// A boundless histogram (only the implicit +Inf bucket) has nothing
+	// to interpolate against: NaN even when occupied.
+	bare := NewHistogram("bare", "", nil)
+	bare.Observe(3)
+	if !math.IsNaN(bare.Snapshot().Quantile(0.5)) {
+		t.Fatal("boundless histogram quantile should be NaN")
+	}
+}
