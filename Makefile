@@ -32,14 +32,16 @@ fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/mtx
 	$(GO) test -fuzz FuzzColor -fuzztime 30s ./internal/core
 	$(GO) test -fuzz FuzzParseSpec -fuzztime 30s ./internal/load
+	$(GO) test -fuzz FuzzDeltaRequest -fuzztime 30s ./internal/service
 
 # Seeded SLO scenario against a throwaway in-process daemon
 # (the CI loadgen job runs the same spec against a real bgpcd).
+# 40% of channel traffic arrives as incremental delta recolorings.
 loadtest:
 	$(GO) run ./cmd/bgpcload -spawn \
 	  -seed 1206 -rps 40 -duration 10s -clients 8 \
-	  -mix 'channel@0.1=3,afshell@0.1:V-V-64=1,movielens@0.1:N1-N2=2' \
-	  -zipf 1.1 -fingerprints 12 -cancel 0.02 -hostile 0.05 \
+	  -mix 'channel@0.1~0.4=3,afshell@0.1:V-V-64=1,movielens@0.1:N1-N2=2' \
+	  -zipf 1.1 -fingerprints 12 -cancel 0.02 -hostile 0.05 -delta-edges 4 \
 	  -out slo.json -max-burn 0.5
 
 clean:

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bgpc/internal/client"
+	"bgpc/internal/delta"
 	"bgpc/internal/failpoint"
 	"bgpc/internal/limits"
 	"bgpc/internal/mtx"
@@ -22,8 +23,10 @@ import (
 // the full resource-governance contract through the real HTTP client:
 // liveness, a verified coloring, permanent 413 rejection of an
 // oversized job, retryable 429s under budget pressure that the
-// client's backoff rides out, and a circuit-breaker open/half-open/
-// recover cycle against injected faults. It is the deploy-time smoke
+// client's backoff rides out, an incremental delta-recolor chain
+// (mutate by fingerprint, verify, invert, 404 on an unknown base), and
+// a circuit-breaker open/half-open/recover cycle against injected
+// faults. It is the deploy-time smoke
 // check: `bgpcd -selftest` exits 0 only if the daemon and client agree
 // on the whole protocol.
 func selftest(ctx context.Context, cfg service.Config, stdout io.Writer) error {
@@ -113,6 +116,46 @@ func selftest(ctx context.Context, cfg service.Config, stdout io.Writer) error {
 			defer failpoint.Reset()
 			_, err := c.Color(ctx, service.ColorRequest{Matrix: tiny, Algorithm: "V-V"})
 			return err
+		}},
+		{"delta-recolor-chain", func() error {
+			// Color, mutate by fingerprint, verify the incremental
+			// coloring against the locally mutated graph, then remove
+			// the same edge and land back on the original fingerprint —
+			// the delta protocol end to end, including the 404 contract
+			// for a fingerprint the daemon never saw.
+			resp, err := c.Color(ctx, service.ColorRequest{Matrix: tiny, Algorithm: "N1-N2"})
+			if err != nil {
+				return err
+			}
+			ins := delta.EdgeList{{Net: 0, Vtx: 3}}
+			dresp, err := c.Delta(ctx, resp.Fingerprint, service.DeltaRequest{Insert: ins})
+			if err != nil {
+				return err
+			}
+			g, err := mtx.ReadLimited(strings.NewReader(tiny), limits.DefaultParseLimits())
+			if err != nil {
+				return err
+			}
+			g2, _, _, err := g.ApplyDelta(ins, nil)
+			if err != nil {
+				return err
+			}
+			if err := verify.BGPC(g2, dresp.Colors); err != nil {
+				return fmt.Errorf("delta coloring invalid: %w", err)
+			}
+			back, err := c.Delta(ctx, dresp.Fingerprint, service.DeltaRequest{Remove: ins})
+			if err != nil {
+				return err
+			}
+			if back.Fingerprint != resp.Fingerprint {
+				return fmt.Errorf("inverse delta fingerprint %s, want %s", back.Fingerprint, resp.Fingerprint)
+			}
+			_, err = c.Delta(ctx, "ffffffffffffffff", service.DeltaRequest{Insert: ins})
+			var apiErr *client.APIError
+			if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+				return fmt.Errorf("unknown fingerprint: want 404, got %v", err)
+			}
+			return nil
 		}},
 		{"breaker-opens-and-recovers", func() error {
 			// A dedicated single-attempt client makes the breaker walk

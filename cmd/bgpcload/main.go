@@ -54,13 +54,14 @@ func run(args []string, stdout io.Writer) error {
 	duration := fs.Duration("duration", 0, "run length (converted to ceil(rps×duration) requests)")
 	requests := fs.Int("requests", 0, "exact request count (overrides -duration)")
 	clients := fs.Int("clients", 0, "dispatch worker pool size (0 = 8)")
-	mix := fs.String("mix", "", "workload mix: preset@scale[:algorithm[/mode]][=weight],...")
+	mix := fs.String("mix", "", "workload mix: preset@scale[:algorithm[/mode]][~deltaRate][=weight],...")
 	zipf := fs.Float64("zipf", 0, "Zipf exponent for fingerprint popularity (0 = uniform)")
 	fingerprints := fs.Int("fingerprints", 0, "distinct-graph population per mix entry (0 = 8)")
 	cancelRate := fs.Float64("cancel", 0, "fraction of requests canceled client-side in [0,1]")
 	hostile := fs.Float64("hostile", 0, "fraction of requests replaced by hostile inputs in [0,1]")
 	threads := fs.Int("threads", 0, "per-job thread count sent to the daemon (0 = daemon default)")
 	timeoutMS := fs.Int64("timeout-ms", 0, "per-request deadline sent to the daemon (0 = daemon default)")
+	deltaEdges := fs.Int("delta-edges", 0, "insert-batch size of scheduled delta requests (0 = 4)")
 	availability := fs.Float64("availability", 0, "SLO availability objective in (0,1) (0 = 0.99)")
 	out := fs.String("out", "", "write the SLO report JSON here (default stdout)")
 	spawn := fs.Bool("spawn", false, "boot a throwaway in-process daemon and load it instead of -url")
@@ -79,7 +80,7 @@ func run(args []string, stdout io.Writer) error {
 		seed: *seed, rps: *rps, duration: *duration, requests: *requests,
 		clients: *clients, mix: *mix, zipf: *zipf, fingerprints: *fingerprints,
 		cancel: *cancelRate, hostile: *hostile, threads: *threads,
-		timeoutMS: *timeoutMS, availability: *availability,
+		timeoutMS: *timeoutMS, availability: *availability, deltaEdges: *deltaEdges,
 	})
 	if err != nil {
 		return err
@@ -152,7 +153,7 @@ type specFlags struct {
 	requests, clients, fingerprints int
 	mix                             string
 	zipf, cancel, hostile           float64
-	threads                         int
+	threads, deltaEdges             int
 	timeoutMS                       int64
 	availability                    float64
 }
@@ -211,6 +212,9 @@ func buildSpec(fs *flag.FlagSet, config string, f specFlags) (load.Spec, error) 
 	if set["timeout-ms"] {
 		spec.TimeoutMS = f.timeoutMS
 	}
+	if set["delta-edges"] {
+		spec.DeltaEdges = f.deltaEdges
+	}
 	if set["availability"] {
 		spec.SLO.Availability = f.availability
 	}
@@ -263,6 +267,9 @@ func writeSchedule(sched *load.Schedule, w io.Writer) error {
 	fmt.Fprintf(w, "# %d items, %d distinct keys\n", len(sched.Items), sched.DistinctKeys)
 	for _, it := range sched.Items {
 		kind := it.Key
+		if it.Delta != nil {
+			kind += fmt.Sprintf(" delta(%d)", len(it.Delta.Insert))
+		}
 		if it.CancelAfter > 0 {
 			kind += fmt.Sprintf(" cancel@%s", it.CancelAfter)
 		}

@@ -1,0 +1,193 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomEdges draws n random (possibly duplicate) incidences.
+func randomEdges(r *rand.Rand, numNet, numVtx, n int) []Edge {
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{Net: int32(r.Intn(numNet)), Vtx: int32(r.Intn(numVtx))}
+	}
+	return edges
+}
+
+// edgeSet builds the incidence set of a graph for reference rebuilds.
+func edgeSet(g *Graph) map[Edge]bool {
+	set := map[Edge]bool{}
+	for _, e := range g.Edges() {
+		set[e] = true
+	}
+	return set
+}
+
+// TestApplyDeltaMatchesFromEdges is the metamorphic anchor: for seeded
+// random graphs and deltas, ApplyDelta must fingerprint identically to
+// FromEdges on the mutated incidence list, with effective counts that
+// match the set difference.
+func TestApplyDeltaMatchesFromEdges(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		numNet, numVtx := 1+r.Intn(40), 1+r.Intn(40)
+		base := randomEdges(r, numNet, numVtx, r.Intn(200))
+		g, err := FromEdges(numNet, numVtx, base)
+		if err != nil {
+			t.Fatalf("seed %d: FromEdges: %v", seed, err)
+		}
+		// Inserts: a blend of fresh random edges and existing ones (the
+		// latter must be no-ops). Removes: a blend of existing edges and
+		// absent ones.
+		ins := randomEdges(r, numNet, numVtx, r.Intn(30))
+		rem := randomEdges(r, numNet, numVtx, r.Intn(30))
+		all := g.Edges()
+		for i := 0; i < len(all) && i < 5; i++ {
+			ins = append(ins, all[r.Intn(len(all))])
+			rem = append(rem, all[r.Intn(len(all))])
+		}
+
+		g2, inserted, removed, err := g.ApplyDelta(ins, rem)
+		if err != nil {
+			t.Fatalf("seed %d: ApplyDelta: %v", seed, err)
+		}
+
+		// Reference: (E ∪ ins) \ rem built from scratch.
+		want := edgeSet(g)
+		for _, e := range ins {
+			want[e] = true
+		}
+		for _, e := range rem {
+			delete(want, e)
+		}
+		refEdges := make([]Edge, 0, len(want))
+		for e := range want {
+			refEdges = append(refEdges, e)
+		}
+		ref, err := FromEdges(numNet, numVtx, refEdges)
+		if err != nil {
+			t.Fatalf("seed %d: reference FromEdges: %v", seed, err)
+		}
+		if g2.Fingerprint() != ref.Fingerprint() {
+			t.Fatalf("seed %d: ApplyDelta fingerprint %016x != from-scratch %016x",
+				seed, g2.Fingerprint(), ref.Fingerprint())
+		}
+
+		// Effective counts match the set difference.
+		before := edgeSet(g)
+		wantIns, wantRem := 0, 0
+		for e := range want {
+			if !before[e] {
+				wantIns++
+			}
+		}
+		for e := range before {
+			if !want[e] {
+				wantRem++
+			}
+		}
+		if inserted != wantIns || removed != wantRem {
+			t.Fatalf("seed %d: counts (ins=%d, rem=%d), want (ins=%d, rem=%d)",
+				seed, inserted, removed, wantIns, wantRem)
+		}
+
+		// The receiver is untouched.
+		if gFP, baseFP := g.Fingerprint(), mustFromEdges(t, numNet, numVtx, base).Fingerprint(); gFP != baseFP {
+			t.Fatalf("seed %d: receiver mutated: %016x != %016x", seed, gFP, baseFP)
+		}
+	}
+}
+
+// TestApplyDeltaInverse: applying a delta and then its inverse restores
+// the original fingerprint, provided the delta's effective mutations
+// are inverted exactly (insert what was removed, remove what was newly
+// inserted).
+func TestApplyDeltaInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := mustFromEdges(t, 30, 30, randomEdges(r, 30, 30, 120))
+	before := edgeSet(g)
+
+	ins := randomEdges(r, 30, 30, 20)
+	rem := randomEdges(r, 30, 30, 20)
+	g2, _, _, err := g.ApplyDelta(ins, rem)
+	if err != nil {
+		t.Fatalf("forward delta: %v", err)
+	}
+	after := edgeSet(g2)
+
+	var invIns, invRem []Edge
+	for e := range before {
+		if !after[e] {
+			invIns = append(invIns, e)
+		}
+	}
+	for e := range after {
+		if !before[e] {
+			invRem = append(invRem, e)
+		}
+	}
+	g3, _, _, err := g2.ApplyDelta(invIns, invRem)
+	if err != nil {
+		t.Fatalf("inverse delta: %v", err)
+	}
+	if g3.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("inverse delta did not restore fingerprint: %016x != %016x",
+			g3.Fingerprint(), g.Fingerprint())
+	}
+}
+
+func TestApplyDeltaEmptyIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := mustFromEdges(t, 10, 12, randomEdges(r, 10, 12, 40))
+	g2, inserted, removed, err := g.ApplyDelta(nil, nil)
+	if err != nil {
+		t.Fatalf("empty delta: %v", err)
+	}
+	if inserted != 0 || removed != 0 {
+		t.Fatalf("empty delta counted (ins=%d, rem=%d)", inserted, removed)
+	}
+	if g2.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("empty delta changed fingerprint")
+	}
+}
+
+func TestApplyDeltaBothListsRemoves(t *testing.T) {
+	g := mustFromEdges(t, 3, 3, []Edge{{0, 0}, {1, 1}})
+	// Edge named in both lists: (E ∪ I) \ R ends without it, whether or
+	// not it existed before.
+	g2, inserted, removed, err := g.ApplyDelta([]Edge{{0, 0}, {2, 2}}, []Edge{{0, 0}, {2, 2}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if inserted != 0 || removed != 1 {
+		t.Fatalf("got (ins=%d, rem=%d), want (0, 1)", inserted, removed)
+	}
+	want := mustFromEdges(t, 3, 3, []Edge{{1, 1}})
+	if g2.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("fingerprint mismatch after both-lists delta")
+	}
+}
+
+func TestApplyDeltaRangeErrors(t *testing.T) {
+	g := mustFromEdges(t, 4, 4, []Edge{{0, 0}})
+	cases := [][2][]Edge{
+		{{{Net: 4, Vtx: 0}}, nil},
+		{{{Net: 0, Vtx: -1}}, nil},
+		{nil, {{Net: -1, Vtx: 0}}},
+		{nil, {{Net: 0, Vtx: 4}}},
+	}
+	for i, c := range cases {
+		if _, _, _, err := g.ApplyDelta(c[0], c[1]); err == nil {
+			t.Fatalf("case %d: out-of-range delta accepted", i)
+		}
+	}
+}
+
+func mustFromEdges(t *testing.T, numNet, numVtx int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := FromEdges(numNet, numVtx, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}

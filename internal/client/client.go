@@ -158,6 +158,40 @@ func (c *Client) logf(format string, args ...any) {
 // every attempt, so all retries of one logical request correlate to a
 // single id in the daemon's access log and timelines.
 func (c *Client) Color(ctx context.Context, req service.ColorRequest) (*service.ColorResponse, error) {
+	raw, err := c.call(ctx, "/color", req)
+	if err != nil {
+		return nil, err
+	}
+	var resp service.ColorResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Delta submits one incremental recoloring against a fingerprint a
+// prior Color (or Delta) returned, with the same retry discipline as
+// Color. A 404 — the daemon no longer caches that fingerprint — is
+// permanent for this call and surfaces as an *APIError with Status 404;
+// the caller's correct move is a fresh Color and a retry of the delta
+// chain from the fingerprint it returns.
+func (c *Client) Delta(ctx context.Context, fingerprint string, req service.DeltaRequest) (*service.DeltaResponse, error) {
+	raw, err := c.call(ctx, "/color/"+fingerprint+"/delta", req)
+	if err != nil {
+		return nil, err
+	}
+	var resp service.DeltaResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &resp, nil
+}
+
+// call runs the shared retry loop for one logical request: encode once,
+// mint one correlation id, then attempt with backoff until success, a
+// permanent rejection, breaker/context exhaustion, or the attempt
+// budget runs out. Returns the raw 200 body.
+func (c *Client) call(ctx context.Context, path string, req any) ([]byte, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
@@ -179,10 +213,10 @@ func (c *Client) Color(ctx context.Context, req service.ColorRequest) (*service.
 			lastErr = err
 			continue
 		}
-		resp, err := c.attempt(ctx, body, reqID)
+		raw, err := c.attempt(ctx, path, body, reqID)
 		if err == nil {
 			c.br.record(true)
-			return resp, nil
+			return raw, nil
 		}
 		lastErr = err
 		var apiErr *APIError
@@ -206,15 +240,15 @@ func (c *Client) Color(ctx context.Context, req service.ColorRequest) (*service.
 	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
-// attempt performs one POST /color under its own deadline, carrying
-// the call's correlation id.
-func (c *Client) attempt(ctx context.Context, body []byte, reqID string) (*service.ColorResponse, error) {
+// attempt performs one POST under its own deadline, carrying the call's
+// correlation id, and returns the raw 200 body.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID string) ([]byte, error) {
 	if err := failpoint.Inject(FPAttempt); err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
-	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.BaseURL+"/color", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -247,11 +281,7 @@ func (c *Client) attempt(ctx context.Context, body []byte, reqID string) (*servi
 		}
 		return nil, apiErr
 	}
-	var resp service.ColorResponse
-	if err := json.Unmarshal(raw, &resp); err != nil {
-		return nil, fmt.Errorf("client: decoding response: %w", err)
-	}
-	return &resp, nil
+	return raw, nil
 }
 
 // Healthz checks the daemon's liveness endpoint once (no retries).

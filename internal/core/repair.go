@@ -1,0 +1,18 @@
+package core
+
+import "bgpc/internal/bipartite"
+
+// Repair makes an arbitrary partial BGPC coloring valid in place by
+// sequential conflict removal (see repairBGPC): each net keeps the
+// first occurrence of every color and uncolors later duplicates, which
+// never creates a new conflict, so one O(nnz) pass suffices. Returns
+// the number of vertices still colored.
+//
+// Exported for the incremental-recoloring path (internal/delta): a
+// delta applied to a cached graph turns the cached coloring into
+// exactly the kind of possibly-conflicting partial state this repair
+// was built for — uncolor the dirty set, repair for safety, then
+// FinishSequential the holes.
+func Repair(g *bipartite.Graph, colors []int32) int {
+	return repairBGPC(g, colors)
+}

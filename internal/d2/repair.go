@@ -1,0 +1,12 @@
+package d2
+
+import "bgpc/internal/graph"
+
+// Repair makes an arbitrary partial distance-2 coloring valid in place
+// by sequential conflict removal (see repairD2), returning the number
+// of vertices still colored. Exported for the incremental-recoloring
+// path (internal/delta), which warm-starts from a cached coloring:
+// uncolor the dirty set, Repair for safety, FinishSequential the rest.
+func Repair(g *graph.Graph, colors []int32) int {
+	return repairD2(g, colors)
+}

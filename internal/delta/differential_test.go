@@ -1,0 +1,284 @@
+package delta
+
+// The differential test harness: delta-recoloring is only trustworthy
+// if, for arbitrary seeded graphs and arbitrary seeded delta batches,
+// the warm-started result is exactly as conflict-free as coloring the
+// mutated graph from scratch. Every case here builds both sides —
+// RecolorBGPC/RecolorD2 from the cached coloring, and a fresh greedy
+// coloring of (E ∪ I) \ R — and pushes both through internal/verify.
+// The suite also pins the economics: at least one seeded case must
+// recolor fewer than 10% of the vertices, because a delta path that
+// touches everything is just a slower full color.
+
+import (
+	"math/rand"
+	"testing"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/core"
+	"bgpc/internal/d2"
+	"bgpc/internal/graph"
+	"bgpc/internal/verify"
+)
+
+// seqBGPC colors g from scratch with the sequential greedy (a valid
+// coloring by construction; verified anyway for belt and braces).
+func seqBGPC(t *testing.T, g *bipartite.Graph) []int32 {
+	t.Helper()
+	colors := make([]int32, g.NumVertices())
+	for i := range colors {
+		colors[i] = core.Uncolored
+	}
+	core.FinishSequential(g, colors)
+	if err := verify.BGPC(g, colors); err != nil {
+		t.Fatalf("from-scratch BGPC coloring invalid: %v", err)
+	}
+	return colors
+}
+
+// seqD2 colors the undirected view of g from scratch.
+func seqD2(t *testing.T, ug *graph.Graph) []int32 {
+	t.Helper()
+	colors := make([]int32, ug.NumVertices())
+	for i := range colors {
+		colors[i] = core.Uncolored
+	}
+	d2.FinishSequential(ug, colors)
+	if err := verify.D2GC(ug, colors); err != nil {
+		t.Fatalf("from-scratch D2 coloring invalid: %v", err)
+	}
+	return colors
+}
+
+// randomGraph draws a random bipartite graph.
+func randomGraph(t *testing.T, r *rand.Rand, numNet, numVtx, m int) *bipartite.Graph {
+	t.Helper()
+	edges := make([]bipartite.Edge, m)
+	for i := range edges {
+		edges[i] = bipartite.Edge{Net: int32(r.Intn(numNet)), Vtx: int32(r.Intn(numVtx))}
+	}
+	g, err := bipartite.FromEdges(numNet, numVtx, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+// randomSymmetric draws a random structurally symmetric square graph
+// (each undirected pair contributes both incidences), the precondition
+// for the D2 view.
+func randomSymmetric(t *testing.T, r *rand.Rand, n, pairs int) *bipartite.Graph {
+	t.Helper()
+	edges := make([]bipartite.Edge, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		a, b := int32(r.Intn(n)), int32(r.Intn(n))
+		edges = append(edges, bipartite.Edge{Net: a, Vtx: b}, bipartite.Edge{Net: b, Vtx: a})
+	}
+	g, err := bipartite.FromEdges(n, n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+// randomDelta draws a delta whose insert and remove lists are disjoint:
+// inserts are fresh random incidences, removes are sampled from g's
+// existing edges (minus anything also being inserted).
+func randomDelta(r *rand.Rand, g *bipartite.Graph, nIns, nRem int) Delta {
+	var d Delta
+	ins := map[bipartite.Edge]bool{}
+	for i := 0; i < nIns; i++ {
+		e := bipartite.Edge{Net: int32(r.Intn(g.NumNets())), Vtx: int32(r.Intn(g.NumVertices()))}
+		if !ins[e] {
+			ins[e] = true
+			d.Insert = append(d.Insert, e)
+		}
+	}
+	if all := g.Edges(); len(all) > 0 {
+		for i := 0; i < nRem; i++ {
+			e := all[r.Intn(len(all))]
+			if !ins[e] {
+				d.Remove = append(d.Remove, e)
+			}
+		}
+	}
+	return d
+}
+
+// symmetrize mirrors every edge of a delta so the mutated graph stays
+// structurally symmetric (required for the D2 view).
+func symmetrize(d Delta) Delta {
+	var out Delta
+	seenI, seenR := map[bipartite.Edge]bool{}, map[bipartite.Edge]bool{}
+	for _, e := range d.Insert {
+		for _, m := range [2]bipartite.Edge{e, {Net: e.Vtx, Vtx: e.Net}} {
+			if !seenI[m] {
+				seenI[m] = true
+				out.Insert = append(out.Insert, m)
+			}
+		}
+	}
+	for _, e := range d.Remove {
+		for _, m := range [2]bipartite.Edge{e, {Net: e.Vtx, Vtx: e.Net}} {
+			if seenI[m] || seenR[m] {
+				continue
+			}
+			seenR[m] = true
+			out.Remove = append(out.Remove, m)
+		}
+	}
+	return out
+}
+
+// TestDifferentialBGPC is the BGPC half of the harness: across many
+// seeds and delta sizes, delta-recolor(G, Δ) and color-from-scratch
+// (G+Δ) both verify clean, and the small-delta seeds stay under the
+// 10%-of-vertices dirty bound.
+func TestDifferentialBGPC(t *testing.T) {
+	smallDirtyCases := 0
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		numNet, numVtx := 20+r.Intn(80), 200+r.Intn(400)
+		g := randomGraph(t, r, numNet, numVtx, 4*numVtx)
+		base := seqBGPC(t, g)
+
+		d := randomDelta(r, g, 1+r.Intn(12), r.Intn(8))
+		g2, _, _, err := Apply(g, d)
+		if err != nil {
+			t.Fatalf("seed %d: Apply: %v", seed, err)
+		}
+
+		got, st, err := RecolorBGPC(g2, base, d.DirtyBGPC())
+		if err != nil {
+			t.Fatalf("seed %d: RecolorBGPC: %v", seed, err)
+		}
+		if err := verify.BGPC(g2, got); err != nil {
+			t.Fatalf("seed %d: delta-recolored BGPC coloring invalid: %v", seed, err)
+		}
+		// The from-scratch side of the differential: the mutated graph
+		// colored cold must also verify — both paths reach valid.
+		seqBGPC(t, g2)
+
+		if st.Dirty*10 < g2.NumVertices() {
+			smallDirtyCases++
+		}
+		if st.Dirty > len(d.Insert) {
+			t.Fatalf("seed %d: dirty set %d exceeds insert count %d", seed, st.Dirty, len(d.Insert))
+		}
+	}
+	// The acceptance criterion: the suite must demonstrate delta
+	// recoloring touching <10% of vertices while matching from-scratch
+	// validity. With ≤12 inserts on ≥200 vertices every seed qualifies;
+	// assert at least one so a future regression cannot silently erode
+	// the property.
+	if smallDirtyCases == 0 {
+		t.Fatal("no seeded case recolored <10% of vertices")
+	}
+	t.Logf("%d/25 seeds recolored <10%% of vertices", smallDirtyCases)
+}
+
+// TestDifferentialD2 is the D2GC half: symmetric graphs, symmetric
+// deltas, both endpoints dirty.
+func TestDifferentialD2(t *testing.T) {
+	smallDirtyCases := 0
+	for seed := int64(100); seed < 120; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 150 + r.Intn(250)
+		g := randomSymmetric(t, r, n, 3*n)
+		ug, err := graph.FromBipartite(g)
+		if err != nil {
+			t.Fatalf("seed %d: FromBipartite: %v", seed, err)
+		}
+		base := seqD2(t, ug)
+
+		d := symmetrize(randomDelta(r, g, 1+r.Intn(8), r.Intn(6)))
+		g2, _, _, err := Apply(g, d)
+		if err != nil {
+			t.Fatalf("seed %d: Apply: %v", seed, err)
+		}
+		if !g2.IsStructurallySymmetric() {
+			t.Fatalf("seed %d: symmetrized delta broke symmetry", seed)
+		}
+		ug2, err := graph.FromBipartite(g2)
+		if err != nil {
+			t.Fatalf("seed %d: mutated FromBipartite: %v", seed, err)
+		}
+
+		got, st, err := RecolorD2(ug2, base, d.DirtyD2())
+		if err != nil {
+			t.Fatalf("seed %d: RecolorD2: %v", seed, err)
+		}
+		if err := verify.D2GC(ug2, got); err != nil {
+			t.Fatalf("seed %d: delta-recolored D2 coloring invalid: %v", seed, err)
+		}
+		seqD2(t, ug2)
+
+		if st.Dirty*10 < ug2.NumVertices() {
+			smallDirtyCases++
+		}
+	}
+	if smallDirtyCases == 0 {
+		t.Fatal("no seeded D2 case recolored <10% of vertices")
+	}
+	t.Logf("%d/20 seeds recolored <10%% of vertices", smallDirtyCases)
+}
+
+// TestRemovalOnlyDeltaLegalizes pins the subtle half of the contract:
+// removals create no conflicts, so a removal-only delta has an empty
+// dirty set and the warm-start coloring must survive verification on
+// the mutated graph unchanged.
+func TestRemovalOnlyDeltaLegalizes(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	g := randomGraph(t, r, 40, 300, 1200)
+	base := seqBGPC(t, g)
+
+	d := randomDelta(r, g, 0, 50)
+	if len(d.Insert) != 0 {
+		t.Fatal("removal-only delta has inserts")
+	}
+	g2, _, removed, err := Apply(g, d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("delta removed nothing; test is vacuous")
+	}
+	got, st, err := RecolorBGPC(g2, base, d.DirtyBGPC())
+	if err != nil {
+		t.Fatalf("RecolorBGPC: %v", err)
+	}
+	if st.Dirty != 0 {
+		t.Fatalf("removal-only delta produced dirty set of %d", st.Dirty)
+	}
+	if st.Recolored != 0 {
+		t.Fatalf("removal-only delta recolored %d vertices; base should survive as-is", st.Recolored)
+	}
+	if err := verify.BGPC(g2, got); err != nil {
+		t.Fatalf("base coloring invalid on edge-removed graph: %v", err)
+	}
+}
+
+// TestDeltaChain drives a sequence of deltas through successive
+// warm starts — the shape concurrent clients produce when their deltas
+// serialize against one evolving fingerprint — verifying after every
+// step.
+func TestDeltaChain(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randomGraph(t, r, 30, 250, 1000)
+	colors := seqBGPC(t, g)
+	for step := 0; step < 15; step++ {
+		d := randomDelta(r, g, 1+r.Intn(6), r.Intn(4))
+		g2, _, _, err := Apply(g, d)
+		if err != nil {
+			t.Fatalf("step %d: Apply: %v", step, err)
+		}
+		colors, _, err = RecolorBGPC(g2, colors, d.DirtyBGPC())
+		if err != nil {
+			t.Fatalf("step %d: RecolorBGPC: %v", step, err)
+		}
+		if err := verify.BGPC(g2, colors); err != nil {
+			t.Fatalf("step %d: chained coloring invalid: %v", step, err)
+		}
+		g = g2
+	}
+}

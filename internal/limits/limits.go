@@ -39,6 +39,14 @@ var ErrTooLarge = errors.New("limits: input exceeds resource cap")
 // errors.Is; API layers should answer with a retryable status.
 var ErrBudget = errors.New("limits: memory budget exhausted")
 
+// MaxDeltaEdges caps the length of each edge list (insert or remove) a
+// delta-recoloring request may carry. A delta is meant to be small —
+// that is its entire performance argument — and each edge costs a merge
+// step plus dirty-set work, so a list near graph size should be a full
+// recolor instead. The cap also bounds what a hostile JSON body can
+// make the decoder materialize.
+const MaxDeltaEdges = 1 << 20
+
 // FPEstimate is probed on every job-size estimation. Arming it lets the
 // chaos battery rehearse budget exhaustion without crafting huge
 // inputs: "err" makes every estimate fail (the serving layer treats an

@@ -88,13 +88,17 @@ func Run(ctx context.Context, sched *Schedule, opt Options) (*bench.SLOReport, e
 		wg            sync.WaitGroup
 	)
 
+	// fps maps clean graph keys to the fingerprint the daemon returned
+	// for them, the address delta items are issued against. Workers
+	// learn from every successful full color and unlearn on 404.
+	var fps sync.Map
 	work := make(chan Item, len(sched.Items))
 	for w := 0; w < spec.Clients; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for it := range work {
-				class, rej := issue(ctx, cli, it)
+				class, rej := issue(ctx, cli, &fps, it)
 				mu.Lock()
 				classes[class]++
 				rejectedBytes += rej
@@ -227,15 +231,54 @@ dispatch:
 // issue sends one scheduled request and classifies the outcome into an
 // SLO status class, returning the class and the request-body bytes to
 // charge to the rejected-bytes total (0 for accepted requests).
-func issue(ctx context.Context, cli *client.Client, it Item) (class string, rejectedBytes int64) {
+//
+// Delta items are issued against the fingerprint learned for their key.
+// With none learned, or when the daemon answers 404 (the base graph was
+// evicted or the daemon restarted), the item degrades to its full-color
+// request — the protocol's prescribed client fallback — and the outcome
+// of that fallback is what gets classified.
+func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (class string, rejectedBytes int64) {
 	rctx := ctx
 	if it.CancelAfter > 0 {
 		var cancel context.CancelFunc
 		rctx, cancel = context.WithTimeout(ctx, it.CancelAfter)
 		defer cancel()
 	}
-	_, err := cli.Color(rctx, it.Req)
+	if it.Delta != nil {
+		if v, ok := fps.Load(it.Key); ok {
+			fp := v.(string)
+			_, err := cli.Delta(rctx, fp, *it.Delta)
+			if err == nil {
+				return "2xx", 0
+			}
+			if it.CancelAfter > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+				return "canceled", 0
+			}
+			var ae *client.APIError
+			if errors.As(err, &ae) {
+				if ae.Status != http.StatusNotFound {
+					switch {
+					case ae.Status == http.StatusTooManyRequests:
+						return "429", 0
+					case ae.Status >= 500:
+						return "5xx", 0
+					default:
+						return "4xx", 0
+					}
+				}
+				// 404: the fingerprint is gone; unlearn it and fall
+				// through to the full color, which re-learns.
+				fps.CompareAndDelete(it.Key, v)
+			} else {
+				return "transport", 0
+			}
+		}
+	}
+	resp, err := cli.Color(rctx, it.Req)
 	if err == nil {
+		if it.Hostile == "" && resp.Fingerprint != "" {
+			fps.Store(it.Key, resp.Fingerprint)
+		}
 		return "2xx", 0
 	}
 	bodyBytes := func() int64 {

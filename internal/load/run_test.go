@@ -83,6 +83,57 @@ func TestRunSLOSmoke(t *testing.T) {
 	}
 }
 
+// TestRunDeltaMix drives a delta-heavy workload end to end: the
+// dispatcher must learn fingerprints from full colors, land deltas on
+// the daemon's delta endpoint (visible as the svc_delta_applied counter
+// and the "delta" latency variant), and classify every outcome into the
+// standard status classes.
+func TestRunDeltaMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load run")
+	}
+	srv := httptest.NewServer(service.New(service.Config{
+		Workers:    2,
+		QueueDepth: 64,
+	}))
+	defer srv.Close()
+
+	spec := testSpec(t)
+	spec.Requests = 150
+	spec.RPS = 400
+	spec.HostileRate = 0
+	spec.CancelRate = 0
+	spec.ZipfS = 0
+	spec.Clients = 4
+	spec.Fingerprints = 2 // few keys → fingerprints learned early
+	spec.Mix = spec.Mix[:1]
+	spec.Mix[0].DeltaRate = 0.6
+	spec.DeltaEdges = 3
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, sched, Options{BaseURL: srv.URL, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.StatusClasses["2xx"] == 0 || rep.StatusClasses["5xx"] != 0 {
+		t.Fatalf("status classes: %v", rep.StatusClasses)
+	}
+	if rep.Counters["bgpc_svc_delta_applied_total"] == 0 {
+		t.Fatalf("no deltas reached the daemon: %v", rep.Counters)
+	}
+	if v, ok := rep.Variants["delta"]; !ok || v.Requests == 0 {
+		t.Fatalf("no delta latency variant in report: %v", rep.Variants)
+	}
+}
+
 // TestRunAbortsOnCancel checks the driver honors its context: a
 // canceled run reports an error instead of a partial artifact.
 func TestRunAbortsOnCancel(t *testing.T) {

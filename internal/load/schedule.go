@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"bgpc/internal/bipartite"
 	"bgpc/internal/gen"
 	"bgpc/internal/mtx"
 	"bgpc/internal/rng"
@@ -28,6 +29,13 @@ type Item struct {
 	// CancelAfter > 0 means the client abandons the request this long
 	// after dispatch (exercises daemon-side cancellation paths).
 	CancelAfter time.Duration
+	// Delta, when non-nil, issues this item as an incremental
+	// recoloring (POST /color/{fp}/delta) against the fingerprint the
+	// dispatcher learned from a prior full color of the same Key. With
+	// no fingerprint learned yet — or on a 404 (the daemon evicted it) —
+	// the dispatcher falls back to the full-color Req, which is exactly
+	// the recovery a real delta client performs.
+	Delta *service.DeltaRequest
 }
 
 // Schedule is a fully materialized request sequence plus the
@@ -57,6 +65,10 @@ func BuildSchedule(spec Spec) (*Schedule, error) {
 	// scale guaranteed to produce distinct graph dimensions, hence
 	// distinct cache fingerprints.
 	rungs := make([][]float64, len(spec.Mix))
+	// Per-rung graph dimensions, resolved up front so delta items can
+	// draw in-range edge endpoints. EstimateDims' row/col counts are
+	// exact for every preset (only nnz is an estimate).
+	dims := make([][][2]int, len(spec.Mix))
 	keys := map[string]bool{}
 	var totalW float64
 	for i, e := range spec.Mix {
@@ -65,6 +77,16 @@ func BuildSchedule(spec Spec) (*Schedule, error) {
 			return nil, fmt.Errorf("load: mix[%d]: %w", i, err)
 		}
 		rungs[i] = rs
+		if e.DeltaRate > 0 {
+			dims[i] = make([][2]int, len(rs))
+			for j, sc := range rs {
+				rows, cols, _, err := gen.EstimateDims(e.Preset, sc)
+				if err != nil {
+					return nil, fmt.Errorf("load: mix[%d]: %w", i, err)
+				}
+				dims[i][j] = [2]int{rows, cols}
+			}
+		}
 		for _, sc := range rs {
 			keys[fmt.Sprintf("%s@%.9g", e.Preset, sc)] = true
 		}
@@ -122,6 +144,12 @@ func BuildSchedule(spec Spec) (*Schedule, error) {
 			it.Req.Scale = sc
 			it.Req.Algorithm = e.Algorithm
 			it.Req.Mode = e.Mode
+			// Delta substitution is gated on the entry's rate before any
+			// randomness is consumed, so specs without delta traffic
+			// produce byte-identical schedules to earlier versions.
+			if e.DeltaRate > 0 && r.Float64() < e.DeltaRate {
+				it.Delta = deltaRequest(r, spec.DeltaEdges, dims[ei][rank], e.Mode, spec.TimeoutMS)
+			}
 		}
 
 		if spec.CancelRate > 0 && r.Float64() < spec.CancelRate {
@@ -132,6 +160,33 @@ func BuildSchedule(spec Spec) (*Schedule, error) {
 		sched.Items = append(sched.Items, it)
 	}
 	return sched, nil
+}
+
+// deltaRequest draws one scheduled delta: `edges` random inserts
+// within the rung's dimensions. For d2-mode entries the inserts come in
+// mirrored pairs, preserving the structural symmetry the mode requires
+// of the mutated graph. Insert-only is deliberate: inserts are what
+// create recoloring work (the dirty set), while random removals would
+// almost always be no-ops against a sparse graph.
+func deltaRequest(r *rng.SplitMix64, edges int, dim [2]int, mode string, timeoutMS int64) *service.DeltaRequest {
+	rows, cols := dim[0], dim[1]
+	req := &service.DeltaRequest{Mode: mode, TimeoutMS: timeoutMS}
+	if mode == "d2" {
+		for len(req.Insert) < edges {
+			a, b := int32(r.Intn(rows)), int32(r.Intn(rows))
+			req.Insert = append(req.Insert, bipartite.Edge{Net: a, Vtx: b})
+			if a != b {
+				req.Insert = append(req.Insert, bipartite.Edge{Net: b, Vtx: a})
+			}
+		}
+		return req
+	}
+	for i := 0; i < edges; i++ {
+		req.Insert = append(req.Insert, bipartite.Edge{
+			Net: int32(r.Intn(rows)), Vtx: int32(r.Intn(cols)),
+		})
+	}
+	return req
 }
 
 // pickMix draws a weighted mix entry.

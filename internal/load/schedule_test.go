@@ -4,6 +4,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/gen"
 )
 
 func testSpec(t *testing.T) Spec {
@@ -101,6 +104,86 @@ func TestBuildScheduleShape(t *testing.T) {
 	want := 1 / spec.RPS
 	if meanGap < want/2 || meanGap > want*2 {
 		t.Fatalf("mean gap %.4fs, want ≈%.4fs", meanGap, want)
+	}
+}
+
+// TestBuildScheduleDeltaItems covers the delta extension of the
+// schedule: replay determinism (the committed-artifact contract now
+// includes delta edge lists), in-range endpoints against each rung's
+// real dimensions, mirrored pairs for d2 entries, and the gating rule —
+// a spec with no delta rates must schedule no delta items at all.
+func TestBuildScheduleDeltaItems(t *testing.T) {
+	spec := testSpec(t)
+	spec.Requests = 1500
+	spec.HostileRate = 0
+	spec.Mix[0].DeltaRate = 0.5 // channel (bgpc)
+	spec.Mix[1].DeltaRate = 1
+	spec.Mix[1].Mode = "d2" // afshell is symmetric
+	spec.DeltaEdges = 6
+	spec.TimeoutMS = 2000
+
+	a, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Items, b.Items) {
+		t.Fatal("same spec produced different delta schedules")
+	}
+
+	deltas := 0
+	for i, it := range a.Items {
+		if it.Delta == nil {
+			continue
+		}
+		deltas++
+		if it.Req.Preset == "" {
+			t.Fatalf("delta item %d lost its fallback request: %+v", i, it)
+		}
+		if it.Delta.Mode != it.Req.Mode || it.Delta.TimeoutMS != spec.TimeoutMS {
+			t.Fatalf("delta item %d mode/timeout mismatch: %+v vs %+v", i, it.Delta, it.Req)
+		}
+		rows, cols, _, err := gen.EstimateDims(it.Req.Preset, it.Req.Scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(it.Delta.Insert) < spec.DeltaEdges {
+			t.Fatalf("delta item %d has %d inserts, want ≥ %d", i, len(it.Delta.Insert), spec.DeltaEdges)
+		}
+		mirror := map[bipartite.Edge]bool{}
+		for _, e := range it.Delta.Insert {
+			if int(e.Net) >= rows || int(e.Vtx) >= cols || e.Net < 0 || e.Vtx < 0 {
+				t.Fatalf("delta item %d edge (%d,%d) outside %dx%d", i, e.Net, e.Vtx, rows, cols)
+			}
+			mirror[e] = true
+		}
+		if it.Req.Mode == "d2" {
+			for _, e := range it.Delta.Insert {
+				if !mirror[bipartite.Edge{Net: e.Vtx, Vtx: e.Net}] {
+					t.Fatalf("delta item %d: d2 insert (%d,%d) unmirrored", i, e.Net, e.Vtx)
+				}
+			}
+		}
+	}
+	if deltas == 0 {
+		t.Fatal("no delta items scheduled")
+	}
+
+	// Zeroing the rates must remove every delta item (and, by the
+	// gating rule, consume no extra randomness doing it).
+	spec.Mix[0].DeltaRate = 0
+	spec.Mix[1].DeltaRate = 0
+	c, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range c.Items {
+		if it.Delta != nil {
+			t.Fatalf("zero-rate schedule has delta item at %d", i)
+		}
 	}
 }
 

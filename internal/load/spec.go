@@ -45,6 +45,11 @@ const (
 	MaxZipfS        = 10
 	MaxScale        = 4
 	MaxDurationS    = 24 * 3600
+	// MaxDeltaBatch caps delta_edges: every delta item materializes its
+	// edge list in the schedule, so this bounds schedule memory the same
+	// way MaxRequests bounds item count. (The daemon's own wire cap,
+	// limits.MaxDeltaEdges, is far larger.)
+	MaxDeltaBatch = 4096
 )
 
 // MixEntry is one weighted slice of the workload: a preset at a base
@@ -59,6 +64,12 @@ type MixEntry struct {
 	Mode string `json:"mode,omitempty"`
 	// Weight is the entry's share of clean traffic; ≤ 0 means 1.
 	Weight float64 `json:"weight,omitempty"`
+	// DeltaRate is the fraction of this entry's requests issued as
+	// incremental recolorings (POST /color/{fp}/delta) instead of full
+	// colors, in [0,1]. The dispatcher learns fingerprints from prior
+	// full colors of the same key and falls back to a full color when
+	// none is known yet or the daemon 404s (fingerprint evicted).
+	DeltaRate float64 `json:"delta_rate,omitempty"`
 }
 
 // SLOTarget declares the availability objective the error budget is
@@ -103,6 +114,10 @@ type Spec struct {
 	// TimeoutMS is the per-request deadline sent to the daemon; 0
 	// omits the field.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// DeltaEdges is the insert-batch size of each scheduled delta
+	// request (mirrored pairs for d2-mode entries); 0 means 4. It sizes
+	// the dirty set, i.e. how much recoloring work a delta asks for.
+	DeltaEdges int `json:"delta_edges,omitempty"`
 	// Mix is the clean-traffic blend; at least one entry.
 	Mix []MixEntry `json:"mix"`
 	SLO SLOTarget  `json:"slo,omitempty"`
@@ -182,6 +197,12 @@ func (s *Spec) normalize() error {
 	if s.TimeoutMS < 0 {
 		return bad("timeout_ms", float64(s.TimeoutMS))
 	}
+	if s.DeltaEdges < 0 || s.DeltaEdges > MaxDeltaBatch {
+		return bad("delta_edges", float64(s.DeltaEdges))
+	}
+	if s.DeltaEdges == 0 {
+		s.DeltaEdges = 4
+	}
 	if s.SLO.Availability == 0 {
 		s.SLO.Availability = 0.99
 	}
@@ -228,15 +249,19 @@ func (e *MixEntry) normalize() error {
 	if e.Weight == 0 {
 		e.Weight = 1
 	}
+	if math.IsNaN(e.DeltaRate) || e.DeltaRate < 0 || e.DeltaRate > 1 {
+		return fmt.Errorf("delta_rate %g outside [0,1]", e.DeltaRate)
+	}
 	return nil
 }
 
 // ParseMix parses the compact command-line mix grammar:
 //
-//	entry   = preset "@" scale [":" algorithm ["/" mode]] ["=" weight]
+//	entry   = preset "@" scale [":" algorithm ["/" mode]] ["~" deltaRate] ["=" weight]
 //	mix     = entry { "," entry }
 //
-// e.g. "channel@0.1=3,afshell@0.1:FF=1,roadnet@0.05:N1-N2/d2=2".
+// e.g. "channel@0.1=3,afshell@0.1:FF=1,roadnet@0.05:N1-N2/d2=2" or
+// "channel@0.1~0.5=3" (half of the entry's traffic as delta requests).
 // Entries are validated exactly like JSON mix entries.
 func ParseMix(s string) ([]MixEntry, error) {
 	parts := strings.Split(s, ",")
@@ -253,6 +278,14 @@ func ParseMix(s string) ([]MixEntry, error) {
 				return nil, fmt.Errorf("load: mix entry %q: bad weight %q", p, w)
 			}
 			e.Weight = f
+			p = body
+		}
+		if body, dr, ok := strings.Cut(p, "~"); ok {
+			f, err := strconv.ParseFloat(dr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("load: mix entry %q: bad delta rate %q", p, dr)
+			}
+			e.DeltaRate = f
 			p = body
 		}
 		var spec string

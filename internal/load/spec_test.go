@@ -55,6 +55,9 @@ func TestParseSpecRejects(t *testing.T) {
 		{"negative cancel", `{"rps": 10, "duration_s": 1, "cancel_rate": -0.1, "mix": [{"preset":"channel","scale":0.1}]}`},
 		{"hostile over 1", `{"rps": 10, "duration_s": 1, "hostile_rate": 1.5, "mix": [{"preset":"channel","scale":0.1}]}`},
 		{"bad availability", `{"rps": 10, "duration_s": 1, "mix": [{"preset":"channel","scale":0.1}], "slo": {"availability": 2}}`},
+		{"delta rate over 1", `{"rps": 10, "duration_s": 1, "mix": [{"preset":"channel","scale":0.1,"delta_rate":1.5}]}`},
+		{"negative delta edges", `{"rps": 10, "duration_s": 1, "delta_edges": -1, "mix": [{"preset":"channel","scale":0.1}]}`},
+		{"delta edges cap", `{"rps": 10, "duration_s": 1, "delta_edges": 100000, "mix": [{"preset":"channel","scale":0.1}]}`},
 		{"not json", `rps: 10`},
 	}
 	for _, tc := range cases {
@@ -90,9 +93,26 @@ func TestParseMix(t *testing.T) {
 		t.Fatalf("d2 entry = %+v", mode[0])
 	}
 
+	// The "~" suffix sets the entry's delta-vs-full ratio, composing
+	// with every other suffix.
+	dm, err := ParseMix("channel@0.1~0.5=3, bone010@0.05:V-V-64/d2~0.25, afshell@0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm[0].DeltaRate != 0.5 || dm[0].Weight != 3 || dm[0].Scale != 0.1 {
+		t.Fatalf("delta entry 0 = %+v", dm[0])
+	}
+	if dm[1].DeltaRate != 0.25 || dm[1].Mode != "d2" || dm[1].Algorithm != "V-V-64" {
+		t.Fatalf("delta entry 1 = %+v", dm[1])
+	}
+	if dm[2].DeltaRate != 0 {
+		t.Fatalf("entry without ~ got delta rate %g", dm[2].DeltaRate)
+	}
+
 	for _, bad := range []string{
 		"", "channel", "channel@x", "channel@0.1=x", "nope@0.1",
 		"channel@0.1:magic", "channel@0.1:V-V-64/d3", "channel@0.1,,",
+		"channel@0.1~x", "channel@0.1~1.5", "channel@0.1~-0.1",
 	} {
 		if _, err := ParseMix(bad); err == nil {
 			t.Errorf("ParseMix(%q) accepted", bad)

@@ -82,6 +82,13 @@ var (
 	// SvcBudgetRejected counts jobs refused because the byte budget was
 	// momentarily exhausted (429 with Retry-After — retrying helps).
 	SvcBudgetRejected Counter
+	// SvcDeltaApplied counts delta-recoloring jobs that produced a
+	// verified coloring of the mutated graph.
+	SvcDeltaApplied Counter
+	// SvcDeltaMisses counts delta requests refused with 404 because the
+	// base fingerprint (or its coloring for the requested mode) was not
+	// cached — the client's cue to fall back to a full color.
+	SvcDeltaMisses Counter
 )
 
 // Client-side counters (internal/client): the daemon's HTTP client
@@ -150,6 +157,8 @@ var counterNames = map[string]*Counter{
 	"bgpc.svc_watchdog_fired":   &SvcWatchdogFired,
 	"bgpc.svc_too_large":        &SvcTooLarge,
 	"bgpc.svc_budget_rejected":  &SvcBudgetRejected,
+	"bgpc.svc_delta_applied":    &SvcDeltaApplied,
+	"bgpc.svc_delta_misses":     &SvcDeltaMisses,
 	"bgpc.client_retries":       &ClientRetries,
 	"bgpc.client_breaker_opens": &ClientBreakerOpens,
 }

@@ -34,6 +34,8 @@ var counterHelp = map[string]string{
 	"bgpc.svc_watchdog_fired":   "Jobs canceled by the progress watchdog.",
 	"bgpc.svc_too_large":        "Jobs refused outright for exceeding a memory cap.",
 	"bgpc.svc_budget_rejected":  "Jobs refused because the byte budget was exhausted.",
+	"bgpc.svc_delta_applied":    "Delta-recoloring jobs that produced a verified coloring.",
+	"bgpc.svc_delta_misses":     "Delta requests 404ed on an uncached base fingerprint.",
 	"bgpc.client_retries":       "Client attempts beyond the first.",
 	"bgpc.client_breaker_opens": "Client circuit-breaker closed-to-open transitions.",
 }

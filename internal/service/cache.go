@@ -17,13 +17,37 @@ import (
 // after construction, so entries are shared freely across requests;
 // the undirected (D2GC) view is derived lazily once and memoized,
 // since symmetry checking and transposition cost a full CSR pass.
+//
+// The entry also memoizes the graph's fingerprint (hex) — computed once
+// at construction instead of per response — and retains the latest
+// verified coloring per mode ("bgpc"/"d2"), the warm-start material the
+// delta-recoloring path needs. Colorings are copied on store and on
+// load: the graph they were verified against is immutable, so a copy
+// handed to one request can never be corrupted by another.
 type cacheEntry struct {
 	key string
 	g   *bipartite.Graph
+	fp  string // %016x of g.Fingerprint(), the delta-API identity
 
 	ugOnce sync.Once
 	ug     *graph.Graph
 	ugErr  error
+
+	colorMu   sync.Mutex
+	colorings map[string][]int32 // mode → verified coloring
+}
+
+// newCacheEntry wraps a graph with its memoized fingerprint. All entry
+// construction goes through here so fp is never empty. An empty key
+// means content-addressed: the key becomes "fp:"+fp, the form
+// delta-produced graphs are cached under (their only identity is their
+// content — there is no matrix body or preset to key on).
+func newCacheEntry(key string, g *bipartite.Graph) *cacheEntry {
+	e := &cacheEntry{key: key, g: g, fp: fmt.Sprintf("%016x", g.Fingerprint())}
+	if key == "" {
+		e.key = "fp:" + e.fp
+	}
+	return e
 }
 
 // undirected returns the memoized unipartite view for D2GC jobs.
@@ -32,6 +56,30 @@ func (e *cacheEntry) undirected() (*graph.Graph, error) {
 		e.ug, e.ugErr = graph.FromBipartite(e.g)
 	})
 	return e.ug, e.ugErr
+}
+
+// storeColoring retains a copy of a coloring verified against e.g.
+// Callers must only pass colorings that passed internal/verify for the
+// given mode — the delta path serves them as warm starts.
+func (e *cacheEntry) storeColoring(mode string, colors []int32) {
+	cp := append([]int32(nil), colors...)
+	e.colorMu.Lock()
+	if e.colorings == nil {
+		e.colorings = make(map[string][]int32, 2)
+	}
+	e.colorings[mode] = cp
+	e.colorMu.Unlock()
+}
+
+// coloring returns a private copy of the retained coloring for mode.
+func (e *cacheEntry) coloring(mode string) ([]int32, bool) {
+	e.colorMu.Lock()
+	defer e.colorMu.Unlock()
+	c, ok := e.colorings[mode]
+	if !ok {
+		return nil, false
+	}
+	return append([]int32(nil), c...), true
 }
 
 // graphCache is a bounded LRU keyed by request content hash: repeated
@@ -43,13 +91,25 @@ type graphCache struct {
 	cap int
 	ll  *list.List // front = most recently used; values are *cacheEntry
 	m   map[string]*list.Element
+	// fpm indexes entries by fingerprint hex — the lookup the delta API
+	// uses, since clients address deltas by the fingerprint a prior
+	// ColorResponse returned. Two keys describing the same incidence
+	// structure (an mtx body and an equivalent preset) share a
+	// fingerprint; the most recently inserted wins, which is harmless —
+	// their graphs are content-identical by construction.
+	fpm map[string]*list.Element
 }
 
 func newGraphCache(capacity int) *graphCache {
 	if capacity <= 0 {
 		return nil // disabled
 	}
-	return &graphCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+	return &graphCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element),
+		fpm: make(map[string]*list.Element),
+	}
 }
 
 // get returns the entry for key, refreshing its recency. A nil cache
@@ -75,30 +135,68 @@ func (c *graphCache) get(key string) (*cacheEntry, bool) {
 	return nil, false
 }
 
+// getByFingerprint returns the entry whose graph fingerprints to fp
+// (hex), refreshing its recency. It sits behind the same FPCacheGet
+// failpoint as get: a chaos-rotted cache degrades delta requests into
+// 404s, which clients answer with a full color — slower, still correct.
+func (c *graphCache) getByFingerprint(fp string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if err := failpoint.Inject(FPCacheGet); err != nil {
+		obs.SvcCacheMisses.Inc()
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.fpm[fp]; ok {
+		c.ll.MoveToFront(el)
+		obs.SvcCacheHits.Inc()
+		return el.Value.(*cacheEntry), true
+	}
+	obs.SvcCacheMisses.Inc()
+	return nil, false
+}
+
 // put inserts (or refreshes) key → g and returns its entry, evicting
 // the least recently used entry beyond capacity. With a nil cache it
 // just wraps g so callers have a uniform entry type.
 func (c *graphCache) put(key string, g *bipartite.Graph) *cacheEntry {
+	return c.putEntry(newCacheEntry(key, g))
+}
+
+// putEntry is put for an already-constructed entry — the delta path
+// builds its entry (mutated graph + memoized undirected view +
+// verified coloring) before publication, so the cache must insert it
+// as-is rather than wrap the graph again.
+func (c *graphCache) putEntry(e *cacheEntry) *cacheEntry {
 	if c == nil {
-		return &cacheEntry{key: key, g: g}
+		return e
 	}
 	if err := failpoint.Inject(FPCachePut); err != nil {
 		// Degrade to an uncached entry; the job proceeds with it and
 		// the next request for this graph just misses.
-		return &cacheEntry{key: key, g: g}
+		return e
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.m[key]; ok {
+	if el, ok := c.m[e.key]; ok {
 		c.ll.MoveToFront(el)
 		return el.Value.(*cacheEntry)
 	}
-	e := &cacheEntry{key: key, g: g}
-	c.m[key] = c.ll.PushFront(e)
+	el := c.ll.PushFront(e)
+	c.m[e.key] = el
+	c.fpm[e.fp] = el // latest wins on fingerprint collision
 	for c.ll.Len() > c.cap {
 		old := c.ll.Back()
 		c.ll.Remove(old)
-		delete(c.m, old.Value.(*cacheEntry).key)
+		oldE := old.Value.(*cacheEntry)
+		delete(c.m, oldE.key)
+		// Only unlink the fingerprint if it still points at the evicted
+		// element; a newer same-fingerprint entry must keep its index.
+		if cur, ok := c.fpm[oldE.fp]; ok && cur == old {
+			delete(c.fpm, oldE.fp)
+		}
 	}
 	return e
 }

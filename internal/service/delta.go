@@ -1,0 +1,383 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bgpc/internal/delta"
+	"bgpc/internal/graph"
+	"bgpc/internal/limits"
+	"bgpc/internal/obs"
+	"bgpc/internal/verify"
+)
+
+// DeltaRequest is the POST /color/{fingerprint}/delta body: a batch of
+// edge mutations against a previously colored graph, addressed by the
+// fingerprint a prior ColorResponse returned.
+//
+//	POST /color/3f2a…/delta
+//	  {"insert": [[0,3],[7,1]], "remove": [[2,2]], "mode": "bgpc"}
+//
+//	200 → DeltaResponse (coloring of the mutated graph + its new
+//	      fingerprint, which addresses the *next* delta)
+//	400 → malformed delta (bad pairs, over-cap lists, out-of-range
+//	      endpoints, an edge in both lists, symmetry broken in d2 mode)
+//	404 → the fingerprint (or its coloring for this mode) is not
+//	      cached — fall back to POST /color and retry the delta chain
+//	      from the fingerprint it returns
+//	413/429/500/503 → as for POST /color
+type DeltaRequest struct {
+	// Insert and Remove are [net, vtx] pair lists applied as
+	// (E ∪ Insert) \ Remove. Both optional; both capped at
+	// limits.MaxDeltaEdges.
+	Insert delta.EdgeList `json:"insert,omitempty"`
+	Remove delta.EdgeList `json:"remove,omitempty"`
+	// Mode selects which cached coloring to warm-start from: "bgpc"
+	// (default) or "d2". It must name a mode this fingerprint was
+	// previously colored in.
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMS is the per-request deadline, as for ColorRequest.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DeltaResponse is the 200 body of a delta recoloring.
+type DeltaResponse struct {
+	// Colors is the complete valid coloring of the mutated graph.
+	Colors []int32 `json:"colors"`
+	// NumColors and MaxColor summarize the color set.
+	NumColors int   `json:"num_colors"`
+	MaxColor  int32 `json:"max_color"`
+	// BaseFingerprint echoes the fingerprint the delta addressed;
+	// Fingerprint identifies the mutated graph, now cached — address
+	// the next delta in the chain at it.
+	BaseFingerprint string `json:"base_fingerprint"`
+	Fingerprint     string `json:"fingerprint"`
+	// Inserted and Removed are the *effective* mutations (inserting a
+	// present edge or removing an absent one is a no-op).
+	Inserted int `json:"inserted"`
+	Removed  int `json:"removed"`
+	// Dirty is the number of vertices uncolored for recoloring;
+	// Recolored is how many ended with a different color than the warm
+	// start. Dirty ≪ total is the delta path's entire economic case.
+	Dirty     int `json:"dirty"`
+	Recolored int `json:"recolored"`
+	// TotalVertices sizes Dirty against the graph.
+	TotalVertices int `json:"total_vertices"`
+	// WallMS and QueueMS split latency as in ColorResponse.
+	WallMS  float64 `json:"wall_ms"`
+	QueueMS float64 `json:"queue_ms"`
+	// RequestID echoes the request's correlation id.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// deltaSpec is a validated delta request bound to its base fingerprint.
+type deltaSpec struct {
+	fp      string // base fingerprint hex (the path parameter)
+	key     string // quarantine/annotation key ("fp:" + fp)
+	d       delta.Delta
+	d2mode  bool
+	variant string // "delta" or "delta/d2"
+	timeout time.Duration
+}
+
+// decodeDeltaRequest parses and validates a delta body against the
+// path's fingerprint. Like decodeColorRequest it is factored off the
+// handler so the fuzz battery (FuzzDeltaRequest) can drive the full
+// decode+validate path without a listener; the returned status applies
+// when err != nil and is always 4xx — hostile bodies must never be a
+// server fault. Validation here is graph-independent; endpoint range
+// checks against the cached graph's actual dimensions happen at apply
+// time on a pooled worker.
+func (s *Server) decodeDeltaRequest(fingerprint string, raw []byte) (*deltaSpec, int, error) {
+	if !validFingerprint(fingerprint) {
+		return nil, http.StatusBadRequest, fmt.Errorf("malformed fingerprint %q (want 16 hex digits)", fingerprint)
+	}
+	var req DeltaRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err)
+	}
+	d := delta.Delta{Insert: req.Insert, Remove: req.Remove}
+	if err := d.Validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if d.Empty() {
+		return nil, http.StatusBadRequest, errors.New("empty delta: give insert and/or remove edge lists")
+	}
+	spec := &deltaSpec{fp: fingerprint, key: "fp:" + fingerprint, d: d}
+	switch req.Mode {
+	case "", "bgpc":
+		spec.variant = "delta"
+	case "d2", "d2gc":
+		spec.d2mode = true
+		spec.variant = "delta/d2"
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want bgpc or d2)", req.Mode)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("negative timeout_ms %d", req.TimeoutMS)
+	}
+	spec.timeout = s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		spec.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if spec.timeout > s.cfg.MaxTimeout {
+			spec.timeout = s.cfg.MaxTimeout
+		}
+	}
+	return spec, 0, nil
+}
+
+func validFingerprint(fp string) bool {
+	if len(fp) != 16 {
+		return false
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleDelta is POST /color/{fingerprint}/delta. Cheap validation and
+// the cache lookup run on the handler goroutine; everything that
+// touches CSR arrays — apply, recolor, verify — runs on a pooled
+// worker under the same admission control as a full color, because a
+// hostile "delta" against a huge cached graph still pays an O(nnz)
+// merge and must not bypass the backpressure model.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	rec := obs.RecorderFromContext(r.Context())
+	decode := rec.StartSpan("decode")
+	body := io.LimitReader(r.Body, s.cfg.MaxRequestBytes+1)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	if int64(len(raw)) > s.cfg.MaxRequestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request exceeds %d bytes", s.cfg.MaxRequestBytes)
+		return
+	}
+	spec, status, err := s.decodeDeltaRequest(r.PathValue("fingerprint"), raw)
+	decode.End()
+	if spec != nil {
+		rec.Annotate("variant", spec.variant)
+		rec.Annotate("graph", spec.key)
+	}
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	// The 404 contract: a delta is only an optimization over the cached
+	// state; when that state is gone (eviction, restart, chaos), the
+	// client re-colors from scratch and resumes the chain from the
+	// fingerprint the full color returns.
+	entry, ok := s.cache.getByFingerprint(spec.fp)
+	if !ok {
+		obs.SvcDeltaMisses.Inc()
+		rec.Annotate("outcome", "delta_miss")
+		writeError(w, http.StatusNotFound,
+			"fingerprint %s not cached; POST /color to re-color from scratch, then retry the delta against the fingerprint it returns", spec.fp)
+		return
+	}
+	mode := "bgpc"
+	if spec.d2mode {
+		mode = "d2"
+	}
+	base, ok := entry.coloring(mode)
+	if !ok {
+		obs.SvcDeltaMisses.Inc()
+		rec.Annotate("outcome", "delta_miss")
+		writeError(w, http.StatusNotFound,
+			"fingerprint %s has no cached %s coloring; POST /color in mode %q first", spec.fp, mode, mode)
+		return
+	}
+
+	if blocked, retry := s.quar.check(spec.key); blocked {
+		obs.SvcQuarantined.Inc()
+		rec.Annotate("outcome", "quarantined")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Round(time.Second).Seconds())))
+		writeError(w, http.StatusTooManyRequests, "graph %s is quarantined after repeated worker panics; retry in %s", spec.key, retry.Round(time.Second))
+		return
+	}
+
+	// Admission: the mutated graph is the cached one ± a bounded edge
+	// list, so its footprint estimate comes from dimensions already in
+	// memory — no parsing, no header peek.
+	shape := limits.Shape{
+		Rows:    entry.g.NumNets(),
+		Cols:    entry.g.NumVertices(),
+		NNZ:     entry.g.NumEdges() + int64(len(spec.d.Insert)),
+		D2:      spec.d2mode,
+		Threads: 1,
+	}
+	est, err := limits.Estimate(shape)
+	if err != nil {
+		s.writeRetryable(w, err)
+		return
+	}
+	if s.cfg.MaxJobBytes > 0 && est > s.cfg.MaxJobBytes {
+		obs.SvcTooLarge.Inc()
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%v: job needs ~%d bytes, per-job cap is %d", limits.ErrTooLarge, est, s.cfg.MaxJobBytes)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout)
+	defer cancel()
+
+	j := &job{ctx: ctx, done: make(chan struct{}), bytes: est}
+	var resp *DeltaResponse
+	var jobStatus int
+	var jobErr error
+	enqueued := time.Now()
+	j.run = func(ctx context.Context) {
+		wait := time.Since(enqueued)
+		obs.SvcQueueWait.Observe(wait.Seconds())
+		rec.AddSpan("queue", enqueued, wait)
+		resp, jobStatus, jobErr = s.executeDelta(ctx, spec, entry, base, wait)
+	}
+	if err := s.pool.submit(j); err != nil {
+		switch {
+		case errors.Is(err, errDraining):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, limits.ErrTooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		default:
+			s.writeRetryable(w, err)
+		}
+		return
+	}
+	obs.SvcJobBytes.Observe(float64(est))
+
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		<-j.done
+		return
+	}
+	if j.panicked != nil {
+		obs.SvcPanics.Inc()
+		rec.Annotate("outcome", "panic")
+		s.logf("service: delta job panicked (graph %s): %v\n%s", spec.key, j.panicked, j.stack)
+		if s.quar.strike(spec.key) {
+			s.logf("service: quarantining graph %s for %s after repeated panics", spec.key, s.cfg.QuarantineFor)
+		}
+		writeError(w, http.StatusInternalServerError, "internal: job panicked: %v", j.panicked)
+		return
+	}
+	if jobErr != nil {
+		if jobStatus == http.StatusTooManyRequests {
+			s.writeRetryable(w, jobErr)
+			return
+		}
+		writeError(w, jobStatus, "%v", jobErr)
+		return
+	}
+	s.quar.clear(spec.key)
+	resp.RequestID = w.Header().Get("X-Request-ID")
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// executeDelta runs a validated delta on a worker: apply the mutation
+// to the cached CSR, warm-start recolor only the dirty set via the
+// sequential repair/finish paths, verify, and publish the mutated
+// graph (plus its coloring) under its new fingerprint so the client
+// can chain the next delta. The base entry and coloring are never
+// mutated — concurrent deltas against one fingerprint each get private
+// copies and race only on who publishes their (content-addressed,
+// hence interchangeable) result entry first.
+func (s *Server) executeDelta(ctx context.Context, spec *deltaSpec, entry *cacheEntry, base []int32, queued time.Duration) (*DeltaResponse, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, http.StatusTooManyRequests, fmt.Errorf("deadline expired before the job could start (queued %s)", queued.Round(time.Microsecond))
+	}
+	rec := obs.RecorderFromContext(ctx)
+	start := time.Now()
+
+	apply := rec.StartSpan("apply")
+	g2, inserted, removed, err := delta.Apply(entry.g, spec.d)
+	apply.End()
+	if err != nil {
+		if errors.Is(err, delta.ErrInvalid) {
+			return nil, http.StatusBadRequest, err
+		}
+		// Injected apply fault (chaos) or other internal failure.
+		return nil, http.StatusInternalServerError, fmt.Errorf("delta apply failed: %w", err)
+	}
+
+	newEntry := newCacheEntry("", g2)
+
+	var ug2 *graph.Graph
+	if spec.d2mode {
+		// A delta can break the structural symmetry d2 requires; that is
+		// a defect in the client's delta, not in the server.
+		if ug2, err = newEntry.undirected(); err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("d2 mode: delta result: %w", err)
+		}
+	}
+
+	recolor := rec.StartSpan("recolor")
+	var colors []int32
+	var st delta.Stats
+	if spec.d2mode {
+		colors, st, err = delta.RecolorD2(ug2, base, spec.d.DirtyD2())
+	} else {
+		colors, st, err = delta.RecolorBGPC(g2, base, spec.d.DirtyBGPC())
+	}
+	recolor.End()
+	if err != nil {
+		// The only failures here are shape mismatches between the cached
+		// graph and its cached coloring — internal invariants, not
+		// client input.
+		return nil, http.StatusInternalServerError, fmt.Errorf("delta recolor failed: %w", err)
+	}
+
+	// Same contract as a full color: never hand out an unverified
+	// coloring, and never cache one either.
+	vspan := rec.StartSpan("verify")
+	if spec.d2mode {
+		err = verify.D2GC(ug2, colors)
+	} else {
+		err = verify.BGPC(g2, colors)
+	}
+	vspan.End()
+	if err != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("internal: delta produced an invalid coloring: %w", err)
+	}
+
+	// Publish only after verification. putEntry may return a concurrent
+	// winner's entry for the same fingerprint; store the coloring on
+	// whichever entry is actually in the cache.
+	pub := s.cache.putEntry(newEntry)
+	mode := "bgpc"
+	if spec.d2mode {
+		mode = "d2"
+	}
+	pub.storeColoring(mode, colors)
+	obs.SvcDeltaApplied.Inc()
+	rec.Annotate("outcome", "ok")
+
+	resp := &DeltaResponse{
+		Colors:          colors,
+		BaseFingerprint: spec.fp,
+		Fingerprint:     newEntry.fp,
+		Inserted:        inserted,
+		Removed:         removed,
+		Dirty:           st.Dirty,
+		Recolored:       st.Recolored,
+		TotalVertices:   g2.NumVertices(),
+		WallMS:          float64(time.Since(start).Microseconds()) / 1000,
+		QueueMS:         float64(queued.Microseconds()) / 1000,
+	}
+	cs := verify.Stats(colors)
+	resp.NumColors = cs.NumColors
+	resp.MaxColor = cs.MaxColor
+	return resp, 0, nil
+}

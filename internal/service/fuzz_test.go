@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -79,4 +80,89 @@ func FuzzColorRequest(f *testing.F) {
 			_, _ = mtx.Read(strings.NewReader(spec.matrix))
 		}
 	})
+}
+
+// FuzzDeltaRequest hardens the delta decoder the same way: arbitrary
+// fingerprints and bodies must never panic, and every rejection is a
+// 4xx. The strict EdgeList decoder is the main target — out-of-range
+// ids, wrong-arity pairs, duplicate and self-cancelling edges, numbers
+// past int32, and structurally hostile JSON all funnel through it.
+func FuzzDeltaRequest(f *testing.F) {
+	const goodFP = "0123456789abcdef"
+	seeds := []struct {
+		fp   string
+		body string
+	}{
+		{goodFP, `{"insert":[[0,3],[7,1]],"remove":[[2,2]]}`},
+		{goodFP, `{"insert":[[0,3]],"mode":"d2","timeout_ms":500}`},
+		{goodFP, `{"insert":[[0,1],[0,1]]}`},              // duplicate edge
+		{goodFP, `{"insert":[[0,1]],"remove":[[0,1]]}`},   // self-cancelling
+		{goodFP, `{"insert":[[2147483648,0]]}`},           // past int32
+		{goodFP, `{"insert":[[-1,0]]}`},                   // negative id
+		{goodFP, `{"insert":[[0,1,2]]}`},                  // wrong arity
+		{goodFP, `{"insert":[[0]]}`},                      // wrong arity
+		{goodFP, `{"insert":[0,1]}`},                      // not pairs
+		{goodFP, `{"insert":[["0","1"]]}`},                // strings
+		{goodFP, `{"insert":[[0,1e99]]}`},                 // float overflow
+		{goodFP, `{"insert":null,"remove":null}`},         // empty delta
+		{goodFP, `{"mode":"d3","insert":[[0,1]]}`},        // bad mode
+		{goodFP, `{"timeout_ms":-1,"insert":[[0,1]]}`},    // bad timeout
+		{goodFP, `{"insert":` + bigEdgeArray(4096) + `}`}, // large batch
+		{"XYZ", `{"insert":[[0,1]]}`},                     // bad fingerprint
+		{"0123456789ABCDEF", `{"insert":[[0,1]]}`},        // uppercase hex
+		{goodFP + "0", `{"insert":[[0,1]]}`},              // wrong length
+		{goodFP, `not json`},
+		{goodFP, ``},
+	}
+	for _, s := range seeds {
+		f.Add(s.fp, []byte(s.body))
+	}
+
+	cfg := Config{}
+	srv := &Server{cfg: cfg.withDefaults()}
+	f.Fuzz(func(t *testing.T, fp string, raw []byte) {
+		spec, status, err := srv.decodeDeltaRequest(fp, raw)
+		if err != nil {
+			if status < 400 || status > 499 {
+				t.Fatalf("rejection with status %d (want 4xx): %v", status, err)
+			}
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		// Accepted specs must uphold the invariants the worker relies on:
+		// a well-formed fingerprint, a non-empty validated delta, and a
+		// positive clamped timeout.
+		if !validFingerprint(spec.fp) || spec.key != "fp:"+spec.fp {
+			t.Fatalf("accepted spec with fingerprint %q key %q", spec.fp, spec.key)
+		}
+		if spec.d.Empty() {
+			t.Fatal("accepted an empty delta")
+		}
+		if err := spec.d.Validate(); err != nil {
+			t.Fatalf("accepted delta fails Validate: %v", err)
+		}
+		if spec.timeout <= 0 || spec.timeout > srv.cfg.MaxTimeout {
+			t.Fatalf("accepted spec with timeout %v", spec.timeout)
+		}
+		if spec.d2mode != (spec.variant == "delta/d2") {
+			t.Fatalf("mode/variant mismatch: d2mode=%v variant=%q", spec.d2mode, spec.variant)
+		}
+	})
+}
+
+// bigEdgeArray renders a JSON array of n [i, i] pairs, a bulk-decode
+// seed for the EdgeList cap and loop paths.
+func bigEdgeArray(n int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "[%d,%d]", i, i)
+	}
+	b.WriteByte(']')
+	return b.String()
 }

@@ -296,6 +296,7 @@ func New(cfg Config) *Server {
 		s.log = discardLogger()
 	}
 	s.mux.HandleFunc("POST /color", s.handleColor)
+	s.mux.HandleFunc("POST /color/{fingerprint}/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -323,7 +324,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sw := &statusWriter{ResponseWriter: w}
 
 	var rec *obs.Recorder
-	if r.Method == http.MethodPost && r.URL.Path == "/color" {
+	if r.Method == http.MethodPost && (r.URL.Path == "/color" || strings.HasPrefix(r.URL.Path, "/color/")) {
 		rec = obs.NewRecorder(id, 0, 0)
 		if adopted {
 			rec.Annotate("id_source", "client")
@@ -763,7 +764,7 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 
 	resp := &ColorResponse{
 		CacheHit:    hit,
-		Fingerprint: fmt.Sprintf("%016x", entry.g.Fingerprint()),
+		Fingerprint: entry.fp,
 		QueueMS:     float64(queued.Microseconds()) / 1000,
 	}
 	switch {
@@ -810,6 +811,15 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 	vspan.End()
 	if err != nil {
 		return nil, http.StatusInternalServerError, fmt.Errorf("internal: produced an invalid coloring: %w", err)
+	}
+
+	// Retain the verified coloring as warm-start material for the delta
+	// API (POST /color/{fingerprint}/delta). Stored per mode: a bgpc
+	// coloring is not a valid distance-2 warm start.
+	if spec.d2mode {
+		entry.storeColoring("d2", res.Colors)
+	} else {
+		entry.storeColoring("bgpc", res.Colors)
 	}
 
 	resp.Colors = res.Colors
