@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench artifacts experiments fuzz loadtest clean
+.PHONY: all build test race bench artifacts experiments fuzz loadtest fleet clean
 
 all: build test
 
@@ -43,6 +43,12 @@ loadtest:
 	  -mix 'channel@0.1~0.4=3,afshell@0.1:V-V-64=1,movielens@0.1:N1-N2=2' \
 	  -zipf 1.1 -fingerprints 12 -cancel 0.02 -hostile 0.05 -delta-edges 4 \
 	  -out slo.json -max-burn 0.5
+
+# Fleet chaos battery: real daemons behind the router, one killed and
+# restarted mid-load, under the race detector (the CI fleet job also
+# runs the same scenario out of process with SIGKILL).
+fleet:
+	$(GO) test -race -count=1 -run 'TestFleetChaos|TestRunAgainstRouterFleet' ./internal/router ./internal/load
 
 clean:
 	rm -rf artifacts slo.json

@@ -13,6 +13,13 @@
 //	  -zipf 1.1 -fingerprints 12 -cancel 0.02 -hostile 0.05 \
 //	  -out BENCH_pr6.json -max-burn 0.5
 //
+// -target takes a comma-separated list of base URLs and spreads the
+// worker pool round-robin across them — point it at a bgpcrouter (one
+// URL; the router fans the fleet out itself) or at several daemons
+// directly. Fleet runs gain a per-backend outcome breakdown and a
+// "rerouted" status class counting successes a router served via
+// failover or spillover.
+//
 // A JSON spec file (-config) may supply the same knobs; flags override
 // it. -spawn boots a throwaway in-process daemon instead of targeting
 // -url. -check validates an existing report without running anything —
@@ -30,6 +37,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +57,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bgpcload", flag.ContinueOnError)
 	url := fs.String("url", "http://127.0.0.1:8972", "daemon base URL")
+	target := fs.String("target", "", "comma-separated target base URLs (router or daemons); overrides -url")
 	config := fs.String("config", "", "JSON workload spec file (flags override its fields)")
 	seed := fs.Uint64("seed", 1, "schedule seed: same seed + same spec → identical request sequence")
 	rps := fs.Float64("rps", 0, "open-loop target arrival rate")
@@ -93,21 +103,32 @@ func run(args []string, stdout io.Writer) error {
 		return writeSchedule(sched, stdout)
 	}
 
-	base := *url
+	targets := []string{*url}
+	if *target != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*target, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("-target lists no URLs")
+		}
+	}
 	if *spawn {
 		stop, addr, err := spawnDaemon()
 		if err != nil {
 			return err
 		}
 		defer stop()
-		base = "http://" + addr
+		targets = []string{"http://" + addr}
 		fmt.Fprintf(stdout, "spawned in-process daemon on %s\n", addr)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	rep, err := load.Run(ctx, sched, load.Options{
-		BaseURL: base,
+		BaseURLs: targets,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "bgpcload: "+format+"\n", a...)
 		},
@@ -260,6 +281,16 @@ func summarize(rep *bench.SLOReport, w io.Writer) {
 	for name, v := range rep.Variants {
 		fmt.Fprintf(w, "  %-10s n=%-6d p50 %.2fms  p99 %.2fms  p999 %.2fms\n",
 			name, v.Requests, v.P50MS, v.P99MS, v.P999MS)
+	}
+	if len(rep.Backends) > 0 {
+		bes := make([]string, 0, len(rep.Backends))
+		for be := range rep.Backends {
+			bes = append(bes, be)
+		}
+		sort.Strings(bes)
+		for _, be := range bes {
+			fmt.Fprintf(w, "  backend %-22s %v\n", be, rep.Backends[be])
+		}
 	}
 }
 

@@ -20,11 +20,13 @@ const SLOSchema = "bgpc-slo/v1"
 
 // SLOStatusClasses are the request outcome classes a report must
 // partition every scheduled request into. "2xx" is success (possibly
-// degraded), "4xx" client-fault rejections (400/413), "429"
+// degraded), "rerouted" success that a fleet router served via
+// failover or spillover rather than the key's ring owner (absent in
+// single-daemon runs), "4xx" client-fault rejections (400/413), "429"
 // backpressure (queue, budget, quarantine), "5xx" server faults,
 // "canceled" requests the schedule canceled client-side, and
 // "transport" connection-level failures.
-var SLOStatusClasses = []string{"2xx", "4xx", "429", "5xx", "canceled", "transport"}
+var SLOStatusClasses = []string{"2xx", "rerouted", "4xx", "429", "5xx", "canceled", "transport"}
 
 // SLOVariant is the daemon-side latency distribution of one algorithm
 // variant over the run, reconstructed from the /metrics scrape delta
@@ -97,7 +99,15 @@ type SLOReport struct {
 
 	// Counters is the scrape delta of every bgpc_svc_* counter over
 	// the run (exposition names, e.g. "bgpc_svc_too_large_total").
+	// Fleet runs also carry bgpc_rtr_* router counters here.
 	Counters map[string]int64 `json:"counters"`
+
+	// Backends, when the run targeted a router-fronted fleet (or
+	// multiple daemons directly), breaks the status classes down per
+	// serving backend: backend address → class → count. Responses that
+	// never reached a backend (transport failures, router-originated
+	// 503s) are attributed to the target they were sent to.
+	Backends map[string]map[string]int64 `json:"backends,omitempty"`
 
 	ErrorBudget SLOErrorBudget `json:"error_budget"`
 }
@@ -132,6 +142,19 @@ func (r *SLOReport) Validate() error {
 	}
 	if sum != r.Requests {
 		return fmt.Errorf("bench: status classes sum to %d, want %d", sum, r.Requests)
+	}
+	for be, byClass := range r.Backends {
+		if be == "" {
+			return fmt.Errorf("bench: empty backend name in breakdown")
+		}
+		for class, n := range byClass {
+			if !known[class] {
+				return fmt.Errorf("bench: unknown status class %q for backend %s", class, be)
+			}
+			if n < 0 {
+				return fmt.Errorf("bench: negative count %d for backend %s class %s", n, be, class)
+			}
+		}
 	}
 	for name, v := range r.Variants {
 		if v.Requests < 0 {

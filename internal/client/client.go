@@ -32,6 +32,37 @@ import (
 // chaos schedules — and "delay" turns the client into a straggler.
 const FPAttempt = "client.attempt"
 
+// RouteInfo describes how a response travelled when the daemon sits
+// behind a bgpcrouter fleet front: which backend actually served the
+// job and whether the router rerouted it off its ring owner. All
+// fields are zero against a bare daemon — the headers simply aren't
+// there — so callers can use the routed variants unconditionally.
+type RouteInfo struct {
+	// Backend is the serving backend's address (X-BGPC-Backend), ""
+	// when the response did not pass through a router.
+	Backend string
+	// Spilled reports budget-aware spillover: the ring owner answered
+	// 429/413 and the job ran on a successor (X-BGPC-Spilled).
+	Spilled bool
+	// Rerouted reports failover: the ring owner was down or ejected and
+	// the job ran on a successor (X-BGPC-Rerouted).
+	Rerouted bool
+	// Deduped reports the response was fanned out from an identical
+	// concurrent job's single execution (X-BGPC-Deduped).
+	Deduped bool
+}
+
+// routeInfoFromHeaders extracts the router's hop markers; absent
+// headers leave the zero value (direct-to-daemon responses).
+func routeInfoFromHeaders(h http.Header) RouteInfo {
+	return RouteInfo{
+		Backend:  h.Get("X-BGPC-Backend"),
+		Spilled:  h.Get("X-BGPC-Spilled") != "",
+		Rerouted: h.Get("X-BGPC-Rerouted") != "",
+		Deduped:  h.Get("X-BGPC-Deduped") != "",
+	}
+}
+
 // APIError is a non-200 response from the daemon, carrying everything
 // the retry loop needs: the status, the server's message, and — for
 // 429s — the queue depth and Retry-After the server chose.
@@ -40,6 +71,10 @@ type APIError struct {
 	Message    string
 	QueueDepth int
 	RetryAfter time.Duration
+	// Route carries the router hop markers of the failing response
+	// (zero against a bare daemon), so a fleet client can attribute
+	// rejections to the backend that issued them.
+	Route RouteInfo
 	// RequestID is the failing request's correlation id, from the error
 	// body or the X-Request-ID response header — quote it to resolve
 	// the failure in the daemon's access log and /debug/requests/{id}.
@@ -158,15 +193,23 @@ func (c *Client) logf(format string, args ...any) {
 // every attempt, so all retries of one logical request correlate to a
 // single id in the daemon's access log and timelines.
 func (c *Client) Color(ctx context.Context, req service.ColorRequest) (*service.ColorResponse, error) {
-	raw, err := c.call(ctx, "/color", req)
+	resp, _, err := c.ColorRouted(ctx, req)
+	return resp, err
+}
+
+// ColorRouted is Color plus the router hop markers of the response —
+// which backend served it, whether it was spilled, rerouted, or
+// deduped. Against a bare daemon the RouteInfo is the zero value.
+func (c *Client) ColorRouted(ctx context.Context, req service.ColorRequest) (*service.ColorResponse, RouteInfo, error) {
+	raw, ri, err := c.call(ctx, "/color", req)
 	if err != nil {
-		return nil, err
+		return nil, ri, err
 	}
 	var resp service.ColorResponse
 	if err := json.Unmarshal(raw, &resp); err != nil {
-		return nil, fmt.Errorf("client: decoding response: %w", err)
+		return nil, ri, fmt.Errorf("client: decoding response: %w", err)
 	}
-	return &resp, nil
+	return &resp, ri, nil
 }
 
 // Delta submits one incremental recoloring against a fingerprint a
@@ -176,33 +219,41 @@ func (c *Client) Color(ctx context.Context, req service.ColorRequest) (*service.
 // the caller's correct move is a fresh Color and a retry of the delta
 // chain from the fingerprint it returns.
 func (c *Client) Delta(ctx context.Context, fingerprint string, req service.DeltaRequest) (*service.DeltaResponse, error) {
-	raw, err := c.call(ctx, "/color/"+fingerprint+"/delta", req)
+	resp, _, err := c.DeltaRouted(ctx, fingerprint, req)
+	return resp, err
+}
+
+// DeltaRouted is Delta plus the response's router hop markers.
+func (c *Client) DeltaRouted(ctx context.Context, fingerprint string, req service.DeltaRequest) (*service.DeltaResponse, RouteInfo, error) {
+	raw, ri, err := c.call(ctx, "/color/"+fingerprint+"/delta", req)
 	if err != nil {
-		return nil, err
+		return nil, ri, err
 	}
 	var resp service.DeltaResponse
 	if err := json.Unmarshal(raw, &resp); err != nil {
-		return nil, fmt.Errorf("client: decoding response: %w", err)
+		return nil, ri, fmt.Errorf("client: decoding response: %w", err)
 	}
-	return &resp, nil
+	return &resp, ri, nil
 }
 
 // call runs the shared retry loop for one logical request: encode once,
 // mint one correlation id, then attempt with backoff until success, a
 // permanent rejection, breaker/context exhaustion, or the attempt
-// budget runs out. Returns the raw 200 body.
-func (c *Client) call(ctx context.Context, path string, req any) ([]byte, error) {
+// budget runs out. Returns the raw 200 body plus the final attempt's
+// route markers.
+func (c *Client) call(ctx context.Context, path string, req any) ([]byte, RouteInfo, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: encoding request: %w", err)
+		return nil, RouteInfo{}, fmt.Errorf("client: encoding request: %w", err)
 	}
 	reqID := obs.NewRequestID()
 	var lastErr error
+	var lastRoute RouteInfo
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			obs.ClientRetries.Inc()
 			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
-				return nil, fmt.Errorf("client: %w (last attempt: %v)", err, lastErr)
+				return nil, lastRoute, fmt.Errorf("client: %w (last attempt: %v)", err, lastErr)
 			}
 		}
 		if err := c.br.allow(); err != nil {
@@ -213,10 +264,11 @@ func (c *Client) call(ctx context.Context, path string, req any) ([]byte, error)
 			lastErr = err
 			continue
 		}
-		raw, err := c.attempt(ctx, path, body, reqID)
+		raw, ri, err := c.attempt(ctx, path, body, reqID)
+		lastRoute = ri
 		if err == nil {
 			c.br.record(true)
-			return raw, nil
+			return raw, ri, nil
 		}
 		lastErr = err
 		var apiErr *APIError
@@ -226,48 +278,50 @@ func (c *Client) call(ctx context.Context, path string, req any) ([]byte, error)
 			// rejections are healthy behaviour.
 			c.br.record(apiErr.Status < 500)
 			if !apiErr.Temporary() {
-				return nil, err
+				return nil, ri, err
 			}
 		} else {
 			// Transport-level failure (or injected fault): breaker food.
 			c.br.record(false)
 		}
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), lastErr)
+			return nil, lastRoute, fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), lastErr)
 		}
 		c.logf("client: attempt %d/%d failed: %v", attempt+1, c.cfg.MaxAttempts, err)
 	}
-	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+	return nil, lastRoute, fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
 // attempt performs one POST under its own deadline, carrying the call's
-// correlation id, and returns the raw 200 body.
-func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID string) ([]byte, error) {
+// correlation id, and returns the raw 200 body and route markers.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID string) ([]byte, RouteInfo, error) {
 	if err := failpoint.Inject(FPAttempt); err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, RouteInfo{}, fmt.Errorf("client: %w", err)
 	}
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, RouteInfo{}, fmt.Errorf("client: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set("X-Request-ID", reqID)
 	hresp, err := c.http.Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, RouteInfo{}, fmt.Errorf("client: %w", err)
 	}
 	defer hresp.Body.Close()
+	ri := routeInfoFromHeaders(hresp.Header)
 	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 256<<20))
 	if err != nil {
-		return nil, fmt.Errorf("client: reading response: %w", err)
+		return nil, ri, fmt.Errorf("client: reading response: %w", err)
 	}
 	if hresp.StatusCode != http.StatusOK {
 		apiErr := &APIError{
 			Status:     hresp.StatusCode,
 			RetryAfter: parseRetryAfter(hresp.Header.Get("Retry-After")),
 			RequestID:  hresp.Header.Get("X-Request-ID"),
+			Route:      ri,
 		}
 		var e service.ErrorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
@@ -279,9 +333,9 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID st
 		} else {
 			apiErr.Message = string(raw)
 		}
-		return nil, apiErr
+		return nil, ri, apiErr
 	}
-	return raw, nil
+	return raw, ri, nil
 }
 
 // Healthz checks the daemon's liveness endpoint once (no retries).

@@ -22,6 +22,13 @@ import (
 type Options struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8972".
 	BaseURL string
+	// BaseURLs, when non-empty, lists every target of the run — fleet
+	// routers or daemons addressed directly — and BaseURL is ignored.
+	// Workers are pinned round-robin across targets (worker w drives
+	// target w mod N), every target's /metrics is scraped before and
+	// after, and the latency/counter deltas are merged, so one report
+	// covers the whole fleet.
+	BaseURLs []string
 	// HTTPClient overrides the transport for both /color traffic and
 	// the /metrics scrapes; nil uses a dedicated client.
 	HTTPClient *http.Client
@@ -46,8 +53,17 @@ type Options struct {
 // (before/after histograms subtracted), so a shared daemon with prior
 // traffic doesn't contaminate the run's numbers.
 func Run(ctx context.Context, sched *Schedule, opt Options) (*bench.SLOReport, error) {
-	if opt.BaseURL == "" {
-		return nil, fmt.Errorf("load: Options.BaseURL required")
+	targets := opt.BaseURLs
+	if len(targets) == 0 {
+		if opt.BaseURL == "" {
+			return nil, fmt.Errorf("load: Options.BaseURL or BaseURLs required")
+		}
+		targets = []string{opt.BaseURL}
+	}
+	for _, t := range targets {
+		if t == "" {
+			return nil, fmt.Errorf("load: empty target URL")
+		}
 	}
 	httpc := opt.HTTPClient
 	if httpc == nil {
@@ -59,30 +75,39 @@ func Run(ctx context.Context, sched *Schedule, opt Options) (*bench.SLOReport, e
 	}
 	spec := sched.Spec
 
-	before, err := scrape(ctx, httpc, opt.BaseURL)
-	if err != nil {
-		return nil, fmt.Errorf("load: pre-run metrics scrape: %w", err)
+	befores := make([]map[string]*obs.MetricFamily, len(targets))
+	for i, t := range targets {
+		b, err := scrape(ctx, httpc, t)
+		if err != nil {
+			return nil, fmt.Errorf("load: pre-run metrics scrape of %s: %w", t, err)
+		}
+		befores[i] = b
 	}
 
-	// One no-retry client: the generator must observe every failure,
-	// not paper over it — retries belong to real clients, not probes.
+	// One no-retry client per target: the generator must observe every
+	// failure, not paper over it — retries belong to real clients, not
+	// probes.
 	attemptTimeout := 30 * time.Second
 	if spec.TimeoutMS > 0 {
 		attemptTimeout = time.Duration(spec.TimeoutMS)*time.Millisecond + 10*time.Second
 	}
-	cli := client.New(client.Config{
-		BaseURL:        opt.BaseURL,
-		HTTPClient:     httpc,
-		MaxAttempts:    1,
-		AttemptTimeout: attemptTimeout,
-	})
+	clis := make([]*client.Client, len(targets))
+	for i, t := range targets {
+		clis[i] = client.New(client.Config{
+			BaseURL:        t,
+			HTTPClient:     httpc,
+			MaxAttempts:    1,
+			AttemptTimeout: attemptTimeout,
+		})
+	}
 
 	classes := make(map[string]int64, len(bench.SLOStatusClasses))
 	for _, c := range bench.SLOStatusClasses {
 		classes[c] = 0
 	}
+	backends := map[string]map[string]int64{}
 	var (
-		mu            sync.Mutex // classes, rejectedBytes
+		mu            sync.Mutex // classes, backends, rejectedBytes
 		rejectedBytes int64
 		maxLagNS      int64 // atomic
 		wg            sync.WaitGroup
@@ -94,13 +119,26 @@ func Run(ctx context.Context, sched *Schedule, opt Options) (*bench.SLOReport, e
 	var fps sync.Map
 	work := make(chan Item, len(sched.Items))
 	for w := 0; w < spec.Clients; w++ {
+		cli := clis[w%len(clis)]
+		// Outcomes that never name a backend (transport failures,
+		// router-originated errors) are charged to the worker's target.
+		fallback := strings.TrimPrefix(strings.TrimPrefix(targets[w%len(targets)], "http://"), "https://")
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for it := range work {
-				class, rej := issue(ctx, cli, &fps, it)
+				class, be, rej := issue(ctx, cli, &fps, it)
+				if be == "" {
+					be = fallback
+				}
 				mu.Lock()
 				classes[class]++
+				bk := backends[be]
+				if bk == nil {
+					bk = make(map[string]int64, len(bench.SLOStatusClasses))
+					backends[be] = bk
+				}
+				bk[class]++
 				rejectedBytes += rej
 				mu.Unlock()
 			}
@@ -138,9 +176,13 @@ dispatch:
 		return nil, fmt.Errorf("load: run aborted after %d/%d requests: %w", dispatched, len(sched.Items), err)
 	}
 
-	after, err := scrape(ctx, httpc, opt.BaseURL)
-	if err != nil {
-		return nil, fmt.Errorf("load: post-run metrics scrape: %w", err)
+	afters := make([]map[string]*obs.MetricFamily, len(targets))
+	for i, t := range targets {
+		a, err := scrape(ctx, httpc, t)
+		if err != nil {
+			return nil, fmt.Errorf("load: post-run metrics scrape of %s: %w", t, err)
+		}
+		afters[i] = a
 	}
 
 	rep := &bench.SLOReport{
@@ -163,15 +205,23 @@ dispatch:
 		rep.Spec = raw
 	}
 
-	// Per-variant latency quantiles from the histogram scrape delta.
-	if fam := after["bgpc_svc_latency_seconds"]; fam != nil {
+	// Per-variant latency quantiles from the histogram scrape deltas.
+	// With multiple targets each contributes its own delta; equal-shape
+	// histograms (same binary, same buckets) merge by summation so
+	// quantiles come out of the fleet-wide distribution.
+	merged := map[string]obs.HistSnapshot{}
+	for ti := range targets {
+		fam := afters[ti]["bgpc_svc_latency_seconds"]
+		if fam == nil {
+			continue
+		}
 		for _, v := range obs.HistLabelValues(fam, "variant") {
 			cur, err := obs.HistFromFamily(fam, map[string]string{"variant": v})
 			if err != nil {
 				return nil, fmt.Errorf("load: latency histogram %q: %w", v, err)
 			}
 			var prev obs.HistSnapshot
-			if bfam := before["bgpc_svc_latency_seconds"]; bfam != nil {
+			if bfam := befores[ti]["bgpc_svc_latency_seconds"]; bfam != nil {
 				if p, err := obs.HistFromFamily(bfam, map[string]string{"variant": v}); err == nil {
 					prev = p
 				} else if !errors.Is(err, obs.ErrNoSeries) {
@@ -185,26 +235,36 @@ dispatch:
 			if delta.Count == 0 {
 				continue
 			}
-			rep.Variants[v] = bench.SLOVariant{
-				Requests: int64(delta.Count),
-				P50MS:    quantileMS(delta, 0.5),
-				P99MS:    quantileMS(delta, 0.99),
-				P999MS:   quantileMS(delta, 0.999),
+			sum, err := mergeHist(merged[v], delta)
+			if err != nil {
+				return nil, fmt.Errorf("load: latency histogram %q: %w", v, err)
 			}
+			merged[v] = sum
+		}
+	}
+	for v, delta := range merged {
+		rep.Variants[v] = bench.SLOVariant{
+			Requests: int64(delta.Count),
+			P50MS:    quantileMS(delta, 0.5),
+			P99MS:    quantileMS(delta, 0.99),
+			P999MS:   quantileMS(delta, 0.999),
 		}
 	}
 
-	// Every service counter's delta rides along for downstream
-	// analysis; the cache and rejection counters also get first-class
-	// fields.
-	for name := range after {
-		if !strings.HasPrefix(name, "bgpc_svc_") {
-			continue
-		}
-		if d, ok := obs.CounterDelta(before, after, name); ok {
-			rep.Counters[name] = int64(d)
+	// Every service and router counter's delta rides along for
+	// downstream analysis (summed across targets); the cache and
+	// rejection counters also get first-class fields.
+	for ti := range targets {
+		for name := range afters[ti] {
+			if !strings.HasPrefix(name, "bgpc_svc_") && !strings.HasPrefix(name, "bgpc_rtr_") {
+				continue
+			}
+			if d, ok := obs.CounterDelta(befores[ti], afters[ti], name); ok {
+				rep.Counters[name] += int64(d)
+			}
 		}
 	}
+	rep.Backends = backends
 	rep.CacheHits = rep.Counters["bgpc_svc_cache_hits_total"]
 	rep.CacheMisses = rep.Counters["bgpc_svc_cache_misses_total"]
 	if lookups := rep.CacheHits + rep.CacheMisses; lookups > 0 {
@@ -229,57 +289,70 @@ dispatch:
 }
 
 // issue sends one scheduled request and classifies the outcome into an
-// SLO status class, returning the class and the request-body bytes to
+// SLO status class, returning the class, the backend that served the
+// request (from the router's X-BGPC-Backend marker; "" when no backend
+// was named, e.g. transport failures), and the request-body bytes to
 // charge to the rejected-bytes total (0 for accepted requests).
+//
+// A success a fleet router served via failover or spillover (marked
+// X-BGPC-Rerouted / X-BGPC-Spilled) classifies as "rerouted" rather
+// than "2xx" — same availability, different placement, and the split
+// is exactly what a kill-one-backend chaos run needs to quantify.
 //
 // Delta items are issued against the fingerprint learned for their key.
 // With none learned, or when the daemon answers 404 (the base graph was
 // evicted or the daemon restarted), the item degrades to its full-color
 // request — the protocol's prescribed client fallback — and the outcome
 // of that fallback is what gets classified.
-func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (class string, rejectedBytes int64) {
+func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (class, backend string, rejectedBytes int64) {
 	rctx := ctx
 	if it.CancelAfter > 0 {
 		var cancel context.CancelFunc
 		rctx, cancel = context.WithTimeout(ctx, it.CancelAfter)
 		defer cancel()
 	}
+	okClass := func(ri client.RouteInfo) string {
+		if ri.Spilled || ri.Rerouted {
+			return "rerouted"
+		}
+		return "2xx"
+	}
 	if it.Delta != nil {
 		if v, ok := fps.Load(it.Key); ok {
 			fp := v.(string)
-			_, err := cli.Delta(rctx, fp, *it.Delta)
+			_, ri, err := cli.DeltaRouted(rctx, fp, *it.Delta)
 			if err == nil {
-				return "2xx", 0
+				return okClass(ri), ri.Backend, 0
 			}
 			if it.CancelAfter > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
-				return "canceled", 0
+				return "canceled", ri.Backend, 0
 			}
 			var ae *client.APIError
 			if errors.As(err, &ae) {
 				if ae.Status != http.StatusNotFound {
 					switch {
 					case ae.Status == http.StatusTooManyRequests:
-						return "429", 0
+						return "429", ae.Route.Backend, 0
 					case ae.Status >= 500:
-						return "5xx", 0
+						return "5xx", ae.Route.Backend, 0
 					default:
-						return "4xx", 0
+						return "4xx", ae.Route.Backend, 0
 					}
 				}
 				// 404: the fingerprint is gone; unlearn it and fall
 				// through to the full color, which re-learns.
 				fps.CompareAndDelete(it.Key, v)
 			} else {
-				return "transport", 0
+				return "transport", "", 0
 			}
 		}
 	}
-	resp, err := cli.Color(rctx, it.Req)
+	resp, ri, err := cli.ColorRouted(rctx, it.Req)
 	if err == nil {
 		if it.Hostile == "" && resp.Fingerprint != "" {
 			fps.Store(it.Key, resp.Fingerprint)
 		}
-		return "2xx", 0
+		return okClass(ri), ri.Backend, 0
 	}
 	bodyBytes := func() int64 {
 		raw, merr := json.Marshal(it.Req)
@@ -289,21 +362,43 @@ func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (cla
 		return int64(len(raw))
 	}
 	if it.CancelAfter > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
-		return "canceled", 0
+		return "canceled", ri.Backend, 0
 	}
 	var ae *client.APIError
 	if errors.As(err, &ae) {
 		switch {
 		case ae.Status == http.StatusTooManyRequests:
-			return "429", 0
+			return "429", ae.Route.Backend, 0
 		case ae.Status >= 500:
-			return "5xx", 0
+			return "5xx", ae.Route.Backend, 0
 		default:
 			// 400/413-class rejections: the bytes the daemon refused.
-			return "4xx", bodyBytes()
+			return "4xx", ae.Route.Backend, bodyBytes()
 		}
 	}
-	return "transport", 0
+	return "transport", "", 0
+}
+
+// mergeHist sums two same-shape histogram snapshots (the multi-target
+// merge). An empty a passes b through.
+func mergeHist(a, b obs.HistSnapshot) (obs.HistSnapshot, error) {
+	if len(a.Buckets) == 0 && a.Count == 0 {
+		return b, nil
+	}
+	if len(a.Bounds) != len(b.Bounds) || len(a.Buckets) != len(b.Buckets) {
+		return obs.HistSnapshot{}, fmt.Errorf("histogram shapes differ across targets (%d vs %d buckets)",
+			len(a.Buckets), len(b.Buckets))
+	}
+	out := obs.HistSnapshot{
+		Bounds:  a.Bounds,
+		Buckets: make([]int64, len(a.Buckets)),
+		Count:   a.Count + b.Count,
+		Sum:     a.Sum + b.Sum,
+	}
+	for i := range a.Buckets {
+		out.Buckets[i] = a.Buckets[i] + b.Buckets[i]
+	}
+	return out, nil
 }
 
 // quantileMS converts a seconds-histogram quantile to milliseconds,

@@ -102,6 +102,29 @@ var (
 	ClientBreakerOpens Counter
 )
 
+// Router counters (internal/router): the fleet front that consistent-
+// hashes jobs across backend daemons. Like the service counters they
+// sit on request paths and are bumped unconditionally.
+var (
+	// RtrProxied counts requests the router forwarded to a backend
+	// (deduped followers do not count — their job ran once).
+	RtrProxied Counter
+	// RtrDedupHits counts requests collapsed into an identical in-flight
+	// job by the singleflight layer (one per follower).
+	RtrDedupHits Counter
+	// RtrSpillovers counts budget-aware reroutes: the ring owner
+	// answered 429/413 and the job spilled to the next ring member.
+	RtrSpillovers Counter
+	// RtrFailovers counts reroutes past a down or ejected owner to its
+	// ring successor (transport failure, 5xx, or health ejection).
+	RtrFailovers Counter
+	// RtrEjections counts suspect→ejected health transitions.
+	RtrEjections Counter
+	// RtrRecoveries counts probing→healthy health transitions (an
+	// ejected backend passed its recovery probes and rejoined the ring).
+	RtrRecoveries Counter
+)
+
 var metricsOn atomic.Bool
 
 // EnableMetrics switches hot-path counting on or off (default off).
@@ -161,6 +184,12 @@ var counterNames = map[string]*Counter{
 	"bgpc.svc_delta_misses":     &SvcDeltaMisses,
 	"bgpc.client_retries":       &ClientRetries,
 	"bgpc.client_breaker_opens": &ClientBreakerOpens,
+	"bgpc.rtr_proxied":          &RtrProxied,
+	"bgpc.rtr_dedup_hits":       &RtrDedupHits,
+	"bgpc.rtr_spillovers":       &RtrSpillovers,
+	"bgpc.rtr_failovers":        &RtrFailovers,
+	"bgpc.rtr_ejections":        &RtrEjections,
+	"bgpc.rtr_recoveries":       &RtrRecoveries,
 }
 
 // Snapshot returns the current value of every counter keyed by its

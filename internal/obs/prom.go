@@ -38,6 +38,12 @@ var counterHelp = map[string]string{
 	"bgpc.svc_delta_misses":     "Delta requests 404ed on an uncached base fingerprint.",
 	"bgpc.client_retries":       "Client attempts beyond the first.",
 	"bgpc.client_breaker_opens": "Client circuit-breaker closed-to-open transitions.",
+	"bgpc.rtr_proxied":          "Requests the router forwarded to a backend.",
+	"bgpc.rtr_dedup_hits":       "Requests collapsed into an identical in-flight job.",
+	"bgpc.rtr_spillovers":       "Budget-aware reroutes past a 429/413-rejecting owner.",
+	"bgpc.rtr_failovers":        "Reroutes past a down or ejected owner to its successor.",
+	"bgpc.rtr_ejections":        "Backend suspect-to-ejected health transitions.",
+	"bgpc.rtr_recoveries":       "Ejected backends that passed recovery probes and rejoined.",
 }
 
 // gaugeFunc is one registered live reading.

@@ -1,0 +1,170 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("10.0.0.%d:8972", i+1)
+	}
+	return m
+}
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("preset:grid:%d", i)
+	}
+	return keys
+}
+
+// TestRingBalance: with DefaultVNodes, key ownership across 2–16
+// backends stays reasonably uniform — no backend owns more than 1.45×
+// or less than 0.6× its fair share of 20k keys. The bounds pin the
+// vnode count's quality: dropping vnodes to, say, 8 fails this test.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(20000)
+	for n := 2; n <= 16; n++ {
+		r, err := NewRing(ringMembers(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		fair := float64(len(keys)) / float64(n)
+		for m, c := range counts {
+			load := float64(c) / fair
+			if load > 1.45 || load < 0.6 {
+				t.Errorf("n=%d: member %s owns %.2f× fair share", n, m, load)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding one member to an n-member ring moves
+// at most a bounded fraction of keys (the new member's fair share plus
+// slack), and every moved key moves TO the new member — consistent
+// hashing's defining property. Removing reverses it: only keys the
+// removed member owned change hands.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(20000)
+	for n := 2; n <= 8; n++ {
+		small, err := NewRing(ringMembers(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := NewRing(ringMembers(n+1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := fmt.Sprintf("10.0.0.%d:8972", n+1)
+		moved := 0
+		for _, k := range keys {
+			a, b := small.Owner(k), big.Owner(k)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != added {
+				t.Fatalf("n=%d: key %q moved %s → %s, not to the added member %s", n, k, a, b, added)
+			}
+		}
+		// Fair share is 1/(n+1); allow 1.6× slack for hash unevenness.
+		maxMoved := int(1.6 * float64(len(keys)) / float64(n+1))
+		if moved > maxMoved {
+			t.Errorf("n=%d→%d: %d keys moved, want ≤ %d", n, n+1, moved, maxMoved)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d→%d: no keys moved — the new member owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestRingDeterministic: ownership is a pure function of the member
+// SET — input order, duplicates, and separate constructions all agree,
+// so independent routers route identically.
+func TestRingDeterministic(t *testing.T) {
+	members := ringMembers(5)
+	shuffled := []string{members[3], members[0], members[4], members[2], members[1], members[0]}
+	r1, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(2000) {
+		if a, b := r1.Owner(k), r2.Owner(k); a != b {
+			t.Fatalf("key %q: owner %s vs %s across equivalent rings", k, a, b)
+		}
+		o1, o2 := r1.Order(k), r2.Order(k)
+		if len(o1) != 5 || len(o2) != 5 {
+			t.Fatalf("key %q: Order lengths %d/%d, want 5", k, len(o1), len(o2))
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("key %q: Order[%d] %s vs %s", k, i, o1[i], o2[i])
+			}
+		}
+	}
+}
+
+// TestRingOrderSuccession: Order starts at the owner, lists every
+// member exactly once, and removing the owner from the ring promotes
+// exactly Order[1] — the failover contract the proxy loop relies on.
+func TestRingOrderSuccession(t *testing.T) {
+	members := ringMembers(6)
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(500) {
+		order := r.Order(k)
+		if order[0] != r.Owner(k) {
+			t.Fatalf("key %q: Order[0]=%s, Owner=%s", k, order[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("key %q: member %s appears twice in Order", k, m)
+			}
+			seen[m] = true
+		}
+		if len(order) != len(members) {
+			t.Fatalf("key %q: Order has %d members, want %d", k, len(order), len(members))
+		}
+
+		// Rebuild the ring without the owner: the successor takes over.
+		var rest []string
+		for _, m := range members {
+			if m != order[0] {
+				rest = append(rest, m)
+			}
+		}
+		r2, err := NewRing(rest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r2.Owner(k); got != order[1] {
+			t.Fatalf("key %q: after removing owner, new owner %s, want successor %s", k, got, order[1])
+		}
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("NewRing(nil) succeeded, want error")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("NewRing with empty name succeeded, want error")
+	}
+}

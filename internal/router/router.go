@@ -1,0 +1,487 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"bgpc/internal/failpoint"
+	"bgpc/internal/obs"
+	"bgpc/internal/service"
+)
+
+// Failpoints in the router's serving path.
+const (
+	// FPPick sits before candidate selection; err makes the request
+	// fail as if no backend were eligible (503).
+	FPPick = "router.pick"
+	// FPProxy sits before each backend round trip; err counts as a
+	// transport failure against that backend (feeds its health).
+	FPProxy = "router.proxy"
+)
+
+// Config describes a router fleet.
+type Config struct {
+	// Backends are the bgpcd addresses (host:port) forming the fleet.
+	// At least one is required.
+	Backends []string
+	// VNodes is the ring's virtual-node count per backend; ≤ 0 means
+	// DefaultVNodes.
+	VNodes int
+	// MaxHops caps how many backends one request may visit across
+	// failover and spillover; < 1 means 3 (capped at the fleet size).
+	MaxHops int
+	// Health tunes the per-backend health machinery.
+	Health HealthConfig
+	// Transport overrides the backend HTTP transport (tests); nil
+	// means a dedicated transport with sane pooling.
+	Transport http.RoundTripper
+	// MaxRequestBytes caps an inbound body; ≤ 0 means 64 MiB. The
+	// backends enforce their own caps; this one only stops the router
+	// buffering unbounded bodies for the singleflight key.
+	MaxRequestBytes int64
+	// Log receives the router's structured request log; nil means
+	// slog.Default().
+	Log *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxHops < 1 {
+		c.MaxHops = 3
+	}
+	if c.MaxHops > len(c.Backends) {
+		c.MaxHops = len(c.Backends)
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	c.Health = c.Health.withDefaults()
+	return c
+}
+
+// Router is the fleet front: one Ring for placement, one backend (with
+// breaker + prober) per fleet member, one singleflight group for
+// dedup. It implements http.Handler with the same job surface as a
+// single bgpcd — clients point at the router and cannot tell the
+// difference except for the X-BGPC-* routing headers.
+type Router struct {
+	cfg      Config
+	ring     *Ring
+	backends map[string]*backend
+	hc       *http.Client
+	sf       *group
+	mux      *http.ServeMux
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a Router over cfg.Backends and starts one health prober
+// per backend. Close stops the probers.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Backends, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = &http.Transport{MaxIdleConnsPerHost: 32, IdleConnTimeout: 30 * time.Second}
+	}
+	rt := &Router{
+		cfg:      cfg,
+		ring:     ring,
+		backends: make(map[string]*backend, len(ring.Members())),
+		hc:       &http.Client{Transport: tr},
+		sf:       newGroup(),
+		mux:      http.NewServeMux(),
+	}
+	for _, m := range ring.Members() {
+		rt.backends[m] = newBackend(m, cfg.Health)
+	}
+	rt.mux.HandleFunc("POST /color", rt.handleColor)
+	rt.mux.HandleFunc("POST /color/{fingerprint}/delta", rt.handleDelta)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /rtr/backends", rt.handleBackends)
+
+	// Per-backend health gauges. RegisterGauge carries no labels, so
+	// each backend gets an indexed series (index = position in the
+	// sorted member list); /rtr/backends maps indexes to addresses.
+	for i, m := range ring.Members() {
+		b := rt.backends[m]
+		obs.RegisterGauge(fmt.Sprintf("bgpc.rtr_backend_state_%d", i),
+			fmt.Sprintf("Health state of backend %d (0 healthy, 1 suspect, 2 ejected, 3 probing); addresses on /rtr/backends.", i),
+			func() int64 { return int64(b.State()) })
+	}
+	obs.RegisterGauge("bgpc.rtr_backends_eligible",
+		"Backends currently eligible for traffic (healthy/suspect with a willing breaker).",
+		func() int64 { return int64(rt.eligibleCount()) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.cancel = cancel
+	for _, m := range ring.Members() {
+		b := rt.backends[m]
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			b.prober(ctx, rt.hc, rt.cfg.Health)
+		}()
+	}
+	return rt, nil
+}
+
+// Close stops the health probers and idle connections. In-flight
+// proxied requests are not interrupted.
+func (rt *Router) Close() {
+	rt.cancel()
+	rt.wg.Wait()
+	rt.hc.CloseIdleConnections()
+}
+
+// Ring exposes the placement ring (read-only; for tools and tests).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// BackendState reports the health state of the backend at addr.
+func (rt *Router) BackendState(addr string) (BackendState, bool) {
+	b, ok := rt.backends[addr]
+	if !ok {
+		return 0, false
+	}
+	return b.State(), true
+}
+
+func (rt *Router) eligibleCount() int {
+	n := 0
+	for _, b := range rt.backends {
+		if b.eligible() {
+			n++
+		}
+	}
+	return n
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// handleHealthz: the router is healthy while at least one backend is
+// eligible — a fleet with every member ejected cannot serve.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if rt.eligibleCount() == 0 {
+		http.Error(w, "no eligible backend", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w)
+}
+
+// handleBackends serves the fleet roster: index → address, health
+// state, breaker state. This is the companion to the indexed
+// rtr_backend_state_<i> gauges on /metrics.
+func (rt *Router) handleBackends(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Index   int    `json:"index"`
+		Addr    string `json:"addr"`
+		State   string `json:"state"`
+		Breaker string `json:"breaker"`
+	}
+	var rows []row
+	for i, m := range rt.ring.Members() {
+		b := rt.backends[m]
+		rows = append(rows, row{i, m, b.State().String(), b.br.State().String()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rows)
+}
+
+// handleColor routes a full coloring job: the routing key is the
+// backend graph-cache key the request resolves to, so jobs on one
+// graph land on the backend already caching it.
+func (rt *Router) handleColor(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req service.ColorRequest
+	var key, variant string
+	if err := json.Unmarshal(body, &req); err == nil {
+		key = service.CacheKey(&req)
+		variant = colorVariant(&req)
+	} else {
+		// Malformed JSON still routes (deterministically, by content);
+		// the owning backend issues the 400.
+		sum := sha256.Sum256(body)
+		key, variant = "raw:"+hex.EncodeToString(sum[:]), "unknown"
+	}
+	rt.route(w, r, body, key, variant)
+}
+
+// handleDelta routes a delta-recoloring job by the path fingerprint —
+// the same identity the graph cache indexes, so a delta chases its
+// base graph to whichever backend colored it.
+func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	fp := r.PathValue("fingerprint")
+	variant := "delta"
+	var req struct {
+		Mode string `json:"mode"`
+	}
+	if json.Unmarshal(body, &req) == nil && (req.Mode == "d2" || req.Mode == "d2gc") {
+		variant = "delta/d2"
+	}
+	rt.route(w, r, body, "fp:"+fp, variant)
+}
+
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxRequestBytes))
+	if err != nil {
+		rt.writeError(w, r, http.StatusRequestEntityTooLarge, "reading request: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// route is the shared serving path: dedup identical concurrent jobs,
+// proxy via ring order with failover and spillover, replay the
+// backend's response, and observe end-to-end latency under the same
+// histogram family a single daemon uses (so one SLO pipeline reads
+// either topology).
+func (rt *Router) route(w http.ResponseWriter, r *http.Request, body []byte, key, variant string) {
+	start := time.Now()
+
+	// Identical job = same path + byte-identical body. The routing key
+	// alone is too coarse (it ignores mode/algorithm/threads); the body
+	// hash captures exactly "would produce an identical response".
+	sum := sha256.Sum256(body)
+	sfKey := r.URL.Path + "\x00" + hex.EncodeToString(sum[:])
+
+	// Forward correlation headers verbatim; mint an id only when the
+	// client sent none, so the router hop never breaks a trace.
+	hdr := make(http.Header, 4)
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		hdr.Set("Content-Type", ct)
+	}
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		hdr.Set("traceparent", tp)
+	}
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		hdr.Set("X-Request-ID", id)
+	} else if hdr.Get("traceparent") == "" {
+		hdr.Set("X-Request-ID", obs.NewRequestID())
+	}
+
+	res, shared, err := rt.sf.Do(r.Context(), sfKey, func(ctx context.Context) (*flightResult, error) {
+		return rt.proxy(ctx, r.Method, r.URL.RequestURI(), hdr, body, key)
+	})
+	if shared {
+		obs.RtrDedupHits.Inc()
+	}
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client gone; nothing to write.
+			return
+		}
+		rt.writeError(w, r, http.StatusServiceUnavailable, "%v", err)
+		rt.logRequest(r, http.StatusServiceUnavailable, key, variant, shared, time.Since(start))
+		return
+	}
+
+	h := w.Header()
+	for k, vs := range res.header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	if shared {
+		h.Set("X-BGPC-Deduped", "1")
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+
+	obs.SvcLatency.With(variant).Observe(time.Since(start).Seconds())
+	rt.logRequest(r, res.status, key, variant, shared, time.Since(start))
+}
+
+func (rt *Router) logRequest(r *http.Request, status int, key, variant string, shared bool, dur time.Duration) {
+	rt.cfg.Log.LogAttrs(context.Background(), slog.LevelInfo, "route",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.String("key", key),
+		slog.String("variant", variant),
+		slog.Bool("deduped", shared),
+		slog.Float64("dur_ms", float64(dur.Microseconds())/1000),
+	)
+}
+
+// errNoBackend reports that every candidate was down, ejected, or
+// refused by its breaker.
+var errNoBackend = errors.New("router: no eligible backend")
+
+// proxy walks the ring order for key, applying the failover/spillover
+// policy:
+//
+//   - ineligible (ejected/probing/breaker-open) → skip to successor
+//   - transport error or 5xx → passive failure, try successor
+//   - 429/413 → the backend is alive but out of budget: remember its
+//     rejection, spill to the successor
+//   - anything else (2xx, 4xx) → final
+//
+// If every visited backend rejected with 429/413, the OWNER's original
+// rejection (with its Retry-After) is replayed — the owner's backoff
+// advice is the authoritative one for this key. MaxHops bounds the
+// walk so a misbehaving fleet cannot turn one request into N.
+func (rt *Router) proxy(ctx context.Context, method, uri string, hdr http.Header, body []byte, key string) (*flightResult, error) {
+	if err := failpoint.Inject(FPPick); err != nil {
+		return nil, fmt.Errorf("%w (injected)", errNoBackend)
+	}
+	order := rt.ring.Order(key)
+	var firstReject *flightResult
+	hops := 0
+	rerouted, spilled := false, false
+	for _, name := range order {
+		if hops >= rt.cfg.MaxHops {
+			break
+		}
+		b := rt.backends[name]
+		if s := b.State(); s != StateHealthy && s != StateSuspect {
+			rerouted = true
+			continue
+		}
+		if b.br.Allow() != nil {
+			rerouted = true
+			continue
+		}
+		hops++
+		res, err := rt.send(ctx, b, method, uri, hdr, body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			b.reportFailure(rt.cfg.Health)
+			obs.RtrFailovers.Inc()
+			rerouted = true
+			continue
+		}
+		switch {
+		case res.status >= 500:
+			// The server answered but is failing; that is breaker food
+			// and grounds to try the successor.
+			b.reportFailure(rt.cfg.Health)
+			obs.RtrFailovers.Inc()
+			rerouted = true
+			continue
+		case res.status == http.StatusTooManyRequests || res.status == http.StatusRequestEntityTooLarge:
+			// Alive, just out of budget — healthy signal, spill onward.
+			b.reportSuccess()
+			if firstReject == nil {
+				firstReject = res
+			}
+			obs.RtrSpillovers.Inc()
+			spilled = true
+			continue
+		default:
+			b.reportSuccess()
+			obs.RtrProxied.Inc()
+			res.header["X-Bgpc-Backend"] = []string{name}
+			if spilled {
+				res.header["X-Bgpc-Spilled"] = []string{"1"}
+			}
+			if rerouted {
+				res.header["X-Bgpc-Rerouted"] = []string{"1"}
+			}
+			return res, nil
+		}
+	}
+	if firstReject != nil {
+		obs.RtrProxied.Inc()
+		firstReject.header["X-Bgpc-Backend"] = []string{firstReject.backend}
+		return firstReject, nil
+	}
+	return nil, errNoBackend
+}
+
+// send performs one backend round trip, buffering the response so the
+// singleflight layer can fan it out.
+func (rt *Router) send(ctx context.Context, b *backend, method, uri string, hdr http.Header, body []byte) (*flightResult, error) {
+	if err := failpoint.Inject(FPProxy); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.base+uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	h := make(map[string][]string, len(resp.Header))
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	return &flightResult{status: resp.StatusCode, header: h, body: rb, backend: b.name}, nil
+}
+
+// writeError answers in the backends' ErrorResponse shape so clients
+// parse router-originated errors (no eligible backend, oversized body)
+// exactly like backend ones. 503s carry Retry-After: the fleet being
+// fully dark is usually a transient (mid-restart) condition.
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id, _ = obs.RequestIDFromHeaders(r.Header.Get("traceparent"), "")
+	}
+	w.Header().Set("X-Request-ID", id)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(service.ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: id,
+	})
+}
+
+// colorVariant mirrors the backend's latency-histogram label for a
+// color job (algorithm, "d2/"-prefixed in d2 mode) so router-observed
+// and daemon-observed latencies land in the same series.
+func colorVariant(req *service.ColorRequest) string {
+	algo := req.Algorithm
+	if algo == "" {
+		algo = "N1-N2"
+	}
+	if req.Mode == "d2" || req.Mode == "d2gc" {
+		return "d2/" + algo
+	}
+	return algo
+}

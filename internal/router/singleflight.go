@@ -1,0 +1,102 @@
+package router
+
+import (
+	"context"
+	"sync"
+)
+
+// This file is the router's dedup layer: identical concurrent jobs
+// (same routing path + byte-identical body, i.e. same fingerprint,
+// variant, and mode) collapse into ONE backend execution whose result
+// fans out to every caller. Unlike the stdlib-style singleflight, the
+// flight is refcounted: callers whose contexts end leave the flight,
+// and only when the LAST caller leaves is the shared execution
+// canceled — one impatient client must not kill the job nine patient
+// ones are waiting on. The execution runs on a context derived with
+// WithoutCancel from the leader's, so it outlives the leader while
+// still inheriting its values (request-id correlation).
+
+// flightResult is the captured backend response a flight fans out:
+// enough to replay the proxy response to every waiter.
+type flightResult struct {
+	status  int
+	header  map[string][]string
+	body    []byte
+	backend string // which backend served it (X-BGPC-Backend)
+}
+
+// flight is one in-progress shared execution.
+type flight struct {
+	done    chan struct{} // closed when res/err are final
+	res     *flightResult
+	err     error
+	waiters int // callers still interested; guarded by group.mu
+	cancel  context.CancelFunc
+}
+
+// group collapses concurrent Do calls with equal keys.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newGroup() *group { return &group{m: make(map[string]*flight)} }
+
+// Do executes fn once per key among concurrent callers. The first
+// caller leads (shared=false); callers arriving while the flight is in
+// progress follow (shared=true) and receive the leader's result.
+// A caller whose ctx ends gets ctx.Err() and leaves the flight; the
+// shared execution is canceled only when no callers remain.
+func (g *group) Do(ctx context.Context, key string, fn func(context.Context) (*flightResult, error)) (res *flightResult, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, key, f, true)
+	}
+	f := &flight{done: make(chan struct{}), waiters: 1}
+	execCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f.cancel = cancel
+	g.m[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		f.res, f.err = fn(execCtx)
+		g.mu.Lock()
+		// Unlink before signaling: a caller arriving after done closes
+		// must start a fresh flight, never join a finished one.
+		if g.m[key] == f {
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	return g.wait(ctx, key, f, false)
+}
+
+// wait blocks until the flight lands or ctx ends.
+func (g *group) wait(ctx context.Context, key string, f *flight, shared bool) (*flightResult, bool, error) {
+	select {
+	case <-f.done:
+		return f.res, shared, f.err
+	case <-ctx.Done():
+		g.leave(key, f)
+		return nil, shared, ctx.Err()
+	}
+}
+
+// leave drops one waiter; the last one out cancels the execution and
+// unlinks the flight so later arrivals start fresh.
+func (g *group) leave(key string, f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	if last && g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}

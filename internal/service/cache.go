@@ -211,6 +211,24 @@ func (c *graphCache) len() int {
 	return c.ll.Len()
 }
 
+// CacheKey returns the graph-cache key a ColorRequest resolves to: the
+// content hash of an inline matrix, or name+scale for a preset (with
+// resolve's scale-0-means-1 default applied). Exported for the fleet
+// router, which consistent-hashes this key so that requests for one
+// graph land on the backend that already caches it. Requests resolve
+// would reject key to whatever material they carry; the router never
+// needs them to match anything.
+func CacheKey(req *ColorRequest) string {
+	if req.Matrix != "" {
+		return matrixKey(req.Matrix)
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	return presetKey(req.Preset, scale)
+}
+
 // matrixKey is the content hash of an inline MatrixMarket body.
 func matrixKey(matrix string) string {
 	sum := sha256.Sum256([]byte(matrix))
