@@ -1,0 +1,236 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/client"
+	"bgpc/internal/delta"
+	"bgpc/internal/service"
+	"bgpc/internal/testutil"
+	"bgpc/internal/verify"
+)
+
+// The crash-consistency battery: a real bgpcd process (not an
+// in-process server — SIGKILL must be a true kill, no deferred
+// flushes) runs with -wal-sync always while a client drives a
+// color + delta-chain write burst, recording every acknowledged
+// fingerprint together with a locally maintained mirror graph. Mid
+// burst the daemon is SIGKILLed. A second process restarts against the
+// same -wal-dir, and every acknowledged fingerprint must still serve a
+// delta — no 404, no full-recolor fallback to a different base — with
+// colors that verify against the mirror. Acknowledged means durable;
+// anything less is a bug this test exists to catch.
+
+func (c *lineCapture) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.String()
+}
+
+// buildDaemon compiles the real binary (race-instrumented when the
+// test itself is) and returns its path.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bgpcd")
+	args := []string{"build"}
+	if testutil.RaceEnabled {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "bgpc/cmd/bgpcd")
+	cmd := exec.Command("go", args...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startCrashDaemon launches the binary against walDir and waits for
+// its listen banner. The returned capture keeps accumulating output
+// (the recovery report) for later assertions.
+func startCrashDaemon(t *testing.T, bin, walDir string) (*exec.Cmd, string, *lineCapture) {
+	t.Helper()
+	out := &lineCapture{}
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "4",
+		"-wal-dir", walDir, "-wal-sync", "always")
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	var addr string
+	testutil.WaitFor(t, testutil.Scale(10*time.Second), func() bool {
+		a, ok := out.addr()
+		addr = a
+		return ok
+	}, "daemon to print its listen address")
+	return cmd, "http://" + addr, out
+}
+
+// mtxText serializes a graph as MatrixMarket coordinate text, the wire
+// format POST /color takes.
+func mtxText(g *bipartite.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%%%%MatrixMarket matrix coordinate pattern general\n%d %d %d\n",
+		g.NumNets(), g.NumVertices(), g.NumEdges())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "%d %d\n", e.Net+1, e.Vtx+1)
+	}
+	return b.String()
+}
+
+// toggleEdge returns a delta that effectively mutates g at e: remove
+// if present, insert if absent. Every acked step therefore moves the
+// fingerprint.
+func toggleEdge(g *bipartite.Graph, e bipartite.Edge) service.DeltaRequest {
+	for _, have := range g.Vtxs(e.Net) {
+		if have == e.Vtx {
+			return service.DeltaRequest{Remove: delta.EdgeList{e}}
+		}
+	}
+	return service.DeltaRequest{Insert: delta.EdgeList{e}}
+}
+
+func TestCrashConsistencySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a real daemon; skipped in -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), testutil.Scale(2*time.Minute))
+	defer cancel()
+
+	bin := buildDaemon(t)
+	walDir := t.TempDir()
+	cmd, base, _ := startCrashDaemon(t, bin, walDir)
+
+	// Single-attempt client: the first post-kill request must surface
+	// the connection error instead of retrying into the void.
+	c := client.New(client.Config{BaseURL: base, MaxAttempts: 1})
+
+	const numNet, numVtx = 24, 32
+	r := rand.New(rand.NewSource(9))
+	seed := make([]bipartite.Edge, 140)
+	for i := range seed {
+		seed[i] = bipartite.Edge{Net: int32(r.Intn(numNet)), Vtx: int32(r.Intn(numVtx))}
+	}
+	mirror, err := bipartite.FromEdges(numNet, numVtx, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Color(ctx, service.ColorRequest{Matrix: mtxText(mirror), Algorithm: "N1-N2"})
+	if err != nil {
+		t.Fatalf("base coloring: %v", err)
+	}
+	if want := fmt.Sprintf("%016x", mirror.Fingerprint()); resp.Fingerprint != want {
+		t.Fatalf("daemon fingerprint %s, local mirror %s", resp.Fingerprint, want)
+	}
+
+	// Acked state: every fingerprint the daemon acknowledged, with the
+	// mirror graph it must still be able to delta from after the crash.
+	acked := map[string]*bipartite.Graph{resp.Fingerprint: mirror}
+
+	// Noise writer: uncorrelated colorings keep appends in flight so
+	// the SIGKILL lands mid-write, not in a quiet gap.
+	noiseCtx, stopNoise := context.WithCancel(ctx)
+	defer stopNoise()
+	go func() {
+		nc := client.New(client.Config{BaseURL: base, MaxAttempts: 1})
+		nr := rand.New(rand.NewSource(77))
+		for i := 0; noiseCtx.Err() == nil; i++ {
+			edges := make([]bipartite.Edge, 60)
+			for j := range edges {
+				edges[j] = bipartite.Edge{Net: int32(nr.Intn(12)), Vtx: int32(nr.Intn(16))}
+			}
+			g, err := bipartite.FromEdges(12, 16, edges)
+			if err != nil {
+				return
+			}
+			if _, err := nc.Color(noiseCtx, service.ColorRequest{Matrix: mtxText(g)}); err != nil {
+				return // daemon gone — the burst loop handles the assertion
+			}
+		}
+	}()
+
+	const killAfter = 20 // acked deltas before the plug is pulled
+	tip := resp.Fingerprint
+	killed := false
+	for i := 0; ; i++ {
+		e := bipartite.Edge{Net: int32(i % numNet), Vtx: int32((i*7 + 3) % numVtx)}
+		req := toggleEdge(mirror, e)
+		dresp, err := c.Delta(ctx, tip, req)
+		if err != nil {
+			if !killed {
+				t.Fatalf("delta %d failed before the kill: %v", i, err)
+			}
+			break // post-kill connection error: burst over
+		}
+		next, _, _, err := mirror.ApplyDelta(req.Insert, req.Remove)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("%016x", next.Fingerprint()); dresp.Fingerprint != want {
+			t.Fatalf("delta %d: daemon fingerprint %s, mirror %s", i, dresp.Fingerprint, want)
+		}
+		mirror, tip = next, dresp.Fingerprint
+		acked[tip] = mirror
+		if len(acked) == killAfter && !killed {
+			// SIGKILL, not SIGTERM: no drain, no Close, no final sync.
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatalf("kill: %v", err)
+			}
+			killed = true
+		}
+	}
+	stopNoise()
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("daemon exited cleanly despite SIGKILL")
+	}
+	t.Logf("killed daemon with %d acked colorings (base + %d deltas)", len(acked), len(acked)-1)
+
+	// Restart against the same data dir. Recovery must report, then
+	// every acknowledged fingerprint must serve a delta off itself.
+	cmd2, base2, out2 := startCrashDaemon(t, bin, walDir)
+	if !strings.Contains(out2.String(), "wal recovered") {
+		t.Fatalf("no recovery report in restart output:\n%s", out2.String())
+	}
+	c2 := client.New(client.Config{BaseURL: base2, MaxAttempts: 4, BaseBackoff: 20 * time.Millisecond})
+	probe := bipartite.Edge{Net: 1, Vtx: 2}
+	for fp, g := range acked {
+		req := toggleEdge(g, probe)
+		dresp, err := c2.Delta(ctx, fp, req)
+		if err != nil {
+			var apiErr *client.APIError
+			if errors.As(err, &apiErr) {
+				t.Fatalf("acked fingerprint %s lost in crash: status %d: %s", fp, apiErr.Status, apiErr.Message)
+			}
+			t.Fatalf("probing acked fingerprint %s: %v", fp, err)
+		}
+		if dresp.BaseFingerprint != fp {
+			t.Fatalf("probe of %s answered from base %s (full-recolor fallback?)", fp, dresp.BaseFingerprint)
+		}
+		mutated, _, _, err := g.ApplyDelta(req.Insert, req.Remove)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.BGPC(mutated, dresp.Colors); err != nil {
+			t.Fatalf("recovered coloring for %s invalid: %v", fp, err)
+		}
+	}
+	cmd2.Process.Kill()
+	cmd2.Wait()
+}

@@ -11,6 +11,9 @@
 //	      [-mem-budget BYTES] [-max-job-bytes BYTES]
 //	      [-max-rows N] [-max-cols N] [-max-nnz N] [-max-line-bytes N]
 //	      [-failpoints name=kind[:arg][@times][#skip];…]
+//	      [-wal-dir DIR] [-wal-sync always|interval|never]
+//	      [-wal-sync-interval 100ms] [-wal-segment-bytes N]
+//	      [-wal-snapshot-every N]
 //	      [-selftest]
 //
 // API (see internal/service for the full request/response schema):
@@ -33,6 +36,13 @@
 // X-Request-ID response header and in every JSON body, and logged in
 // one structured access line per request (slog; -log-json switches the
 // handler to JSON).
+//
+// With -wal-dir the daemon appends every accepted coloring and delta
+// to a segmented write-ahead log; on boot it recovers the newest valid
+// snapshot plus the log tail, truncating a torn tail and quarantining
+// corrupted segments, re-verifies every recovered coloring before it
+// re-enters the cache, and on disk failure trips a one-way fuse to
+// in-memory-only serving (X-BGPC-Durability: none) rather than erroring.
 //
 // On SIGTERM/SIGINT the daemon stops accepting connections, lets
 // admitted jobs finish (bounded by -drain-grace), then exits.
@@ -65,6 +75,7 @@ import (
 	"bgpc/internal/limits"
 	"bgpc/internal/obs"
 	"bgpc/internal/service"
+	"bgpc/internal/wal"
 )
 
 func main() {
@@ -104,6 +115,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxNNZ := fs.Int64("max-nnz", 0, "reject matrices declaring more nonzeros than this (0 = library default)")
 	maxLineBytes := fs.Int("max-line-bytes", 0, "reject matrix lines longer than this many bytes (0 = library default)")
 	selftestFlag := fs.Bool("selftest", false, "start an in-process daemon, run the client battery against it, print a report, and exit non-zero on failure")
+	walDir := fs.String("wal-dir", "", "write-ahead-log data directory for durable colorings (empty disables durability)")
+	walSync := fs.String("wal-sync", wal.SyncInterval, "WAL fsync policy: always (fsync each append), interval (batched), or never")
+	walSyncInterval := fs.Duration("wal-sync-interval", 100*time.Millisecond, "batch fsync period under -wal-sync interval")
+	walSegmentBytes := fs.Int64("wal-segment-bytes", 0, "rotate WAL segments past this many bytes (0 = 4 MiB)")
+	walSnapshotEvery := fs.Int("wal-snapshot-every", 0, "compact the WAL into a snapshot every N appends (0 = 512, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -157,6 +173,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *selftestFlag {
 		return selftest(ctx, cfg, stdout)
 	}
+	if *walDir != "" {
+		l, stats, err := wal.Open(wal.Options{
+			Dir:           *walDir,
+			Sync:          *walSync,
+			Interval:      *walSyncInterval,
+			SegmentBytes:  *walSegmentBytes,
+			SnapshotEvery: *walSnapshotEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("-wal-dir %s: %w", *walDir, err)
+		}
+		defer l.Close()
+		fmt.Fprintf(stdout, "bgpcd: wal recovered %s (%s)\n", *walDir, stats)
+		cfg.WAL = l
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -171,6 +202,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv := service.New(cfg)
+	if cfg.WAL != nil {
+		fmt.Fprintf(stdout, "bgpcd: wal warmed %d colorings into the cache\n", srv.WarmedColorings())
+	}
 	if b := srv.MemBudget(); b > 0 {
 		fmt.Fprintf(stdout, "bgpcd: memory budget %d bytes\n", b)
 	}

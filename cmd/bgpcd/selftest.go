@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"bgpc/internal/mtx"
 	"bgpc/internal/service"
 	"bgpc/internal/verify"
+	"bgpc/internal/wal"
 )
 
 // selftest boots an in-process daemon on an ephemeral port and drives
@@ -24,7 +26,9 @@ import (
 // liveness, a verified coloring, permanent 413 rejection of an
 // oversized job, retryable 429s under budget pressure that the
 // client's backoff rides out, an incremental delta-recolor chain
-// (mutate by fingerprint, verify, invert, 404 on an unknown base), and
+// (mutate by fingerprint, verify, invert, 404 on an unknown base), a
+// durability recover-chain (color → delta → restart against the same
+// WAL directory → delta off the recovered fingerprint), and
 // a circuit-breaker open/half-open/recover cycle against injected
 // faults. It is the deploy-time smoke
 // check: `bgpcd -selftest` exits 0 only if the daemon and client agree
@@ -156,6 +160,95 @@ func selftest(ctx context.Context, cfg service.Config, stdout io.Writer) error {
 				return fmt.Errorf("unknown fingerprint: want 404, got %v", err)
 			}
 			return nil
+		}},
+		{"recover-chain", func() error {
+			// The durability contract through a real restart: color and
+			// delta against one daemon incarnation writing a WAL, tear it
+			// down, boot a second incarnation on the same data dir, and
+			// delta off the recovered fingerprint. The recovered response
+			// must extend the chain (no 404, no silent full-recolor
+			// fallback to a different base) and verify locally.
+			dir, err := os.MkdirTemp("", "bgpcd-selftest-wal-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+
+			incarnation := func(fn func(c *client.Client) error) error {
+				l, _, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways})
+				if err != nil {
+					return err
+				}
+				defer l.Close()
+				wcfg := cfg
+				wcfg.WAL = l
+				wsrv := service.New(wcfg)
+				defer func() {
+					dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					defer cancel()
+					wsrv.Drain(dctx)
+				}()
+				wln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return err
+				}
+				whttp := &http.Server{Handler: wsrv}
+				go whttp.Serve(wln)
+				defer whttp.Close()
+				return fn(client.New(client.Config{
+					BaseURL:     "http://" + wln.Addr().String(),
+					MaxAttempts: 4,
+					BaseBackoff: 20 * time.Millisecond,
+				}))
+			}
+
+			ins := delta.EdgeList{{Net: 0, Vtx: 3}}
+			ins2 := delta.EdgeList{{Net: 1, Vtx: 0}}
+			var tipFP string
+			if err := incarnation(func(c *client.Client) error {
+				resp, err := c.Color(ctx, service.ColorRequest{Matrix: tiny, Algorithm: "N1-N2"})
+				if err != nil {
+					return err
+				}
+				dresp, err := c.Delta(ctx, resp.Fingerprint, service.DeltaRequest{Insert: ins})
+				if err != nil {
+					return err
+				}
+				tipFP = dresp.Fingerprint
+				return nil
+			}); err != nil {
+				return fmt.Errorf("first incarnation: %w", err)
+			}
+
+			return incarnation(func(c *client.Client) error {
+				dresp, err := c.Delta(ctx, tipFP, service.DeltaRequest{Insert: ins2})
+				if err != nil {
+					return fmt.Errorf("delta off recovered fingerprint %s: %w", tipFP, err)
+				}
+				if dresp.BaseFingerprint != tipFP {
+					return fmt.Errorf("recovered chain base %s, want %s (full-recolor fallback?)",
+						dresp.BaseFingerprint, tipFP)
+				}
+				g, err := mtx.ReadLimited(strings.NewReader(tiny), limits.DefaultParseLimits())
+				if err != nil {
+					return err
+				}
+				g2, _, _, err := g.ApplyDelta(ins, nil)
+				if err != nil {
+					return err
+				}
+				g3, _, _, err := g2.ApplyDelta(ins2, nil)
+				if err != nil {
+					return err
+				}
+				if err := verify.BGPC(g3, dresp.Colors); err != nil {
+					return fmt.Errorf("recovered-chain coloring invalid: %w", err)
+				}
+				if dresp.Fingerprint != fmt.Sprintf("%016x", g3.Fingerprint()) {
+					return fmt.Errorf("chain tip fingerprint %s does not match local mirror", dresp.Fingerprint)
+				}
+				return nil
+			})
 		}},
 		{"breaker-opens-and-recovers", func() error {
 			// A dedicated single-attempt client makes the breaker walk

@@ -79,6 +79,12 @@ type APIError struct {
 	// body or the X-Request-ID response header — quote it to resolve
 	// the failure in the daemon's access log and /debug/requests/{id}.
 	RequestID string
+	// Recoverable mirrors the server's recoverable hint on delta-path
+	// 404/409s: the daemon's write-ahead log acknowledged the
+	// fingerprint but could not rehydrate it for this request (recovery
+	// race, transient IO trouble). The fingerprint is still durable —
+	// retry instead of unlearning it and falling back to a full color.
+	Recoverable bool
 }
 
 func (e *APIError) Error() string {
@@ -90,8 +96,14 @@ func (e *APIError) Error() string {
 
 // Temporary reports whether retrying the same request can succeed:
 // backpressure (429), drain (503), and server faults (5xx) are
-// temporary; 400/413-class rejections are permanent.
+// temporary; 400/413-class rejections are permanent. A recoverable
+// delta miss (404/409 with the server's recoverable hint) is also
+// temporary: the state is durable in the daemon's write-ahead log and
+// a retry rides out the recovery race.
 func (e *APIError) Temporary() bool {
+	if e.Recoverable && (e.Status == http.StatusNotFound || e.Status == http.StatusConflict) {
+		return true
+	}
 	return e.Status == http.StatusTooManyRequests ||
 		e.Status == http.StatusServiceUnavailable ||
 		e.Status >= 500
@@ -327,6 +339,7 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, reqID st
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
 			apiErr.Message = e.Error
 			apiErr.QueueDepth = e.QueueDepth
+			apiErr.Recoverable = e.Recoverable
 			if e.RequestID != "" {
 				apiErr.RequestID = e.RequestID
 			}

@@ -357,3 +357,62 @@ func TestNonJSONErrorBody(t *testing.T) {
 		t.Fatalf("message = %q, want raw body fallback", apiErr.Message)
 	}
 }
+
+// respondDeltaMiss scripts a 404 carrying the server's recoverable
+// hint (or not).
+func respondDeltaMiss(recoverable bool) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(service.ErrorResponse{
+			Error:       "fingerprint unavailable",
+			Recoverable: recoverable,
+		})
+	}
+}
+
+// TestDeltaRecoverable404Retries pins the recovery-race contract: a
+// 404 whose body carries recoverable=true means the daemon's WAL still
+// holds the fingerprint, so the client retries in place instead of
+// surfacing a miss the caller would answer by unlearning durable state.
+func TestDeltaRecoverable404Retries(t *testing.T) {
+	d := &fakeDaemon{t: t, script: []func(http.ResponseWriter){
+		respondDeltaMiss(true),
+		respondDeltaMiss(true),
+		func(w http.ResponseWriter) {
+			json.NewEncoder(w).Encode(service.DeltaResponse{Colors: []int32{0, 1}, NumColors: 2})
+		},
+	}}
+	srv := httptest.NewServer(d.handler())
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	resp, err := c.Delta(context.Background(), "00000000000000aa", service.DeltaRequest{})
+	if err != nil {
+		t.Fatalf("recoverable 404s should retry through: %v", err)
+	}
+	if resp.NumColors != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := d.calls.Load(); got != 3 {
+		t.Fatalf("calls = %d, want 3 (two recoverable retries)", got)
+	}
+}
+
+// TestDeltaPlain404NoRetry: without the hint, a 404 is a definitive
+// miss and must surface immediately (the caller's cue to re-color).
+func TestDeltaPlain404NoRetry(t *testing.T) {
+	d := &fakeDaemon{t: t, script: []func(http.ResponseWriter){respondDeltaMiss(false)}}
+	srv := httptest.NewServer(d.handler())
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	_, err := c.Delta(context.Background(), "00000000000000aa", service.DeltaRequest{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want plain 404 APIError", err)
+	}
+	if ae.Recoverable || ae.Temporary() {
+		t.Fatalf("plain 404 classified recoverable/temporary: %+v", ae)
+	}
+	if got := d.calls.Load(); got != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry)", got)
+	}
+}

@@ -115,7 +115,8 @@ func Run(ctx context.Context, sched *Schedule, opt Options) (*bench.SLOReport, e
 
 	// fps maps clean graph keys to the fingerprint the daemon returned
 	// for them, the address delta items are issued against. Workers
-	// learn from every successful full color and unlearn on 404.
+	// learn from every successful full color and unlearn on a
+	// definitive (non-recoverable) 404.
 	var fps sync.Map
 	work := make(chan Item, len(sched.Items))
 	for w := 0; w < spec.Clients; w++ {
@@ -340,8 +341,14 @@ func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (cla
 					}
 				}
 				// 404: the fingerprint is gone; unlearn it and fall
-				// through to the full color, which re-learns.
-				fps.CompareAndDelete(it.Key, v)
+				// through to the full color, which re-learns. Unless the
+				// daemon marked the miss recoverable — its WAL still
+				// holds the state and a recovery race must not make the
+				// generator forget a durable fingerprint; keep it and
+				// let this item fall back to a full color just once.
+				if !ae.Recoverable {
+					fps.CompareAndDelete(it.Key, v)
+				}
 			} else {
 				return "transport", "", 0
 			}

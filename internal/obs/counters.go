@@ -89,6 +89,41 @@ var (
 	// base fingerprint (or its coloring for the requested mode) was not
 	// cached — the client's cue to fall back to a full color.
 	SvcDeltaMisses Counter
+	// SvcWalRehydrated counts delta requests whose base fingerprint was
+	// evicted from the cache but rebuilt from the write-ahead log — the
+	// durability layer turning a would-be 404 into a served delta.
+	SvcWalRehydrated Counter
+)
+
+// Write-ahead-log counters (internal/wal): the durability layer that
+// persists accepted colorings and delta applications so warm-start
+// state survives restarts. Request-path adjacent, bumped
+// unconditionally.
+var (
+	// WalAppends counts records durably accepted by the log.
+	WalAppends Counter
+	// WalAppendErrors counts append attempts that failed on IO (disk
+	// full, injected fault); the first one trips the one-way degraded
+	// fuse.
+	WalAppendErrors Counter
+	// WalSyncs counts fsync batches issued under the configured policy.
+	WalSyncs Counter
+	// WalReplayed counts records recovered (CRC-valid and decoded) from
+	// the log during Open.
+	WalReplayed Counter
+	// WalReplaySkipped counts records dropped during recovery or
+	// rehydration because their base fingerprint chain was broken (e.g.
+	// the base lived in a quarantined segment).
+	WalReplaySkipped Counter
+	// WalTruncatedRecords counts torn tail records cut off at the first
+	// bad CRC or short frame during recovery.
+	WalTruncatedRecords Counter
+	// WalQuarantinedSegments counts corrupted segments renamed aside
+	// (.corrupt) instead of blocking startup.
+	WalQuarantinedSegments Counter
+	// WalSnapshots counts snapshot compactions: the live fingerprint
+	// state rewritten into one segment so older segments can truncate.
+	WalSnapshots Counter
 )
 
 // Client-side counters (internal/client): the daemon's HTTP client
@@ -182,6 +217,15 @@ var counterNames = map[string]*Counter{
 	"bgpc.svc_budget_rejected":  &SvcBudgetRejected,
 	"bgpc.svc_delta_applied":    &SvcDeltaApplied,
 	"bgpc.svc_delta_misses":     &SvcDeltaMisses,
+	"bgpc.svc_wal_rehydrated":   &SvcWalRehydrated,
+	"bgpc.wal_appends":          &WalAppends,
+	"bgpc.wal_append_errors":    &WalAppendErrors,
+	"bgpc.wal_syncs":            &WalSyncs,
+	"bgpc.wal_replayed":         &WalReplayed,
+	"bgpc.wal_replay_skipped":   &WalReplaySkipped,
+	"bgpc.wal_truncated":        &WalTruncatedRecords,
+	"bgpc.wal_quarantined":      &WalQuarantinedSegments,
+	"bgpc.wal_snapshots":        &WalSnapshots,
 	"bgpc.client_retries":       &ClientRetries,
 	"bgpc.client_breaker_opens": &ClientBreakerOpens,
 	"bgpc.rtr_proxied":          &RtrProxied,

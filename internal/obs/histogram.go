@@ -243,6 +243,16 @@ var (
 	// admission (the byte dimension of admission control).
 	SvcJobBytes = NewHistogram("bgpc_svc_job_bytes",
 		"Estimated job memory footprint at admission.", SizeBuckets)
+	// WalAppendSeconds is the time one accepted coloring or delta spent
+	// in the WAL append path (encode + write + policy fsync) — the
+	// durability tax on the accept path, directly comparable across
+	// fsync policies.
+	WalAppendSeconds = NewHistogram("bgpc_wal_append_seconds",
+		"Write-ahead-log append latency (encode, write, policy fsync).", LatencyBuckets)
+	// WalSyncSeconds is the fsync cost itself, one observation per
+	// sync batch.
+	WalSyncSeconds = NewHistogram("bgpc_wal_sync_seconds",
+		"Write-ahead-log fsync latency per sync batch.", LatencyBuckets)
 )
 
 // histogramFamilies returns every registered histogram family in
@@ -255,6 +265,8 @@ func histogramFamilies() []histFamily {
 		{h: SvcJobBytes},
 		{vec: SvcLatency},
 		{h: SvcQueueWait},
+		{h: WalAppendSeconds},
+		{h: WalSyncSeconds},
 	}
 }
 

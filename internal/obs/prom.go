@@ -36,6 +36,15 @@ var counterHelp = map[string]string{
 	"bgpc.svc_budget_rejected":  "Jobs refused because the byte budget was exhausted.",
 	"bgpc.svc_delta_applied":    "Delta-recoloring jobs that produced a verified coloring.",
 	"bgpc.svc_delta_misses":     "Delta requests 404ed on an uncached base fingerprint.",
+	"bgpc.svc_wal_rehydrated":   "Delta bases rebuilt from the write-ahead log after cache eviction.",
+	"bgpc.wal_appends":          "Records durably accepted by the write-ahead log.",
+	"bgpc.wal_append_errors":    "WAL append attempts that failed on IO.",
+	"bgpc.wal_syncs":            "WAL fsync batches issued under the configured policy.",
+	"bgpc.wal_replayed":         "Records recovered from the WAL during startup replay.",
+	"bgpc.wal_replay_skipped":   "Records dropped in recovery for a broken fingerprint chain.",
+	"bgpc.wal_truncated":        "Torn tail records truncated at the first bad CRC.",
+	"bgpc.wal_quarantined":      "Corrupted WAL segments renamed aside instead of blocking startup.",
+	"bgpc.wal_snapshots":        "WAL snapshot compactions.",
 	"bgpc.client_retries":       "Client attempts beyond the first.",
 	"bgpc.client_breaker_opens": "Client circuit-breaker closed-to-open transitions.",
 	"bgpc.rtr_proxied":          "Requests the router forwarded to a backend.",

@@ -27,7 +27,8 @@ import (
 type cacheEntry struct {
 	key string
 	g   *bipartite.Graph
-	fp  string // %016x of g.Fingerprint(), the delta-API identity
+	fp  string // %016x of fpU, the delta-API identity
+	fpU uint64 // g.Fingerprint(), the WAL identity
 
 	ugOnce sync.Once
 	ug     *graph.Graph
@@ -43,7 +44,8 @@ type cacheEntry struct {
 // delta-produced graphs are cached under (their only identity is their
 // content — there is no matrix body or preset to key on).
 func newCacheEntry(key string, g *bipartite.Graph) *cacheEntry {
-	e := &cacheEntry{key: key, g: g, fp: fmt.Sprintf("%016x", g.Fingerprint())}
+	fpU := g.Fingerprint()
+	e := &cacheEntry{key: key, g: g, fp: fmt.Sprintf("%016x", fpU), fpU: fpU}
 	if key == "" {
 		e.key = "fp:" + e.fp
 	}

@@ -131,6 +131,23 @@ func (s *Server) decodeDeltaRequest(fingerprint string, raw []byte) (*deltaSpec,
 	return spec, 0, nil
 }
 
+// writeDeltaMiss answers a delta 404, carrying the recoverable hint
+// that tells clients whether the fingerprint is gone for good (unlearn
+// it, fall back to a full color) or merely unavailable right now (the
+// WAL acknowledged it; retry instead of unlearning).
+func (s *Server) writeDeltaMiss(w http.ResponseWriter, rec *obs.Recorder, recoverable bool, format string, args ...any) {
+	obs.SvcDeltaMisses.Inc()
+	rec.Annotate("outcome", "delta_miss")
+	if recoverable {
+		rec.Annotate("recoverable", "true")
+	}
+	writeJSON(w, http.StatusNotFound, ErrorResponse{
+		Error:       fmt.Sprintf(format, args...),
+		RequestID:   w.Header().Get("X-Request-ID"),
+		Recoverable: recoverable,
+	})
+}
+
 func validFingerprint(fp string) bool {
 	if len(fp) != 16 {
 		return false
@@ -176,27 +193,45 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 
 	// The 404 contract: a delta is only an optimization over the cached
 	// state; when that state is gone (eviction, restart, chaos), the
-	// client re-colors from scratch and resumes the chain from the
-	// fingerprint the full color returns.
-	entry, ok := s.cache.getByFingerprint(spec.fp)
-	if !ok {
-		obs.SvcDeltaMisses.Inc()
-		rec.Annotate("outcome", "delta_miss")
-		writeError(w, http.StatusNotFound,
-			"fingerprint %s not cached; POST /color to re-color from scratch, then retry the delta against the fingerprint it returns", spec.fp)
-		return
-	}
+	// WAL gets a chance to rehydrate it first, and only a fingerprint
+	// the log has no record of either is a definitive miss — the client
+	// re-colors from scratch and resumes the chain from the fingerprint
+	// the full color returns. A fingerprint the log acknowledged but
+	// could not produce right now 404s with recoverable=true so a
+	// recovery race never makes a client unlearn durable state.
 	mode := "bgpc"
 	if spec.d2mode {
 		mode = "d2"
 	}
+	entry, ok := s.cache.getByFingerprint(spec.fp)
+	if !ok {
+		var recoverable bool
+		if entry, recoverable = s.rehydrate(spec.fp, mode); entry == nil {
+			s.writeDeltaMiss(w, rec, recoverable,
+				"fingerprint %s not cached; POST /color to re-color from scratch, then retry the delta against the fingerprint it returns", spec.fp)
+			return
+		}
+		rec.Annotate("wal", "rehydrated")
+	}
 	base, ok := entry.coloring(mode)
 	if !ok {
-		obs.SvcDeltaMisses.Inc()
-		rec.Annotate("outcome", "delta_miss")
-		writeError(w, http.StatusNotFound,
-			"fingerprint %s has no cached %s coloring; POST /color in mode %q first", spec.fp, mode, mode)
-		return
+		// The graph is cached but this mode's coloring is not (evicted
+		// entry re-cached via the other mode, or a restart): the log may
+		// still hold the mode's coloring.
+		if re, recoverable := s.rehydrate(spec.fp, mode); re != nil {
+			entry = re
+			base, ok = entry.coloring(mode)
+			rec.Annotate("wal", "rehydrated")
+		} else if recoverable {
+			s.writeDeltaMiss(w, rec, true,
+				"fingerprint %s has no cached %s coloring and rehydration is unavailable; retry shortly", spec.fp, mode)
+			return
+		}
+		if !ok {
+			s.writeDeltaMiss(w, rec, false,
+				"fingerprint %s has no cached %s coloring; POST /color in mode %q first", spec.fp, mode, mode)
+			return
+		}
 	}
 
 	if blocked, retry := s.quar.check(spec.key); blocked {
@@ -361,6 +396,10 @@ func (s *Server) executeDelta(ctx context.Context, spec *deltaSpec, entry *cache
 		mode = "d2"
 	}
 	pub.storeColoring(mode, colors)
+	// Durability before acknowledgement: the delta record (base
+	// fingerprint + edge lists) is what lets the chain survive cache
+	// eviction and restarts.
+	s.walAppendDelta(entry.fpU, pub, mode, spec.d, colors)
 	obs.SvcDeltaApplied.Inc()
 	rec.Annotate("outcome", "ok")
 

@@ -54,6 +54,7 @@ import (
 	"bgpc/internal/mtx"
 	"bgpc/internal/obs"
 	"bgpc/internal/verify"
+	"bgpc/internal/wal"
 )
 
 // Config sizes the daemon. The zero value picks serving-friendly
@@ -124,6 +125,14 @@ type Config struct {
 	// timelines; 0 means 128, negative disables retention (ids and
 	// access logs still work).
 	RequestRing int
+	// WAL, when set, makes acknowledged colorings durable: every
+	// verified full coloring and delta application is appended to the
+	// write-ahead log before the 200, the boot-time warm-up re-verifies
+	// recovered colorings into the cache, and a delta addressed at an
+	// evicted-but-logged fingerprint is rehydrated instead of 404ing.
+	// The server never closes the log — the owner (cmd/bgpcd) does.
+	// Nil means in-memory only (X-BGPC-Durability: none).
+	WAL *wal.Log
 }
 
 func (c *Config) withDefaults() Config {
@@ -260,6 +269,13 @@ type ErrorResponse struct {
 	// reporting the failure; it resolves in the daemon's access log and
 	// (for jobs that ran) /debug/requests/{id}.
 	RequestID string `json:"request_id,omitempty"`
+	// Recoverable qualifies a delta-path 404: true means the write-ahead
+	// log acknowledged this fingerprint but could not rehydrate it for
+	// this request (recovery in progress, transient IO trouble) — the
+	// fingerprint is still durable and clients should NOT unlearn it.
+	// False (or absent) is a definitive miss: re-color from scratch and
+	// resume the chain from the new fingerprint.
+	Recoverable bool `json:"recoverable,omitempty"`
 }
 
 // Server is the coloring daemon: an http.Handler backed by the worker
@@ -274,6 +290,7 @@ type Server struct {
 	log    *slog.Logger
 	ring   *requestRing
 	start  time.Time
+	warmed int // (fingerprint, mode) colorings re-verified from the WAL at boot
 }
 
 // New returns a ready Server with cfg's defaults applied and its
@@ -303,6 +320,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/requests", s.handleRequests)
 	s.mux.HandleFunc("GET /debug/requests/{id}", s.handleRequestByID)
 	s.registerGauges()
+	s.warmed = s.warmFromWAL()
 	return s
 }
 
@@ -321,6 +339,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id, adopted := obs.RequestIDFromHeaders(r.Header.Get("traceparent"), r.Header.Get("X-Request-ID"))
 	w.Header().Set("X-Request-ID", id)
+	// The durability promise rides on every response: "wal" while
+	// acknowledged colorings are being logged, "none" when no log is
+	// configured or the degraded fuse has tripped (disk full / IO
+	// error) and the daemon is serving from memory alone.
+	w.Header().Set("X-BGPC-Durability", s.durability())
 	sw := &statusWriter{ResponseWriter: w}
 
 	var rec *obs.Recorder
@@ -814,13 +837,15 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 	}
 
 	// Retain the verified coloring as warm-start material for the delta
-	// API (POST /color/{fingerprint}/delta). Stored per mode: a bgpc
-	// coloring is not a valid distance-2 warm start.
+	// API (POST /color/{fingerprint}/delta), and make the acceptance
+	// durable before the 200 goes out. Stored per mode: a bgpc coloring
+	// is not a valid distance-2 warm start.
+	mode := "bgpc"
 	if spec.d2mode {
-		entry.storeColoring("d2", res.Colors)
-	} else {
-		entry.storeColoring("bgpc", res.Colors)
+		mode = "d2"
 	}
+	entry.storeColoring(mode, res.Colors)
+	s.walAppendFull(entry, mode, res.Colors)
 
 	resp.Colors = res.Colors
 	resp.Iterations = res.Iterations

@@ -178,6 +178,33 @@ func (s *Server) registerGauges() {
 	obs.RegisterGauge("bgpc.svc_mem_budget",
 		"Configured admission byte budget (0 = unlimited).",
 		func() int64 { return s.budget.Capacity() })
+	// Durability gauges are registered unconditionally (nil-safe): a
+	// scrape can always distinguish "no WAL configured" (degraded=1,
+	// segments=0) from "WAL healthy" and "WAL tripped its fuse".
+	obs.RegisterGauge("bgpc.svc_wal_degraded",
+		"1 when acknowledged colorings are not being made durable (no WAL, or its one-way IO fuse tripped).",
+		func() int64 {
+			if s.durability() == "wal" {
+				return 0
+			}
+			return 1
+		})
+	obs.RegisterGauge("bgpc.wal_segments",
+		"Write-ahead-log segment files on disk (active included).",
+		func() int64 {
+			if s.cfg.WAL == nil {
+				return 0
+			}
+			return s.cfg.WAL.SegmentCount()
+		})
+	obs.RegisterGauge("bgpc.wal_fingerprints",
+		"Fingerprints the write-ahead log can rehydrate.",
+		func() int64 {
+			if s.cfg.WAL == nil {
+				return 0
+			}
+			return s.cfg.WAL.FingerprintCount()
+		})
 }
 
 // handleMetrics serves the Prometheus text exposition: counters,

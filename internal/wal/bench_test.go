@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"bgpc/internal/bipartite"
+)
+
+// buildLog populates dir with n records — one full coloring starting
+// each chain, then deltas, resetting the chain every 16 records so the
+// shape matches serving traffic (mostly deltas, periodic fulls).
+// Snapshots are disabled so the whole history stays on disk and Open
+// replays exactly n records.
+func buildLog(b *testing.B, dir string, n int) {
+	b.Helper()
+	l, _, err := Open(Options{Dir: dir, Sync: SyncNever, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	var g *bipartite.Graph
+	for i := 0; i < n; i++ {
+		if i%16 == 0 {
+			g = testGraph(b, r, 40, 50, 200)
+			if err := l.AppendFull(g.Fingerprint(), "bgpc", g, colorBGPC(b, g)); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		ins := []bipartite.Edge{{Net: int32(r.Intn(40)), Vtx: int32(r.Intn(50))}}
+		next, _, _, err := g.ApplyDelta(ins, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.AppendDelta(g.Fingerprint(), next.Fingerprint(), "bgpc", ins, nil, colorBGPC(b, next)); err != nil {
+			b.Fatal(err)
+		}
+		g = next
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// dirBytes totals the on-disk size of every segment in dir.
+func dirBytes(b *testing.B, dir string) int64 {
+	b.Helper()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// BenchmarkOpenReplay measures cold-start recovery: scan, CRC-check,
+// and index every record of an n-record log. records/sec is the replay
+// throughput EXPERIMENTS.md reports.
+func BenchmarkOpenReplay(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			buildLog(b, dir, n)
+			size := dirBytes(b, dir)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l, stats, err := Open(Options{Dir: dir, SnapshotEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Records != n {
+					b.Fatalf("replayed %d records, want %d", stats.Records, n)
+				}
+				l.Close()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			b.ReportMetric(float64(size), "log-bytes")
+		})
+	}
+}
+
+// BenchmarkAppend measures the per-append cost of each fsync policy —
+// the durability tax the serving path pays on every accepted coloring.
+func BenchmarkAppend(b *testing.B) {
+	for _, policy := range []string{SyncAlways, SyncInterval, SyncNever} {
+		b.Run("sync="+policy, func(b *testing.B) {
+			l, _, err := Open(Options{Dir: b.TempDir(), Sync: policy, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			r := rand.New(rand.NewSource(7))
+			g := testGraph(b, r, 40, 50, 200)
+			colors := colorBGPC(b, g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Distinct fingerprints defeat the service-layer dedup
+				// this benchmark is not about.
+				if err := l.AppendFull(uint64(i), "bgpc", g, colors); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,320 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/failpoint"
+	"bgpc/internal/obs"
+)
+
+// Stats summarizes what recovery found and did. It is the daemon's
+// startup report line.
+type Stats struct {
+	// Segments scanned (survivors; quarantined segments not included).
+	Segments int
+	// Records replayed into the index.
+	Records int
+	// Fingerprints indexed after replay.
+	Fingerprints int
+	// TruncatedBytes cut off the final segment's torn tail.
+	TruncatedBytes int64
+	// QuarantinedSegments renamed aside for mid-segment corruption.
+	QuarantinedSegments int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("segments=%d records=%d fingerprints=%d truncated_bytes=%d quarantined=%d",
+		s.Segments, s.Records, s.Fingerprints, s.TruncatedBytes, s.QuarantinedSegments)
+}
+
+// Open recovers a Log from dir (created if absent) and readies it for
+// appends. Recovery replays every segment in sequence order into the
+// fingerprint index; a torn tail on the final segment truncates at the
+// last intact record, and corruption anywhere else quarantines that
+// whole segment (renamed to .corrupt, its records dropped) rather than
+// refusing to start. Appends always land in a fresh segment after the
+// highest sequence number ever seen, so a quarantined tail is never
+// written over.
+func Open(opts Options) (*Log, Stats, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, Stats{}, fmt.Errorf("wal: open dir: %w", err)
+	}
+	// A compact.tmp is a snapshot that died before its rename; it was
+	// never part of the log.
+	os.Remove(filepath.Join(opts.Dir, "compact.tmp"))
+
+	l := &Log{opts: opts, index: make(map[uint64]*fpState)}
+	seqs, _, err := l.listSegments()
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("wal: scan dir: %w", err)
+	}
+
+	var stats Stats
+	var maxSeen uint64
+	for i, seq := range seqs {
+		if seq > maxSeen {
+			maxSeen = seq
+		}
+		last := i == len(seqs)-1
+		n, trunc, err := l.replaySegment(seq, last)
+		stats.Records += n
+		stats.TruncatedBytes += trunc
+		if err != nil {
+			// Mid-segment (or header) corruption on a non-final segment:
+			// quarantine it and drop whatever of it we indexed.
+			l.quarantineSegment(seq)
+			stats.QuarantinedSegments++
+			continue
+		}
+		stats.Segments++
+	}
+	stats.Fingerprints = len(l.index)
+
+	if err := l.openActiveLocked(maxSeen + 1); err != nil {
+		return nil, Stats{}, err
+	}
+	if opts.Sync == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, stats, nil
+}
+
+// replaySegment reads one segment into the index. For the final
+// segment, corruption is a torn tail: the file is truncated at the last
+// intact frame and replay reports success. For earlier segments the
+// corruption is returned so the caller quarantines. The returned count
+// is records indexed (they are dropped again if the caller
+// quarantines), trunc the bytes cut off.
+func (l *Log) replaySegment(seq uint64, last bool) (count int, trunc int64, err error) {
+	path := l.segPath(seq)
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open segment %d: %w", seq, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: stat segment %d: %w", seq, err)
+	}
+	size := fi.Size()
+
+	hdr := make([]byte, len(segMagic))
+	if _, herr := io.ReadFull(f, hdr); herr != nil || string(hdr) != segMagic {
+		if last {
+			// A segment created but not yet past its header when the
+			// process died. Nothing in it to lose.
+			obs.WalTruncatedRecords.Inc()
+			return 0, size, os.Truncate(path, 0)
+		}
+		return 0, 0, fmt.Errorf("%w: segment %d: bad header", ErrCorrupt, seq)
+	}
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	off := int64(len(segMagic))
+	for {
+		rec, n, rerr := readFrame(br)
+		if rerr == io.EOF {
+			return count, 0, nil
+		}
+		if rerr == nil {
+			if ferr := failpoint.Inject(FPReplay); ferr != nil {
+				rerr = fmt.Errorf("%w: injected: %v", ErrCorrupt, ferr)
+			}
+		}
+		if rerr != nil {
+			if !errors.Is(rerr, ErrCorrupt) {
+				return count, 0, fmt.Errorf("wal: segment %d: %w", seq, rerr)
+			}
+			if last {
+				// Torn tail: keep the intact prefix, cut the rest.
+				obs.WalTruncatedRecords.Inc()
+				if terr := os.Truncate(path, off); terr != nil {
+					return count, 0, fmt.Errorf("wal: truncate tail: %w", terr)
+				}
+				return count, size - off, nil
+			}
+			return count, 0, fmt.Errorf("wal: segment %d at offset %d: %w", seq, off, rerr)
+		}
+		l.indexRecord(rec, ref{seq: seq, off: off})
+		obs.WalReplayed.Inc()
+		count++
+		off += n
+	}
+}
+
+// quarantineSegment renames a corrupted segment aside (.corrupt) and
+// drops every index entry that pointed into it. Fingerprints left with
+// no graph source are dropped entirely; delta descendants of a dropped
+// base stay indexed and fail their chain walk later, where they are
+// counted as replay-skipped.
+func (l *Log) quarantineSegment(seq uint64) {
+	os.Rename(l.segPath(seq), l.segPath(seq)+".corrupt")
+	obs.WalQuarantinedSegments.Inc()
+	for fp, st := range l.index {
+		if st.full != nil && st.full.seq == seq {
+			st.full = nil
+		}
+		if st.deltaSrc != nil && st.deltaSrc.seq == seq {
+			st.deltaSrc = nil
+		}
+		for mb, cref := range st.colors {
+			if cref.seq == seq {
+				delete(st.colors, mb)
+			}
+		}
+		if (st.full == nil && st.deltaSrc == nil) || len(st.colors) == 0 {
+			delete(l.index, fp)
+		}
+	}
+}
+
+// syncLoop is the SyncInterval policy's background fsync batcher,
+// stopped by Close.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.Sync()
+		}
+	}
+}
+
+// readRecordAt reads and decodes the record at r from disk.
+func (l *Log) readRecordAt(r ref) (*record, error) {
+	f, err := os.Open(l.segPath(r.seq))
+	if err != nil {
+		return nil, fmt.Errorf("wal: read record: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(r.off, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("wal: read record: %w", err)
+	}
+	rec, _, err := readFrame(bufio.NewReaderSize(f, 1<<16))
+	return rec, err
+}
+
+// graphLocked materializes the graph behind fp by walking its chain
+// back to the nearest full record and replaying deltas forward,
+// checking the fingerprint at every hop. Callers hold l.mu.
+func (l *Log) graphLocked(fp uint64) (*bipartite.Graph, error) {
+	// Walk back: collect the delta refs between fp and a full record.
+	var chain []ref // newest first
+	cur := fp
+	var fullRef ref
+	for depth := 0; ; depth++ {
+		if depth > l.opts.MaxChain {
+			return nil, fmt.Errorf("wal: fingerprint %016x: chain longer than %d", fp, l.opts.MaxChain)
+		}
+		st, ok := l.index[cur]
+		if !ok {
+			if cur == fp {
+				return nil, fmt.Errorf("%w: %016x", ErrUnknown, fp)
+			}
+			return nil, fmt.Errorf("wal: fingerprint %016x: chain base %016x missing", fp, cur)
+		}
+		if st.full != nil {
+			fullRef = *st.full
+			break
+		}
+		if st.deltaSrc == nil {
+			return nil, fmt.Errorf("wal: fingerprint %016x: no graph source for %016x", fp, cur)
+		}
+		chain = append(chain, *st.deltaSrc)
+		cur = st.baseFP
+	}
+
+	rec, err := l.readRecordAt(fullRef)
+	if err != nil {
+		return nil, err
+	}
+	g, err := bipartite.FromEdges(rec.nets, rec.vtxs, rec.edges)
+	if err != nil {
+		return nil, fmt.Errorf("wal: rebuild %016x: %w", rec.fp, err)
+	}
+	if got := g.Fingerprint(); got != rec.fp {
+		return nil, fmt.Errorf("%w: rebuilt graph fingerprint %016x != logged %016x", ErrCorrupt, got, rec.fp)
+	}
+
+	// Replay deltas oldest first.
+	for i := len(chain) - 1; i >= 0; i-- {
+		drec, err := l.readRecordAt(chain[i])
+		if err != nil {
+			return nil, err
+		}
+		next, _, _, err := g.ApplyDelta(drec.edges, drec.remove)
+		if err != nil {
+			return nil, fmt.Errorf("wal: replay delta onto %016x: %w", drec.baseFP, err)
+		}
+		if got := next.Fingerprint(); got != drec.fp {
+			return nil, fmt.Errorf("%w: delta replay fingerprint %016x != logged %016x", ErrCorrupt, got, drec.fp)
+		}
+		g = next
+	}
+	return g, nil
+}
+
+// Rehydrate rebuilds the graph and coloring behind (fp, mode) from the
+// log. The graph comes from the fingerprint chain (full record plus
+// delta replay, fingerprint-checked at each hop); the colors from the
+// latest coloring record for the mode. Callers re-verify the coloring
+// against the graph before trusting it — the log proves integrity
+// (CRCs, fingerprints), the verifier proves validity.
+//
+// A fingerprint or mode the log has no record of returns ErrUnknown;
+// any other error means the log does claim the state but could not
+// produce it here (broken chain, IO failure) — callers should treat
+// that as recoverable, not as proof the fingerprint never existed.
+func (l *Log) Rehydrate(fp uint64, mode string) (*bipartite.Graph, []int32, error) {
+	mb, err := modeByte(mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, nil, ErrClosed
+	}
+	st, ok := l.index[fp]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %016x", ErrUnknown, fp)
+	}
+	cref, ok := st.colors[mb]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %016x has no %s coloring", ErrUnknown, fp, mode)
+	}
+	g, err := l.graphLocked(fp)
+	if err != nil {
+		obs.WalReplaySkipped.Inc()
+		return nil, nil, err
+	}
+	crec, err := l.readRecordAt(cref)
+	if err != nil {
+		obs.WalReplaySkipped.Inc()
+		return nil, nil, err
+	}
+	if len(crec.colors) != g.NumVertices() {
+		obs.WalReplaySkipped.Inc()
+		return nil, nil, fmt.Errorf("%w: coloring length %d != %d vertices", ErrCorrupt, len(crec.colors), g.NumVertices())
+	}
+	l.clock++
+	st.touch = l.clock
+	return g, crec.colors, nil
+}

@@ -1,0 +1,632 @@
+// Package wal gives the coloring daemon durable state: a segmented,
+// append-only write-ahead log of accepted full colorings and delta
+// applications, plus the recovery machinery that rebuilds warm-start
+// state from it after a crash or restart.
+//
+// Durability is what turns the delta API from a cache trick into a
+// service contract: a delta chain composes against cached colorings,
+// and without a log a restart (or plain cache eviction) silently
+// invalidates every fingerprint clients have learned. With the log, an
+// acknowledged coloring is recoverable — full colorings are logged with
+// their graph inline, delta applications as (base fingerprint, edge
+// lists, resulting colors), and any logged fingerprint can be
+// rehydrated by replaying its chain from the nearest full record.
+//
+// The write path is deliberately boring: CRC32C-framed length-prefixed
+// records appended to the active segment, an fsync policy of "always"
+// (fsync per append), "interval" (background batch), or "never", and
+// rotation past a size threshold. Periodically the live fingerprint
+// state is compacted into a snapshot segment and older segments are
+// deleted — recovery then replays the snapshot plus the tail.
+//
+// Failure handling is one-way and non-fatal. An IO error on the write
+// path (disk full, injected fault) trips a degraded fuse: the log stops
+// accepting appends, the daemon keeps serving from memory, and the
+// operator sees the svc_wal_degraded gauge and X-BGPC-Durability: none.
+// On recovery, a torn tail truncates at the first bad CRC, and a
+// corrupted earlier segment is quarantined (renamed aside, counted)
+// rather than refusing to start.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpc/internal/bipartite"
+	"bgpc/internal/failpoint"
+	"bgpc/internal/obs"
+)
+
+// Failpoint names on the durability path, for chaos schedules:
+const (
+	// FPAppend fires before a record is written to the active segment.
+	// "err" simulates a full disk — the append fails and the degraded
+	// fuse trips.
+	FPAppend = "wal.append"
+	// FPSync fires inside every fsync batch; "err" is a sync failure
+	// (fuse trips), "delay" a slow disk.
+	FPSync = "wal.sync"
+	// FPReplay fires once per record during recovery replay; "err"
+	// makes that record read as corrupt, exercising tail truncation and
+	// segment quarantine.
+	FPReplay = "wal.replay"
+)
+
+// Sync policies.
+const (
+	SyncAlways   = "always"
+	SyncInterval = "interval"
+	SyncNever    = "never"
+)
+
+var (
+	// ErrDegraded reports the one-way fuse has tripped: a previous IO
+	// error put the log in in-memory-only mode and appends are refused.
+	ErrDegraded = errors.New("wal: degraded (in-memory-only after IO error)")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("wal: closed")
+	// ErrUnknown reports a fingerprint (or its coloring for the
+	// requested mode) that the log has no record of. Callers treat it as
+	// a true miss; any other Rehydrate error is a transient or local
+	// failure against state the log does claim — a recoverable
+	// condition, not an unlearnable one.
+	ErrUnknown = errors.New("wal: unknown fingerprint")
+)
+
+// Options configures a Log. The zero value of every field but Dir picks
+// serving-friendly defaults.
+type Options struct {
+	// Dir is the data directory; created if absent. Required.
+	Dir string
+	// Sync is the fsync policy: SyncAlways (fsync every append — the
+	// strict durability contract), SyncInterval (background batch every
+	// Interval), or SyncNever (leave it to the OS). Default interval.
+	Sync string
+	// Interval is the batch-fsync period under SyncInterval; ≤ 0 means
+	// 100ms.
+	Interval time.Duration
+	// SegmentBytes rotates the active segment past this size; ≤ 0 means
+	// 4 MiB.
+	SegmentBytes int64
+	// SnapshotEvery compacts the live state into a snapshot segment
+	// (and truncates older segments) every N appends; 0 means 512,
+	// negative disables snapshots.
+	SnapshotEvery int
+	// MaxChain bounds how many delta records a rehydration may replay
+	// before giving up; ≤ 0 means 512.
+	MaxChain int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dir == "" {
+		return o, errors.New("wal: Options.Dir required")
+	}
+	switch o.Sync {
+	case "":
+		o.Sync = SyncInterval
+	case SyncAlways, SyncInterval, SyncNever:
+	default:
+		return o, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or never)", o.Sync)
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 512
+	}
+	if o.MaxChain <= 0 {
+		o.MaxChain = 512
+	}
+	return o, nil
+}
+
+// ref locates one record: segment sequence number and byte offset of
+// its frame within the segment file.
+type ref struct {
+	seq uint64
+	off int64
+}
+
+// fpState is the in-memory index entry for one fingerprint: where its
+// graph can be materialized from (a full record, or a delta record plus
+// the base chain) and where the latest coloring per mode lives.
+type fpState struct {
+	full     *ref   // record with the graph inline, when one exists
+	deltaSrc *ref   // delta record producing this fingerprint
+	baseFP   uint64 // base of deltaSrc
+	colors   map[byte]ref
+	touch    uint64 // recency clock for warm-start ordering
+}
+
+// Log is the write-ahead log. All methods are safe for concurrent use;
+// there is exactly one writer goroutine at a time by construction (the
+// internal mutex), so appends serialize.
+type Log struct {
+	opts Options
+
+	mu         sync.Mutex
+	active     *os.File
+	activeSeq  uint64
+	activeSize int64
+	index      map[uint64]*fpState
+	clock      uint64
+	sinceSnap  int
+	unsynced   bool
+	closed     bool
+
+	degraded atomic.Bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("wal-%08d.seg", seq) }
+
+func (l *Log) segPath(seq uint64) string { return filepath.Join(l.opts.Dir, segName(seq)) }
+
+// Dir returns the log's data directory.
+func (l *Log) Dir() string { return l.opts.Dir }
+
+// Degraded reports whether the one-way fuse has tripped.
+func (l *Log) Degraded() bool { return l.degraded.Load() }
+
+// Known reports whether the log has any record of fp.
+func (l *Log) Known(fp uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.index[fp]
+	return ok
+}
+
+// HasColoring reports whether the log holds a coloring of fp for mode.
+func (l *Log) HasColoring(fp uint64, mode string) bool {
+	mb, err := modeByte(mode)
+	if err != nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.index[fp]
+	if !ok {
+		return false
+	}
+	_, ok = st.colors[mb]
+	return ok
+}
+
+// Modes returns the modes the log holds colorings of fp for.
+func (l *Log) Modes(fp uint64) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.index[fp]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(st.colors))
+	if _, ok := st.colors[modeBGPC]; ok {
+		out = append(out, "bgpc")
+	}
+	if _, ok := st.colors[modeD2]; ok {
+		out = append(out, "d2")
+	}
+	return out
+}
+
+// RecentFingerprints returns up to n logged fingerprints, most recently
+// touched first — the warm-start order a recovering cache wants.
+func (l *Log) RecentFingerprints(n int) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	type pair struct {
+		fp    uint64
+		touch uint64
+	}
+	all := make([]pair, 0, len(l.index))
+	for fp, st := range l.index {
+		all = append(all, pair{fp, st.touch})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].touch > all[j].touch })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	out := make([]uint64, len(all))
+	for i, p := range all {
+		out[i] = p.fp
+	}
+	return out
+}
+
+// FingerprintCount reports indexed fingerprints (a live gauge).
+func (l *Log) FingerprintCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(len(l.index))
+}
+
+// SegmentCount reports on-disk segments, active included (a live
+// gauge). Quarantined segments do not count.
+func (l *Log) SegmentCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seqs, _, err := l.listSegments()
+	if err != nil {
+		return 0
+	}
+	return int64(len(seqs))
+}
+
+// AppendFull logs an accepted full coloring: the graph (inline, so the
+// fingerprint can be rehydrated with no prior state) plus its verified
+// colors for mode.
+func (l *Log) AppendFull(fp uint64, mode string, g *bipartite.Graph, colors []int32) error {
+	mb, err := modeByte(mode)
+	if err != nil {
+		return err
+	}
+	return l.append(&record{
+		kind:   kindFull,
+		mode:   mb,
+		fp:     fp,
+		nets:   g.NumNets(),
+		vtxs:   g.NumVertices(),
+		edges:  g.Edges(),
+		colors: colors,
+	})
+}
+
+// AppendDelta logs an accepted delta application: base fingerprint,
+// the edge lists, the resulting fingerprint, and its verified colors.
+// The resulting graph is not stored — rehydration replays the chain.
+func (l *Log) AppendDelta(baseFP, fp uint64, mode string, insert, remove []bipartite.Edge, colors []int32) error {
+	mb, err := modeByte(mode)
+	if err != nil {
+		return err
+	}
+	return l.append(&record{
+		kind:   kindDelta,
+		mode:   mb,
+		fp:     fp,
+		baseFP: baseFP,
+		edges:  insert,
+		remove: remove,
+		colors: colors,
+	})
+}
+
+// append writes one record under the configured durability policy and
+// indexes it. Any IO failure trips the degraded fuse.
+func (l *Log) append(rec *record) error {
+	if l.degraded.Load() {
+		return ErrDegraded
+	}
+	start := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := failpoint.Inject(FPAppend); err != nil {
+		return l.degrade(fmt.Errorf("wal: append: %w", err))
+	}
+	frame := encodeRecord(rec)
+	if l.activeSize+int64(len(frame)) > l.opts.SegmentBytes && l.activeSize > int64(len(segMagic)) {
+		if err := l.rotateLocked(); err != nil {
+			return l.degrade(err)
+		}
+	}
+	off := l.activeSize
+	if _, err := l.active.Write(frame); err != nil {
+		return l.degrade(fmt.Errorf("wal: append: %w", err))
+	}
+	l.activeSize += int64(len(frame))
+	l.unsynced = true
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return l.degrade(err)
+		}
+	}
+	l.indexRecord(rec, ref{seq: l.activeSeq, off: off})
+	obs.WalAppends.Inc()
+	obs.WalAppendSeconds.Observe(time.Since(start).Seconds())
+	if l.opts.SnapshotEvery > 0 {
+		l.sinceSnap++
+		if l.sinceSnap >= l.opts.SnapshotEvery {
+			if err := l.compactLocked(); err != nil {
+				return l.degrade(err)
+			}
+		}
+	}
+	return nil
+}
+
+// indexRecord folds one record into the fingerprint index. A full
+// record upgrades a delta-sourced fingerprint (shorter chains); the
+// latest coloring per (fp, mode) wins.
+func (l *Log) indexRecord(rec *record, r ref) {
+	st := l.index[rec.fp]
+	if st == nil {
+		st = &fpState{colors: make(map[byte]ref, 2)}
+		l.index[rec.fp] = st
+	}
+	switch rec.kind {
+	case kindFull:
+		rcopy := r
+		st.full = &rcopy
+	case kindDelta:
+		if st.full == nil {
+			rcopy := r
+			st.deltaSrc = &rcopy
+			st.baseFP = rec.baseFP
+		}
+	}
+	st.colors[rec.mode] = r
+	l.clock++
+	st.touch = l.clock
+}
+
+// degrade trips the one-way fuse and returns err wrapped; callers keep
+// serving from memory.
+func (l *Log) degrade(err error) error {
+	obs.WalAppendErrors.Inc()
+	l.degraded.Store(true)
+	return fmt.Errorf("%w: %v", ErrDegraded, err)
+}
+
+// rotateLocked seals the active segment and opens the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate sync: %w", err)
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	return l.openActiveLocked(l.activeSeq + 1)
+}
+
+// openActiveLocked creates segment seq and makes it the append target.
+func (l *Log) openActiveLocked(seq uint64) error {
+	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	l.active = f
+	l.activeSeq = seq
+	l.activeSize = int64(len(segMagic))
+	return l.syncDir()
+}
+
+// syncDir fsyncs the data directory so segment creations, renames and
+// deletions are themselves durable.
+func (l *Log) syncDir() error {
+	d, err := os.Open(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// syncLocked fsyncs the active segment (one sync batch).
+func (l *Log) syncLocked() error {
+	if !l.unsynced {
+		return nil
+	}
+	if err := failpoint.Inject(FPSync); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	start := time.Now()
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.unsynced = false
+	obs.WalSyncs.Inc()
+	obs.WalSyncSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// Sync flushes unsynced appends now, whatever the policy. A sync
+// failure trips the degraded fuse like an append failure would.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.degraded.Load() {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		return l.degrade(err)
+	}
+	return nil
+}
+
+// Snapshot compacts the live fingerprint state into one snapshot
+// segment and deletes the segments it supersedes. Appends block for
+// the duration; rehydratable state is unaffected.
+func (l *Log) Snapshot() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.degraded.Load() {
+		return ErrDegraded
+	}
+	if err := l.compactLocked(); err != nil {
+		return l.degrade(err)
+	}
+	return nil
+}
+
+// compactLocked writes every live (fingerprint, mode) pair as a full
+// record — graph materialized via the chain walk — into a fresh
+// segment, atomically installs it after the current active segment,
+// points the index at it, and deletes everything older. Fingerprints
+// whose chain no longer resolves (quarantined base) are dropped and
+// counted; they were already unrecoverable.
+func (l *Log) compactLocked() error {
+	tmpPath := filepath.Join(l.opts.Dir, "compact.tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after the rename succeeds
+	if _, err := tmp.Write([]byte(segMagic)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot header: %w", err)
+	}
+	snapSeq := l.activeSeq + 1
+	size := int64(len(segMagic))
+	newIndex := make(map[uint64]*fpState, len(l.index))
+
+	// Deterministic order keeps snapshot bytes reproducible for a given
+	// index state (tests) and recency intact across the rewrite.
+	fps := make([]uint64, 0, len(l.index))
+	for fp := range l.index {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return l.index[fps[i]].touch < l.index[fps[j]].touch })
+
+	for _, fp := range fps {
+		st := l.index[fp]
+		g, err := l.graphLocked(fp)
+		if err != nil {
+			obs.WalReplaySkipped.Inc()
+			continue
+		}
+		nst := &fpState{colors: make(map[byte]ref, len(st.colors)), touch: st.touch}
+		for mb, cref := range st.colors {
+			crec, err := l.readRecordAt(cref)
+			if err != nil || len(crec.colors) != g.NumVertices() {
+				obs.WalReplaySkipped.Inc()
+				continue
+			}
+			frame := encodeRecord(&record{
+				kind:   kindFull,
+				mode:   mb,
+				fp:     fp,
+				nets:   g.NumNets(),
+				vtxs:   g.NumVertices(),
+				edges:  g.Edges(),
+				colors: crec.colors,
+			})
+			if _, err := tmp.Write(frame); err != nil {
+				tmp.Close()
+				return fmt.Errorf("wal: snapshot write: %w", err)
+			}
+			r := ref{seq: snapSeq, off: size}
+			rcopy := r
+			nst.full = &rcopy
+			nst.colors[mb] = r
+			size += int64(len(frame))
+		}
+		if len(nst.colors) > 0 {
+			newIndex[fp] = nst
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmpPath, l.segPath(snapSeq)); err != nil {
+		return fmt.Errorf("wal: snapshot install: %w", err)
+	}
+
+	// Seal the old active, continue appending after the snapshot.
+	oldSeq := l.activeSeq
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: snapshot seal: %w", err)
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot seal: %w", err)
+	}
+	if err := l.openActiveLocked(snapSeq + 1); err != nil {
+		return err
+	}
+
+	// Retention: everything at or before the old active is superseded
+	// by the snapshot. A failed delete leaves a stale segment that the
+	// next recovery replays before the snapshot overwrites it — wasted
+	// work, never wrong state.
+	seqs, _, err := l.listSegments()
+	if err == nil {
+		for _, seq := range seqs {
+			if seq <= oldSeq {
+				os.Remove(l.segPath(seq))
+			}
+		}
+	}
+	if err := l.syncDir(); err != nil {
+		return fmt.Errorf("wal: snapshot dir sync: %w", err)
+	}
+	l.index = newIndex
+	l.sinceSnap = 0
+	l.unsynced = false
+	obs.WalSnapshots.Inc()
+	return nil
+}
+
+// listSegments returns the sequence numbers (sorted ascending) and
+// names of every well-formed segment file in the directory.
+func (l *Log) listSegments() ([]uint64, map[uint64]string, error) {
+	entries, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var seqs []uint64
+	names := map[uint64]string{}
+	for _, e := range entries {
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &seq); n != 1 || err != nil {
+			continue
+		}
+		if filepath.Ext(e.Name()) != ".seg" {
+			continue
+		}
+		seqs = append(seqs, seq)
+		names[seq] = e.Name()
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, names, nil
+}
+
+// Close stops the background sync (if any), flushes, and closes the
+// active segment. Rehydration is refused afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop, done := l.stop, l.done
+	var err error
+	if l.active != nil && !l.degraded.Load() {
+		err = l.syncLocked()
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
+	} else if l.active != nil {
+		l.active.Close()
+	}
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
