@@ -14,6 +14,8 @@
 //	      [-wal-dir DIR] [-wal-sync always|interval|never]
 //	      [-wal-sync-interval 100ms] [-wal-segment-bytes N]
 //	      [-wal-snapshot-every N]
+//	      [-trace-ring 256] [-trace-sample 0.1] [-trace-slow 250ms]
+//	      [-diag-dir DIR] [-diag-latency 1s] [-diag-max-bundles 8]
 //	      [-selftest]
 //
 // API (see internal/service for the full request/response schema):
@@ -29,6 +31,8 @@
 //	               and latency/size histograms by algorithm variant
 //	GET  /debug/requests       ring of recent request timelines (JSON)
 //	GET  /debug/requests/{id}  one request's timeline by correlation id
+//	GET  /debug/trace/{traceid}  this process's completed trace
+//	               fragments for one trace id (JSON span tree)
 //	GET  /debug/vars (with -metrics) expvar counters and pool gauges
 //
 // Every request carries a correlation id — adopted from a client's
@@ -75,6 +79,7 @@ import (
 	"bgpc/internal/limits"
 	"bgpc/internal/obs"
 	"bgpc/internal/service"
+	"bgpc/internal/trace"
 	"bgpc/internal/wal"
 )
 
@@ -120,6 +125,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	walSyncInterval := fs.Duration("wal-sync-interval", 100*time.Millisecond, "batch fsync period under -wal-sync interval")
 	walSegmentBytes := fs.Int64("wal-segment-bytes", 0, "rotate WAL segments past this many bytes (0 = 4 MiB)")
 	walSnapshotEvery := fs.Int("wal-snapshot-every", 0, "compact the WAL into a snapshot every N appends (0 = 512, negative disables)")
+	traceRing := fs.Int("trace-ring", 0, "completed trace fragments kept for /debug/trace (0 = 256, negative disables tracing)")
+	traceSample := fs.Float64("trace-sample", 0, "head-sampling ratio over trace ids, 0..1 (0 = keep all, negative = head-sample none; errors and slow requests are kept regardless)")
+	traceSlow := fs.Duration("trace-slow", 0, "tail-keep any request at least this slow even when head sampling dropped it (0 disables)")
+	diagDir := fs.String("diag-dir", "", "flight-recorder directory: anomalies (watchdog, WAL fuse, slow requests) write diagnostic bundles here (empty disables)")
+	diagLatency := fs.Duration("diag-latency", 0, "with -diag-dir, any request at least this slow triggers a diagnostic bundle (0 disables the latency trigger)")
+	diagMaxBundles := fs.Int("diag-max-bundles", 0, "bundles kept on disk before the oldest is rotated out (0 = 8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,7 +179,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			MaxNNZ:       *maxNNZ,
 			MaxLineBytes: *maxLineBytes,
 		},
-		Log: logger,
+		Log:         logger,
+		TraceRing:   *traceRing,
+		TraceSample: *traceSample,
+		TraceSlow:   *traceSlow,
+		DiagLatency: *diagLatency,
+	}
+	if *diagDir != "" {
+		fl, err := trace.NewFlight(trace.FlightConfig{
+			Dir:        *diagDir,
+			MaxBundles: *diagMaxBundles,
+			Process:    "bgpcd",
+			Log:        logger,
+		})
+		if err != nil {
+			return fmt.Errorf("-diag-dir %s: %w", *diagDir, err)
+		}
+		cfg.Diag = fl
 	}
 	if *selftestFlag {
 		return selftest(ctx, cfg, stdout)

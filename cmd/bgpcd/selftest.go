@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -16,7 +19,9 @@ import (
 	"bgpc/internal/failpoint"
 	"bgpc/internal/limits"
 	"bgpc/internal/mtx"
+	"bgpc/internal/router"
 	"bgpc/internal/service"
+	"bgpc/internal/trace"
 	"bgpc/internal/verify"
 	"bgpc/internal/wal"
 )
@@ -30,9 +35,11 @@ import (
 // durability recover-chain (color → delta → restart against the same
 // WAL directory → delta off the recovered fingerprint), and
 // a circuit-breaker open/half-open/recover cycle against injected
-// faults. It is the deploy-time smoke
-// check: `bgpcd -selftest` exits 0 only if the daemon and client agree
-// on the whole protocol.
+// faults, and a trace-assembly check (color through a spawned router
+// under a pinned trace id, fetch the merged trace, assert both
+// processes joined one acyclic, rooted span tree). It is the
+// deploy-time smoke check: `bgpcd -selftest` exits 0 only if the
+// daemon and client agree on the whole protocol.
 func selftest(ctx context.Context, cfg service.Config, stdout io.Writer) error {
 	// The battery needs deterministic admission, so it overrides the
 	// sizing knobs; everything else (parse limits, timeouts, cache)
@@ -287,6 +294,91 @@ func selftest(ctx context.Context, cfg service.Config, stdout io.Writer) error {
 			}
 			if got := cb.BreakerState(); got != client.BreakerClosed {
 				return fmt.Errorf("breaker state = %v, want closed", got)
+			}
+			return nil
+		}},
+		{"trace-assembly", func() error {
+			// The cross-process tracing contract end to end: spawn a
+			// real router fronting this daemon, color through it under a
+			// PINNED trace id (flags 01, so the keep decision is
+			// deterministic whatever sampling the operator configured),
+			// then fetch the assembled trace from the router and check
+			// both processes joined one tree with correct parentage.
+			if cfg.TraceRing < 0 {
+				fmt.Fprintln(stdout, "selftest: trace-assembly: tracing disabled (-trace-ring < 0), nothing to check")
+				return nil
+			}
+			rt, err := router.New(router.Config{
+				Backends: []string{ln.Addr().String()},
+				Health:   router.HealthConfig{ProbeInterval: time.Hour},
+				Log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+			})
+			if err != nil {
+				return err
+			}
+			defer rt.Close()
+			rln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			rhttp := &http.Server{Handler: rt}
+			go rhttp.Serve(rln)
+			defer rhttp.Close()
+			rbase := "http://" + rln.Addr().String()
+
+			const tid = "5e1f7e57c0100a11de11ca7ed1a9bdf0"
+			body, err := json.Marshal(service.ColorRequest{Matrix: tiny, Algorithm: "V-V"})
+			if err != nil {
+				return err
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, rbase+"/color", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("traceparent", trace.Traceparent(tid, "00f067aa0ba902b7", true))
+			hc := &http.Client{Timeout: 30 * time.Second}
+			resp, err := hc.Do(req)
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("color through router: status %d", resp.StatusCode)
+			}
+			if got := resp.Header.Get("X-BGPC-Trace"); got != tid {
+				return fmt.Errorf("response trace id %q, want the pinned %s", got, tid)
+			}
+
+			tresp, err := hc.Get(rbase + "/rtr/trace/" + tid)
+			if err != nil {
+				return err
+			}
+			defer tresp.Body.Close()
+			if tresp.StatusCode != http.StatusOK {
+				return fmt.Errorf("assembled-trace fetch: status %d", tresp.StatusCode)
+			}
+			var asm trace.Assembled
+			if err := json.NewDecoder(tresp.Body).Decode(&asm); err != nil {
+				return err
+			}
+			// Validate is the parentage gate: unique span ids, acyclic,
+			// every chain terminating at a root.
+			if err := asm.Validate(); err != nil {
+				return err
+			}
+			if got := len(asm.Processes()); got < 2 {
+				return fmt.Errorf("fragments from %v, want both router and daemon", asm.Processes())
+			}
+			proxies := asm.FindSpans(trace.KindProxy)
+			if len(proxies) != 1 {
+				return fmt.Errorf("%d proxy hop spans, want 1", len(proxies))
+			}
+			for _, f := range asm.Fragments {
+				if f.Process == "bgpcd" && f.ParentID != proxies[0].ID {
+					return fmt.Errorf("daemon fragment parents to %q, want the router hop %s", f.ParentID, proxies[0].ID)
+				}
 			}
 			return nil
 		}},

@@ -12,6 +12,8 @@
 //	           [-fail-after 3] [-probe-interval 500ms] [-recover-probes 2]
 //	           [-log-json]
 //	           [-failpoints name=kind[:arg][@times][#skip];…]
+//	           [-trace-ring 256] [-trace-sample 0.1] [-trace-slow 250ms]
+//	           [-diag-dir DIR]
 //
 // API: the bgpcd job surface (POST /color, POST /color/{fp}/delta)
 // proxied with routing headers added to every response —
@@ -28,10 +30,18 @@
 //	GET /metrics       Prometheus exposition: rtr_* counters, per-
 //	                   backend health gauges, proxied-latency histograms
 //	GET /rtr/backends  fleet roster: index → address, health, breaker
+//	GET /rtr/trace/{traceid}    the assembled cross-process trace: the
+//	                   router's hop spans merged with every backend's
+//	                   fragments for that trace id
+//	GET /debug/trace/{traceid}  the router's own fragments only
 //
-// Correlation headers (X-Request-ID / traceparent) and backpressure
-// advice (Retry-After) pass through the hop verbatim in both
-// directions.
+// The router resolves one correlation id per request at ingress and
+// echoes it (X-Request-ID) on every outcome, including router-
+// originated errors. With tracing enabled the router joins or starts
+// the W3C trace (echoed as X-BGPC-Trace) and mints a child span id per
+// backend hop rather than forwarding traceparent verbatim, so each
+// backend's spans parent to the exact attempt that reached it.
+// Backpressure advice (Retry-After) passes through verbatim.
 package main
 
 import (
@@ -51,6 +61,7 @@ import (
 
 	"bgpc/internal/failpoint"
 	"bgpc/internal/router"
+	"bgpc/internal/trace"
 )
 
 func main() {
@@ -76,6 +87,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	recoverProbes := fs.Int("recover-probes", 0, "consecutive probe successes an ejected backend needs to rejoin (0 = default 2)")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 	failpoints := fs.String("failpoints", "", "arm failpoints for chaos testing, e.g. 'router.probe=err@10' (applied after $"+failpoint.EnvVar+")")
+	traceRing := fs.Int("trace-ring", 0, "completed router trace fragments kept for /debug/trace (0 = 256, negative disables tracing)")
+	traceSample := fs.Float64("trace-sample", 0, "head-sampling ratio over trace ids, 0..1 (0 = keep all; errors and slow requests are kept regardless)")
+	traceSlow := fs.Duration("trace-slow", 0, "tail-keep any routed request at least this slow even when head sampling dropped it (0 disables)")
+	diagDir := fs.String("diag-dir", "", "flight-recorder directory: anomalies (backend breaker opening) write diagnostic bundles here (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +123,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			members = append(members, b)
 		}
 	}
+	logger := slog.New(handler)
+	var diag *trace.Flight
+	if *diagDir != "" {
+		fl, err := trace.NewFlight(trace.FlightConfig{
+			Dir:     *diagDir,
+			Process: "bgpcrouter",
+			Log:     logger,
+		})
+		if err != nil {
+			return fmt.Errorf("-diag-dir %s: %w", *diagDir, err)
+		}
+		diag = fl
+	}
 	rt, err := router.New(router.Config{
 		Backends: members,
 		VNodes:   *vnodes,
@@ -117,7 +145,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			ProbeInterval: *probeInterval,
 			RecoverProbes: *recoverProbes,
 		},
-		Log: slog.New(handler),
+		Log:         logger,
+		TraceRing:   *traceRing,
+		TraceSample: *traceSample,
+		TraceSlow:   *traceSlow,
+		Diag:        diag,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,99 @@
+// Command tracecheck fetches an assembled distributed trace and
+// schema-validates it: well-formed trace and span ids, unique span ids
+// across fragments, acyclic parentage rooted somewhere, every fragment
+// carrying the trace id. It is the CI gate for the fleet's tracing
+// contract — the same Validate() the selftest and the e2e tests run,
+// pointed at a live endpoint.
+//
+// Usage:
+//
+//	tracecheck http://127.0.0.1:8970/rtr/trace/<traceid>
+//	curl -s .../rtr/trace/<tid> | tracecheck -
+//
+// Flags tighten the check beyond structural validity:
+//
+//	-min-processes N  require fragments from at least N distinct
+//	                  processes (2 proves router+backend joined up)
+//	-min-spans N      require at least N spans in total
+//
+// Exit status is non-zero on fetch failure, schema violation, or an
+// unmet floor; on success it prints one line per fragment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"bgpc/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	minProcs := fs.Int("min-processes", 1, "require fragments from at least this many distinct processes")
+	minSpans := fs.Int("min-spans", 1, "require at least this many spans across all fragments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracecheck [-min-processes N] [-min-spans N] <url|->")
+	}
+
+	var body io.Reader
+	if fs.Arg(0) == "-" {
+		body = os.Stdin
+	} else {
+		hc := &http.Client{Timeout: 30 * time.Second}
+		resp, err := hc.Get(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("fetch returned %s: %s", resp.Status, b)
+		}
+		body = resp.Body
+	}
+
+	var asm trace.Assembled
+	if err := json.NewDecoder(body).Decode(&asm); err != nil {
+		return fmt.Errorf("decoding trace: %w", err)
+	}
+	if err := asm.Validate(); err != nil {
+		return err
+	}
+	if got := len(asm.Processes()); got < *minProcs {
+		return fmt.Errorf("trace %s: fragments from %d process(es) %v, want >= %d",
+			asm.TraceID, got, asm.Processes(), *minProcs)
+	}
+	if got := asm.SpanCount(); got < *minSpans {
+		return fmt.Errorf("trace %s: %d spans, want >= %d", asm.TraceID, got, *minSpans)
+	}
+
+	for _, f := range asm.Fragments {
+		fmt.Fprintf(stdout, "ok   %-12s root=%s parent=%s spans=%d status=%d\n",
+			f.Process, f.RootID, orDash(f.ParentID), len(f.Spans), f.Status)
+	}
+	fmt.Fprintf(stdout, "tracecheck: trace %s valid — %d fragments, %d spans, processes %v\n",
+		asm.TraceID, len(asm.Fragments), asm.SpanCount(), asm.Processes())
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

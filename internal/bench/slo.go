@@ -109,7 +109,25 @@ type SLOReport struct {
 	// 503s) are attributed to the target they were sent to.
 	Backends map[string]map[string]int64 `json:"backends,omitempty"`
 
+	// Slowest records the top-K slowest requests per status class —
+	// request id, trace id (when the target echoed X-BGPC-Trace) and
+	// client-observed latency, slowest first. Additive in bgpc-slo/v1:
+	// absent in older artifacts, capped at MaxSlowestPerClass. It turns
+	// a bad quantile into something actionable: the ids to paste into
+	// /debug/requests/{id} and /rtr/trace/{traceid}.
+	Slowest map[string][]SLOSlowest `json:"slowest,omitempty"`
+
 	ErrorBudget SLOErrorBudget `json:"error_budget"`
+}
+
+// MaxSlowestPerClass caps each status class's Slowest list.
+const MaxSlowestPerClass = 5
+
+// SLOSlowest identifies one slow request for post-run drill-down.
+type SLOSlowest struct {
+	RequestID string  `json:"request_id,omitempty"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	MS        float64 `json:"ms"`
 }
 
 // Validate checks the report's schema invariants: the tag, the status
@@ -153,6 +171,22 @@ func (r *SLOReport) Validate() error {
 			}
 			if n < 0 {
 				return fmt.Errorf("bench: negative count %d for backend %s class %s", n, be, class)
+			}
+		}
+	}
+	for class, slow := range r.Slowest {
+		if !known[class] {
+			return fmt.Errorf("bench: unknown status class %q in slowest", class)
+		}
+		if len(slow) > MaxSlowestPerClass {
+			return fmt.Errorf("bench: %d slowest entries for class %s, cap is %d", len(slow), class, MaxSlowestPerClass)
+		}
+		for i, s := range slow {
+			if s.MS < 0 || math.IsNaN(s.MS) || math.IsInf(s.MS, 0) {
+				return fmt.Errorf("bench: slowest[%s][%d] has bad latency %g", class, i, s.MS)
+			}
+			if i > 0 && s.MS > slow[i-1].MS {
+				return fmt.Errorf("bench: slowest[%s] not ordered slowest-first at %d", class, i)
 			}
 		}
 	}

@@ -26,6 +26,13 @@ func validSLO() *SLOReport {
 		RejectedBytes: 4096,
 		DistinctKeys:  12,
 		Counters:      map[string]int64{"bgpc_svc_too_large_total": 4},
+		Slowest: map[string][]SLOSlowest{
+			"2xx": {
+				{RequestID: "4bf92f3577b34da6a3ce929d0e0e4736", TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", MS: 9.5},
+				{RequestID: "req-2", MS: 1.25},
+			},
+			"429": {{RequestID: "req-3", MS: 0.4}},
+		},
 		ErrorBudget: SLOErrorBudget{
 			Availability: 0.995, Violations: 3, BudgetRequests: 0.6, BurnedFraction: 5,
 		},
@@ -62,6 +69,18 @@ func TestSLOValidateRejects(t *testing.T) {
 		{"bad availability", func(r *SLOReport) { r.ErrorBudget.Availability = 1 }, "availability"},
 		{"negative rps", func(r *SLOReport) { r.TargetRPS = -1 }, "RPS"},
 		{"negative rejected bytes", func(r *SLOReport) { r.RejectedBytes = -5 }, "rejected bytes"},
+		{"slowest unknown class", func(r *SLOReport) {
+			r.Slowest["3xx"] = []SLOSlowest{{MS: 1}}
+		}, "unknown status class"},
+		{"slowest over cap", func(r *SLOReport) {
+			r.Slowest["2xx"] = make([]SLOSlowest, MaxSlowestPerClass+1)
+		}, "cap"},
+		{"slowest bad latency", func(r *SLOReport) {
+			r.Slowest["429"] = []SLOSlowest{{MS: math.Inf(1)}}
+		}, "bad latency"},
+		{"slowest out of order", func(r *SLOReport) {
+			r.Slowest["2xx"] = []SLOSlowest{{MS: 1}, {MS: 2}}
+		}, "ordered slowest-first"},
 	}
 	for _, tc := range cases {
 		r := validSLO()

@@ -63,6 +63,11 @@ type BreakerConfig struct {
 	// HalfOpenProbes is the number of consecutive probe successes that
 	// close the breaker again; < 1 means 2.
 	HalfOpenProbes int
+	// OnOpen, when set, is called (on its own goroutine, outside the
+	// breaker's lock) on every closed/half-open → open transition — the
+	// flight-recorder hook: a breaker opening is exactly the anomaly a
+	// diagnostic bundle should capture.
+	OnOpen func()
 
 	// now overrides the clock in tests; nil means time.Now.
 	now func() time.Time
@@ -202,6 +207,11 @@ func (b *breaker) open(now time.Time) {
 	b.halfOK = 0
 	b.halfInFlight = 0
 	obs.ClientBreakerOpens.Inc()
+	if b.cfg.OnOpen != nil {
+		// Own goroutine: the hook may dump profiles; open() runs under
+		// b.mu on the caller's request path.
+		go b.cfg.OnOpen()
+	}
 }
 
 // currentBucket rotates the ring to now and returns the live bucket.

@@ -50,16 +50,26 @@ type RouteInfo struct {
 	// Deduped reports the response was fanned out from an identical
 	// concurrent job's single execution (X-BGPC-Deduped).
 	Deduped bool
+	// TraceID is the distributed-trace id the serving side ran the
+	// request under (X-BGPC-Trace) — the key into the daemon's
+	// /debug/trace/{traceid} and the router's /rtr/trace/{traceid}.
+	// Empty when the server has tracing disabled.
+	TraceID string
+	// RequestID is the correlation id the serving side echoed
+	// (X-Request-ID) — the key into /debug/requests/{id}.
+	RequestID string
 }
 
 // routeInfoFromHeaders extracts the router's hop markers; absent
 // headers leave the zero value (direct-to-daemon responses).
 func routeInfoFromHeaders(h http.Header) RouteInfo {
 	return RouteInfo{
-		Backend:  h.Get("X-BGPC-Backend"),
-		Spilled:  h.Get("X-BGPC-Spilled") != "",
-		Rerouted: h.Get("X-BGPC-Rerouted") != "",
-		Deduped:  h.Get("X-BGPC-Deduped") != "",
+		Backend:   h.Get("X-BGPC-Backend"),
+		Spilled:   h.Get("X-BGPC-Spilled") != "",
+		Rerouted:  h.Get("X-BGPC-Rerouted") != "",
+		Deduped:   h.Get("X-BGPC-Deduped") != "",
+		TraceID:   h.Get("X-BGPC-Trace"),
+		RequestID: h.Get("X-Request-ID"),
 	}
 }
 

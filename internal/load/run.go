@@ -106,8 +106,9 @@ func Run(ctx context.Context, sched *Schedule, opt Options) (*bench.SLOReport, e
 		classes[c] = 0
 	}
 	backends := map[string]map[string]int64{}
+	slowest := map[string][]bench.SLOSlowest{}
 	var (
-		mu            sync.Mutex // classes, backends, rejectedBytes
+		mu            sync.Mutex // classes, backends, slowest, rejectedBytes
 		rejectedBytes int64
 		maxLagNS      int64 // atomic
 		wg            sync.WaitGroup
@@ -128,19 +129,26 @@ func Run(ctx context.Context, sched *Schedule, opt Options) (*bench.SLOReport, e
 		go func() {
 			defer wg.Done()
 			for it := range work {
-				class, be, rej := issue(ctx, cli, &fps, it)
-				if be == "" {
-					be = fallback
+				began := time.Now()
+				out := issue(ctx, cli, &fps, it)
+				lat := time.Since(began)
+				if out.backend == "" {
+					out.backend = fallback
 				}
 				mu.Lock()
-				classes[class]++
-				bk := backends[be]
+				classes[out.class]++
+				bk := backends[out.backend]
 				if bk == nil {
 					bk = make(map[string]int64, len(bench.SLOStatusClasses))
-					backends[be] = bk
+					backends[out.backend] = bk
 				}
-				bk[class]++
-				rejectedBytes += rej
+				bk[out.class]++
+				rejectedBytes += out.rej
+				recordSlowest(slowest, out.class, bench.SLOSlowest{
+					RequestID: out.reqID,
+					TraceID:   out.traceID,
+					MS:        float64(lat) / float64(time.Millisecond),
+				})
 				mu.Unlock()
 			}
 		}()
@@ -266,6 +274,9 @@ dispatch:
 		}
 	}
 	rep.Backends = backends
+	if len(slowest) > 0 {
+		rep.Slowest = slowest
+	}
 	rep.CacheHits = rep.Counters["bgpc_svc_cache_hits_total"]
 	rep.CacheMisses = rep.Counters["bgpc_svc_cache_misses_total"]
 	if lookups := rep.CacheHits + rep.CacheMisses; lookups > 0 {
@@ -289,11 +300,52 @@ dispatch:
 	return rep, nil
 }
 
-// issue sends one scheduled request and classifies the outcome into an
-// SLO status class, returning the class, the backend that served the
-// request (from the router's X-BGPC-Backend marker; "" when no backend
-// was named, e.g. transport failures), and the request-body bytes to
-// charge to the rejected-bytes total (0 for accepted requests).
+// outcome is issue's classification of one scheduled request: the SLO
+// status class, the backend that served it (from the router's
+// X-BGPC-Backend marker; "" when no backend was named, e.g. transport
+// failures), the request-body bytes to charge to the rejected-bytes
+// total (0 for accepted requests), and the correlation ids the serving
+// side echoed — the request id (X-Request-ID) and distributed-trace id
+// (X-BGPC-Trace) that key the per-class slowest lists.
+type outcome struct {
+	class   string
+	backend string
+	rej     int64
+	reqID   string
+	traceID string
+}
+
+// from fills the route-derived fields of an outcome from the response's
+// hop markers; the class and rejected-bytes stay the caller's.
+func (o outcome) from(ri client.RouteInfo) outcome {
+	o.backend = ri.Backend
+	o.reqID = ri.RequestID
+	o.traceID = ri.TraceID
+	return o
+}
+
+// recordSlowest inserts one finished request into its class's
+// slowest-first list, keeping it sorted and capped at
+// bench.MaxSlowestPerClass. Caller holds the run mutex.
+func recordSlowest(m map[string][]bench.SLOSlowest, class string, e bench.SLOSlowest) {
+	slow := m[class]
+	if len(slow) == bench.MaxSlowestPerClass && e.MS <= slow[len(slow)-1].MS {
+		return
+	}
+	i := len(slow)
+	for i > 0 && slow[i-1].MS < e.MS {
+		i--
+	}
+	slow = append(slow, bench.SLOSlowest{})
+	copy(slow[i+1:], slow[i:])
+	slow[i] = e
+	if len(slow) > bench.MaxSlowestPerClass {
+		slow = slow[:bench.MaxSlowestPerClass]
+	}
+	m[class] = slow
+}
+
+// issue sends one scheduled request and classifies it into an outcome.
 //
 // A success a fleet router served via failover or spillover (marked
 // X-BGPC-Rerouted / X-BGPC-Spilled) classifies as "rerouted" rather
@@ -305,7 +357,7 @@ dispatch:
 // evicted or the daemon restarted), the item degrades to its full-color
 // request — the protocol's prescribed client fallback — and the outcome
 // of that fallback is what gets classified.
-func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (class, backend string, rejectedBytes int64) {
+func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) outcome {
 	rctx := ctx
 	if it.CancelAfter > 0 {
 		var cancel context.CancelFunc
@@ -323,21 +375,21 @@ func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (cla
 			fp := v.(string)
 			_, ri, err := cli.DeltaRouted(rctx, fp, *it.Delta)
 			if err == nil {
-				return okClass(ri), ri.Backend, 0
+				return outcome{class: okClass(ri)}.from(ri)
 			}
 			if it.CancelAfter > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
-				return "canceled", ri.Backend, 0
+				return outcome{class: "canceled"}.from(ri)
 			}
 			var ae *client.APIError
 			if errors.As(err, &ae) {
 				if ae.Status != http.StatusNotFound {
 					switch {
 					case ae.Status == http.StatusTooManyRequests:
-						return "429", ae.Route.Backend, 0
+						return outcome{class: "429"}.from(ae.Route)
 					case ae.Status >= 500:
-						return "5xx", ae.Route.Backend, 0
+						return outcome{class: "5xx"}.from(ae.Route)
 					default:
-						return "4xx", ae.Route.Backend, 0
+						return outcome{class: "4xx"}.from(ae.Route)
 					}
 				}
 				// 404: the fingerprint is gone; unlearn it and fall
@@ -350,7 +402,7 @@ func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (cla
 					fps.CompareAndDelete(it.Key, v)
 				}
 			} else {
-				return "transport", "", 0
+				return outcome{class: "transport"}
 			}
 		}
 	}
@@ -359,7 +411,7 @@ func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (cla
 		if it.Hostile == "" && resp.Fingerprint != "" {
 			fps.Store(it.Key, resp.Fingerprint)
 		}
-		return okClass(ri), ri.Backend, 0
+		return outcome{class: okClass(ri)}.from(ri)
 	}
 	bodyBytes := func() int64 {
 		raw, merr := json.Marshal(it.Req)
@@ -369,21 +421,21 @@ func issue(ctx context.Context, cli *client.Client, fps *sync.Map, it Item) (cla
 		return int64(len(raw))
 	}
 	if it.CancelAfter > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
-		return "canceled", ri.Backend, 0
+		return outcome{class: "canceled"}.from(ri)
 	}
 	var ae *client.APIError
 	if errors.As(err, &ae) {
 		switch {
 		case ae.Status == http.StatusTooManyRequests:
-			return "429", ae.Route.Backend, 0
+			return outcome{class: "429"}.from(ae.Route)
 		case ae.Status >= 500:
-			return "5xx", ae.Route.Backend, 0
+			return outcome{class: "5xx"}.from(ae.Route)
 		default:
 			// 400/413-class rejections: the bytes the daemon refused.
-			return "4xx", ae.Route.Backend, bodyBytes()
+			return outcome{class: "4xx", rej: bodyBytes()}.from(ae.Route)
 		}
 	}
-	return "transport", "", 0
+	return outcome{class: "transport"}
 }
 
 // mergeHist sums two same-shape histogram snapshots (the multi-target

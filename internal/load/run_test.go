@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"bgpc/internal/bench"
 	"bgpc/internal/service"
 )
 
@@ -80,6 +81,52 @@ func TestRunSLOSmoke(t *testing.T) {
 	if !strings.Contains(string(rep.Spec), `"seed": 1206`) &&
 		!strings.Contains(string(rep.Spec), `"seed":1206`) {
 		t.Fatalf("report does not embed the spec: %s", rep.Spec)
+	}
+	// Every populated class carries its top-K slowest drill-down ids,
+	// and against a default daemon (tracing on) the 2xx entries name
+	// both the request id and the trace id the server echoed.
+	if len(rep.Slowest["2xx"]) == 0 {
+		t.Fatalf("no slowest entries for 2xx: %v", rep.Slowest)
+	}
+	for class, slow := range rep.Slowest {
+		if len(slow) > bench.MaxSlowestPerClass {
+			t.Fatalf("slowest[%s] has %d entries, cap is %d", class, len(slow), bench.MaxSlowestPerClass)
+		}
+		for i, s := range slow {
+			if s.MS <= 0 {
+				t.Fatalf("slowest[%s][%d] latency %g, want > 0", class, i, s.MS)
+			}
+			if i > 0 && s.MS > slow[i-1].MS {
+				t.Fatalf("slowest[%s] not ordered slowest-first: %v", class, slow)
+			}
+		}
+	}
+	for i, s := range rep.Slowest["2xx"] {
+		if s.RequestID == "" || s.TraceID == "" {
+			t.Fatalf("slowest[2xx][%d] missing ids: %+v", i, s)
+		}
+	}
+}
+
+// TestRecordSlowest pins the top-K insertion: sorted slowest-first,
+// capped, and cheap rejections of entries below the current floor.
+func TestRecordSlowest(t *testing.T) {
+	m := map[string][]bench.SLOSlowest{}
+	for _, ms := range []float64{3, 9, 1, 7, 5, 2, 8, 4, 6, 0.5} {
+		recordSlowest(m, "2xx", bench.SLOSlowest{RequestID: "r", MS: ms})
+	}
+	slow := m["2xx"]
+	if len(slow) != bench.MaxSlowestPerClass {
+		t.Fatalf("len = %d, want %d", len(slow), bench.MaxSlowestPerClass)
+	}
+	want := []float64{9, 8, 7, 6, 5}
+	for i, s := range slow {
+		if s.MS != want[i] {
+			t.Fatalf("slowest = %v, want latencies %v", slow, want)
+		}
+	}
+	if len(m["429"]) != 0 {
+		t.Fatalf("untouched class grew entries: %v", m)
 	}
 }
 

@@ -160,6 +160,26 @@ var (
 	RtrRecoveries Counter
 )
 
+// Tracing and flight-recorder counters (internal/trace). Request-path
+// adjacent — one bump per completed request at most — so bumped
+// unconditionally.
+var (
+	// TraceKept counts completed traces retained for export (head
+	// sampled, or tail-kept on error/slowness).
+	TraceKept Counter
+	// TraceDropped counts completed traces discarded by the sampler.
+	TraceDropped Counter
+	// DiagBundles counts diagnostic bundles written by the flight
+	// recorder.
+	DiagBundles Counter
+	// DiagSuppressed counts anomaly triggers swallowed by the flight
+	// recorder's cooldown or because a bundle write was in progress.
+	DiagSuppressed Counter
+	// DiagErrors counts bundle writes that failed partway (disk error);
+	// partial bundles are left marked, never mistaken for complete ones.
+	DiagErrors Counter
+)
+
 var metricsOn atomic.Bool
 
 // EnableMetrics switches hot-path counting on or off (default off).
@@ -234,6 +254,11 @@ var counterNames = map[string]*Counter{
 	"bgpc.rtr_failovers":        &RtrFailovers,
 	"bgpc.rtr_ejections":        &RtrEjections,
 	"bgpc.rtr_recoveries":       &RtrRecoveries,
+	"bgpc.trace_kept":           &TraceKept,
+	"bgpc.trace_dropped":        &TraceDropped,
+	"bgpc.diag_bundles":         &DiagBundles,
+	"bgpc.diag_suppressed":      &DiagSuppressed,
+	"bgpc.diag_errors":          &DiagErrors,
 }
 
 // Snapshot returns the current value of every counter keyed by its

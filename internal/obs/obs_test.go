@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 func sampleEvent() Event {
@@ -148,6 +149,14 @@ func TestNopHotPathZeroAllocs(t *testing.T) {
 		}
 		sp := rec.StartSpan("phase")
 		sp.End()
+		sp2 := rec.StartSpanKind("phase", "queue")
+		sp2.End()
+		rec.AddSpanKind("phase", "queue", time.Time{}, 0)
+		rec.AddSpanFull("", "phase", "queue", time.Time{}, 0, nil)
+		rec.SetTraceContext("", "", "", false)
+		if rec.TraceID() != "" || rec.TraceSampled() {
+			t.Fatal("nil recorder must report an empty trace context")
+		}
 		rec.Emit(ev)
 		rec.Annotate("k", "v")
 		st.CountDispatch()

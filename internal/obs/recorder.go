@@ -36,6 +36,13 @@ type Recorder struct {
 	maxSpans, maxIters         int
 	droppedSpans, droppedIters int
 
+	// Distributed-trace context (see internal/trace): the trace id this
+	// request belongs to, this process's root span id, the remote
+	// parent that reached it, and the propagated sampling decision.
+	// Zero-valued unless the serving layer calls SetTraceContext.
+	traceID, spanID, parentID string
+	sampled                   bool
+
 	// stats accumulates scheduler-level telemetry (chunk dispatches)
 	// from the parallel loops of the run this Recorder is attached to.
 	stats LoopStats
@@ -80,10 +87,27 @@ func (r *Recorder) ID() string {
 // Span is one named interval of a request timeline. Offsets are
 // nanoseconds since the timeline's start, so a timeline is
 // self-contained and diffable across requests.
+//
+// The identity fields (ID, Parent) and the Kind classifier exist for
+// the distributed-trace export (internal/trace): in-process spans are
+// recorded without ids — identity is derived deterministically at
+// fragment-export time, which keeps recording allocation-free — while
+// cross-process spans (router hops, whose ids travel in traceparent
+// headers) carry explicit ids.
 type Span struct {
-	Name    string `json:"name"`
+	Name string `json:"name"`
+	// Kind classifies the span for structural filtering (see the
+	// trace.Kind* constants); "" for plain timeline spans.
+	Kind string `json:"kind,omitempty"`
+	// ID is the span's 16-hex identity; "" until export derives one.
+	ID string `json:"id,omitempty"`
+	// Parent is the parent span's id; "" means the fragment root.
+	Parent  string `json:"parent,omitempty"`
 	StartNS int64  `json:"start_ns"`
 	DurNS   int64  `json:"dur_ns"`
+	// Attrs carries per-span facts (backend address, hop outcome);
+	// allocated only when set, never on the plain span path.
+	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
 // IterEvent is one runner phase of one speculative iteration, distilled
@@ -106,6 +130,12 @@ type IterEvent struct {
 type Timeline struct {
 	ID    string    `json:"id"`
 	Start time.Time `json:"start"`
+	// TraceID / SpanID / ParentID / Sampled mirror the recorder's
+	// distributed-trace context (zero unless SetTraceContext ran).
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	Sampled  bool   `json:"sampled,omitempty"`
 	// Status is the HTTP status the request finished with (0 for
 	// timelines snapshotted mid-flight or outside a server).
 	Status int `json:"status,omitempty"`
@@ -120,12 +150,46 @@ type Timeline struct {
 	DroppedIters int `json:"dropped_iters,omitempty"`
 }
 
+// SetTraceContext installs the request's distributed-trace context
+// (trace id, this process's root span id, remote parent, sampling
+// decision). Nil-safe.
+func (r *Recorder) SetTraceContext(traceID, spanID, parentID string, sampled bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceID, r.spanID, r.parentID, r.sampled = traceID, spanID, parentID, sampled
+	r.mu.Unlock()
+}
+
+// TraceID returns the recorder's trace id ("" when nil or untraced).
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
+}
+
+// TraceSampled reports the propagated head-sampling decision (false
+// when nil or untraced).
+func (r *Recorder) TraceSampled() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sampled
+}
+
 // ActiveSpan is an in-flight span handle returned by StartSpan. The
 // zero value (from a nil Recorder) is valid and End on it is a no-op,
 // so callers never branch.
 type ActiveSpan struct {
 	r     *Recorder
 	name  string
+	kind  string
 	start time.Time
 }
 
@@ -139,10 +203,19 @@ func (r *Recorder) StartSpan(name string) ActiveSpan {
 	return ActiveSpan{r: r, name: name, start: time.Now()}
 }
 
+// StartSpanKind is StartSpan with a kind classifier (see the
+// trace.Kind* constants). Nil-safe.
+func (r *Recorder) StartSpanKind(name, kind string) ActiveSpan {
+	if r == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{r: r, name: name, kind: kind, start: time.Now()}
+}
+
 // End closes the span, recording its duration.
 func (s ActiveSpan) End() {
 	if s.r != nil {
-		s.r.AddSpan(s.name, s.start, time.Since(s.start))
+		s.r.add(Span{Name: s.name, Kind: s.kind}, s.start, time.Since(s.start))
 	}
 }
 
@@ -150,6 +223,23 @@ func (s ActiveSpan) End() {
 // intervals measured elsewhere, like queue wait between admission and
 // worker pickup. Nil-safe.
 func (r *Recorder) AddSpan(name string, start time.Time, dur time.Duration) {
+	r.add(Span{Name: name}, start, dur)
+}
+
+// AddSpanKind is AddSpan with a kind classifier. Nil-safe.
+func (r *Recorder) AddSpanKind(name, kind string, start time.Time, dur time.Duration) {
+	r.add(Span{Name: name, Kind: kind}, start, dur)
+}
+
+// AddSpanFull records a span with explicit identity and attributes —
+// the form cross-process spans use: a router hop's id travels to the
+// backend in a traceparent header, so it must be the minted one, not a
+// derived one. Nil-safe; attrs may be nil.
+func (r *Recorder) AddSpanFull(id, name, kind string, start time.Time, dur time.Duration, attrs map[string]string) {
+	r.add(Span{Name: name, Kind: kind, ID: id, Attrs: attrs}, start, dur)
+}
+
+func (r *Recorder) add(sp Span, start time.Time, dur time.Duration) {
 	if r == nil {
 		return
 	}
@@ -159,11 +249,9 @@ func (r *Recorder) AddSpan(name string, start time.Time, dur time.Duration) {
 		r.droppedSpans++
 		return
 	}
-	r.spans = append(r.spans, Span{
-		Name:    name,
-		StartNS: start.Sub(r.start).Nanoseconds(),
-		DurNS:   dur.Nanoseconds(),
-	})
+	sp.StartNS = start.Sub(r.start).Nanoseconds()
+	sp.DurNS = dur.Nanoseconds()
+	r.spans = append(r.spans, sp)
 }
 
 // Annotate attaches (or overwrites) a key/value attribute on the
@@ -237,6 +325,10 @@ func (r *Recorder) Snapshot() Timeline {
 	t := Timeline{
 		ID:           r.id,
 		Start:        r.start,
+		TraceID:      r.traceID,
+		SpanID:       r.spanID,
+		ParentID:     r.parentID,
+		Sampled:      r.sampled,
 		Spans:        append([]Span(nil), r.spans...),
 		Iters:        append([]IterEvent(nil), r.iters...),
 		DroppedSpans: r.droppedSpans,

@@ -11,12 +11,14 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"bgpc/internal/failpoint"
 	"bgpc/internal/obs"
 	"bgpc/internal/service"
+	"bgpc/internal/trace"
 )
 
 // Failpoints in the router's serving path.
@@ -52,6 +54,20 @@ type Config struct {
 	// Log receives the router's structured request log; nil means
 	// slog.Default().
 	Log *slog.Logger
+	// TraceRing bounds the router's own completed-trace fragment ring;
+	// 0 means 256, negative disables router-side tracing — hops are
+	// not spanned, no trace context is minted, and an inbound
+	// traceparent is forwarded verbatim (legacy passthrough).
+	TraceRing int
+	// TraceSample is the head-sampling ratio for traces the router
+	// originates; 0 means 1.0, negative means 0 (tail-keeps only).
+	TraceSample float64
+	// TraceSlow, when positive, tail-keeps any request at least this
+	// slow end to end.
+	TraceSlow time.Duration
+	// Diag, when set, arms the router's flight recorder: a backend
+	// breaker opening writes one diagnostic bundle.
+	Diag *trace.Flight
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 64 << 20
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
 	}
 	if c.Log == nil {
 		c.Log = slog.Default()
@@ -83,6 +102,8 @@ type Router struct {
 	hc       *http.Client
 	sf       *group
 	mux      *http.ServeMux
+	traces   *trace.Ring // nil when router-side tracing is disabled
+	sampler  trace.Sampler
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -108,14 +129,34 @@ func New(cfg Config) (*Router, error) {
 		sf:       newGroup(),
 		mux:      http.NewServeMux(),
 	}
+	if cfg.TraceRing > 0 {
+		ratio := cfg.TraceSample
+		if ratio == 0 {
+			ratio = 1
+		}
+		rt.sampler = trace.Sampler{HeadRatio: ratio, KeepErrors: true, SlowNS: int64(cfg.TraceSlow)}
+		rt.traces = trace.NewRing(cfg.TraceRing)
+	}
 	for _, m := range ring.Members() {
-		rt.backends[m] = newBackend(m, cfg.Health)
+		hcfg := cfg.Health
+		if cfg.Diag != nil {
+			// A backend breaker opening is a fleet anomaly worth a
+			// bundle. OnOpen already runs on its own goroutine, so the
+			// synchronous Trigger (profiles and all) is safe here.
+			name := m
+			hcfg.Breaker.OnOpen = func() {
+				cfg.Diag.Trigger("breaker_open", "backend "+name+" breaker opened", nil, nil)
+			}
+		}
+		rt.backends[m] = newBackend(m, hcfg)
 	}
 	rt.mux.HandleFunc("POST /color", rt.handleColor)
 	rt.mux.HandleFunc("POST /color/{fingerprint}/delta", rt.handleDelta)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("GET /rtr/backends", rt.handleBackends)
+	rt.mux.HandleFunc("GET /rtr/trace/{traceid}", rt.handleAssembledTrace)
+	rt.mux.HandleFunc("GET /debug/trace/{traceid}", rt.handleOwnTrace)
 
 	// Per-backend health gauges. RegisterGauge carries no labels, so
 	// each backend gets an indexed series (index = position in the
@@ -276,26 +317,55 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, body []byte, key
 	sum := sha256.Sum256(body)
 	sfKey := r.URL.Path + "\x00" + hex.EncodeToString(sum[:])
 
-	// Forward correlation headers verbatim; mint an id only when the
-	// client sent none, so the router hop never breaks a trace.
+	// Resolve the request's identity at ingress — one correlation id
+	// and (when tracing) one trace context per request, echoed in the
+	// response headers before anything can fail, so every outcome
+	// (proxied, replayed rejection, 503 no-backend) carries them.
+	id, _ := obs.RequestIDFromHeaders(r.Header.Get("traceparent"), r.Header.Get("X-Request-ID"))
+	w.Header().Set("X-Request-ID", id)
+
+	var rec *obs.Recorder
+	var sc trace.SpanContext
+	if rt.traces != nil {
+		sc = trace.Extract(r.Header.Get("traceparent"), id, rt.sampler)
+		w.Header().Set("X-BGPC-Trace", sc.TraceID)
+		rec = obs.NewRecorder(id, 0, 0)
+		rec.SetTraceContext(sc.TraceID, sc.SpanID, sc.ParentID, sc.Sampled)
+		rec.Annotate("key", key)
+		rec.Annotate("variant", variant)
+	}
+
 	hdr := make(http.Header, 4)
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		hdr.Set("Content-Type", ct)
 	}
-	if tp := r.Header.Get("traceparent"); tp != "" {
-		hdr.Set("traceparent", tp)
-	}
-	if id := r.Header.Get("X-Request-ID"); id != "" {
-		hdr.Set("X-Request-ID", id)
-	} else if hdr.Get("traceparent") == "" {
-		hdr.Set("X-Request-ID", obs.NewRequestID())
+	// The resolved id — not the raw inbound header — travels to the
+	// backend, so router and backend agree on the correlation id even
+	// when the router minted it. The traceparent the backend sees is
+	// NOT the inbound one: proxy mints a child span id per hop so the
+	// backend's root span parents to the hop that reached it. Only
+	// with tracing disabled is an inbound traceparent passed through
+	// verbatim (the router stays invisible to the caller's trace).
+	hdr.Set("X-Request-ID", id)
+	if rt.traces == nil {
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			hdr.Set("traceparent", tp)
+		}
 	}
 
 	res, shared, err := rt.sf.Do(r.Context(), sfKey, func(ctx context.Context) (*flightResult, error) {
-		return rt.proxy(ctx, r.Method, r.URL.RequestURI(), hdr, body, key)
+		return rt.proxy(ctx, rec, sc, r.Method, r.URL.RequestURI(), hdr, body, key)
 	})
 	if shared {
 		obs.RtrDedupHits.Inc()
+		if rec != nil && res != nil {
+			// This request never ran anywhere: its span tree is one
+			// dedup-follow span pointing at the leader's flight. The
+			// leader's hop span id is the join point an assembled view
+			// uses to cross from this trace into the leader's.
+			hopSpan(rec, "", trace.KindDedup, start,
+				"leader_trace", res.traceID, "leader_span", res.spanID, "backend", res.backend)
+		}
 	}
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -303,12 +373,20 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, body []byte, key
 			return
 		}
 		rt.writeError(w, r, http.StatusServiceUnavailable, "%v", err)
+		rt.finishTrace(rec, http.StatusServiceUnavailable, start)
 		rt.logRequest(r, http.StatusServiceUnavailable, key, variant, shared, time.Since(start))
 		return
 	}
 
 	h := w.Header()
 	for k, vs := range res.header {
+		switch k {
+		case "X-Request-Id", "X-Bgpc-Trace":
+			// Set at ingress from this request's own resolution; the
+			// backend's echoes are the same values (we forwarded them),
+			// and for a deduped follower the leader's would be wrong.
+			continue
+		}
 		for _, v := range vs {
 			h.Add(k, v)
 		}
@@ -320,7 +398,40 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, body []byte, key
 	w.Write(res.body)
 
 	obs.SvcLatency.With(variant).Observe(time.Since(start).Seconds())
+	rt.finishTrace(rec, res.status, start)
 	rt.logRequest(r, res.status, key, variant, shared, time.Since(start))
+}
+
+// finishTrace closes the router's slice of the trace: stamp the
+// envelope, apply the keep decision, and file the fragment.
+func (rt *Router) finishTrace(rec *obs.Recorder, status int, start time.Time) {
+	if rt.traces == nil || rec == nil {
+		return
+	}
+	t := rec.Snapshot()
+	t.Status = status
+	t.DurNS = time.Since(start).Nanoseconds()
+	if rt.sampler.Keep(t.Sampled, status, t.DurNS) {
+		rt.traces.Add(trace.FragmentFromTimeline(t, "bgpcrouter"))
+		obs.TraceKept.Inc()
+	} else {
+		obs.TraceDropped.Inc()
+	}
+}
+
+// hopSpan records one cross-process hop span (explicit id — it
+// travelled to the backend in a traceparent header) with inline
+// key/value attrs. The attrs map is only materialized when a recorder
+// is present, so untraced routing allocates nothing here.
+func hopSpan(rec *obs.Recorder, hopID, kind string, start time.Time, kv ...string) {
+	if rec == nil {
+		return
+	}
+	attrs := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		attrs[kv[i]] = kv[i+1]
+	}
+	rec.AddSpanFull(hopID, "hop", kind, start, time.Since(start), attrs)
 }
 
 func (rt *Router) logRequest(r *http.Request, status int, key, variant string, shared bool, dur time.Duration) {
@@ -352,11 +463,13 @@ var errNoBackend = errors.New("router: no eligible backend")
 // rejection (with its Retry-After) is replayed — the owner's backoff
 // advice is the authoritative one for this key. MaxHops bounds the
 // walk so a misbehaving fleet cannot turn one request into N.
-func (rt *Router) proxy(ctx context.Context, method, uri string, hdr http.Header, body []byte, key string) (*flightResult, error) {
+func (rt *Router) proxy(ctx context.Context, rec *obs.Recorder, sc trace.SpanContext, method, uri string, hdr http.Header, body []byte, key string) (*flightResult, error) {
 	if err := failpoint.Inject(FPPick); err != nil {
 		return nil, fmt.Errorf("%w (injected)", errNoBackend)
 	}
+	pick := rec.StartSpanKind("pick", trace.KindPick)
 	order := rt.ring.Order(key)
+	pick.End()
 	var firstReject *flightResult
 	hops := 0
 	rerouted, spilled := false, false
@@ -374,6 +487,18 @@ func (rt *Router) proxy(ctx context.Context, method, uri string, hdr http.Header
 			continue
 		}
 		hops++
+		// Each attempt is its own child span, and its freshly minted id
+		// travels to the backend as the traceparent's parent-id — never
+		// the inbound header verbatim. That is what makes the assembled
+		// tree show WHICH attempt a backend fragment hangs under: the
+		// failed owner's span stays a leaf, the serving successor's
+		// span gains the backend's whole subtree.
+		hopID := ""
+		if rec != nil {
+			hopID = trace.NewSpanID()
+			hdr.Set("traceparent", trace.Traceparent(sc.TraceID, hopID, sc.Sampled))
+		}
+		t0 := time.Now()
 		res, err := rt.send(ctx, b, method, uri, hdr, body)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -382,6 +507,7 @@ func (rt *Router) proxy(ctx context.Context, method, uri string, hdr http.Header
 			b.reportFailure(rt.cfg.Health)
 			obs.RtrFailovers.Inc()
 			rerouted = true
+			hopSpan(rec, hopID, trace.KindFailover, t0, "backend", name, "error", err.Error())
 			continue
 		}
 		switch {
@@ -391,19 +517,24 @@ func (rt *Router) proxy(ctx context.Context, method, uri string, hdr http.Header
 			b.reportFailure(rt.cfg.Health)
 			obs.RtrFailovers.Inc()
 			rerouted = true
+			hopSpan(rec, hopID, trace.KindFailover, t0, "backend", name, "status", strconv.Itoa(res.status))
 			continue
 		case res.status == http.StatusTooManyRequests || res.status == http.StatusRequestEntityTooLarge:
 			// Alive, just out of budget — healthy signal, spill onward.
 			b.reportSuccess()
 			if firstReject == nil {
 				firstReject = res
+				res.traceID, res.spanID = sc.TraceID, hopID
 			}
 			obs.RtrSpillovers.Inc()
 			spilled = true
+			hopSpan(rec, hopID, trace.KindSpillover, t0, "backend", name, "status", strconv.Itoa(res.status))
 			continue
 		default:
 			b.reportSuccess()
 			obs.RtrProxied.Inc()
+			hopSpan(rec, hopID, trace.KindProxy, t0, "backend", name, "status", strconv.Itoa(res.status))
+			res.traceID, res.spanID = sc.TraceID, hopID
 			res.header["X-Bgpc-Backend"] = []string{name}
 			if spilled {
 				res.header["X-Bgpc-Spilled"] = []string{"1"}
@@ -456,11 +587,20 @@ func (rt *Router) send(ctx context.Context, b *backend, method, uri string, hdr 
 // exactly like backend ones. 503s carry Retry-After: the fleet being
 // fully dark is usually a transient (mid-restart) condition.
 func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
-	id := r.Header.Get("X-Request-ID")
+	// route() resolves the correlation id and trace id at ingress and
+	// stamps them on the response headers; honor those first so the
+	// error body names the same ids the success path would have. Only
+	// errors raised before (or outside) route() resolve them here.
+	id := w.Header().Get("X-Request-ID")
 	if id == "" {
-		id, _ = obs.RequestIDFromHeaders(r.Header.Get("traceparent"), "")
+		id, _ = obs.RequestIDFromHeaders(r.Header.Get("traceparent"), r.Header.Get("X-Request-ID"))
+		w.Header().Set("X-Request-ID", id)
 	}
-	w.Header().Set("X-Request-ID", id)
+	tid := w.Header().Get("X-BGPC-Trace")
+	if tid == "" && rt.traces != nil {
+		tid = trace.Extract(r.Header.Get("traceparent"), id, rt.sampler).TraceID
+		w.Header().Set("X-BGPC-Trace", tid)
+	}
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
@@ -469,6 +609,7 @@ func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int,
 	json.NewEncoder(w).Encode(service.ErrorResponse{
 		Error:     fmt.Sprintf(format, args...),
 		RequestID: id,
+		TraceID:   tid,
 	})
 }
 

@@ -17,6 +17,7 @@ import (
 	"bgpc/internal/failpoint"
 	"bgpc/internal/obs"
 	"bgpc/internal/testutil"
+	"bgpc/internal/trace"
 )
 
 // fakeBackend is a scripted fleet member: its handler is swappable at
@@ -236,8 +237,11 @@ func TestRouterSpillover(t *testing.T) {
 	}
 }
 
-// TestRouterHeaderForwarding: correlation headers cross the hop
-// verbatim in both directions.
+// TestRouterHeaderForwarding: the correlation id crosses the hop
+// verbatim; the traceparent does NOT — the router joins the caller's
+// trace (same trace id, same sampled flag) but mints a child span id
+// per hop so the backend parents to the router's attempt, not to the
+// caller directly.
 func TestRouterHeaderForwarding(t *testing.T) {
 	testutil.CheckGoroutineLeaks(t)
 	fleet, rt := newFleet(t, 2)
@@ -249,19 +253,45 @@ func TestRouterHeaderForwarding(t *testing.T) {
 			okColorHandler(w, r)
 		})
 	}
-	const tp = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
-	w := postColor(t, rt, jobBody, map[string]string{
+	// A bare X-Request-ID (no traceparent) crosses the hop verbatim.
+	w := postColor(t, rt, jobBody, map[string]string{"X-Request-ID": "caller-chosen-id"})
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if gotID != "caller-chosen-id" {
+		t.Fatalf("backend saw id=%q, want verbatim forwarding", gotID)
+	}
+	if rid := w.Header().Get("X-Request-ID"); rid != "caller-chosen-id" {
+		t.Fatalf("response X-Request-ID %q, want the backend's echo", rid)
+	}
+
+	// With a traceparent, the trace id IS the correlation id — the same
+	// resolution rule the daemon applies — so both processes agree on it
+	// even though the caller also sent a different X-Request-ID.
+	const callerTID = "0af7651916cd43dd8448eb211c80319c"
+	const callerSpan = "b7ad6b7169203331"
+	w = postColor(t, rt, jobBody, map[string]string{
 		"X-Request-ID": "caller-chosen-id",
-		"traceparent":  tp,
+		"traceparent":  trace.Traceparent(callerTID, callerSpan, true),
 	})
 	if w.Code != 200 {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
-	if gotID != "caller-chosen-id" || gotTP != tp {
-		t.Fatalf("backend saw id=%q tp=%q, want verbatim forwarding", gotID, gotTP)
+	if gotID != callerTID {
+		t.Fatalf("backend saw id=%q, want the trace id %q", gotID, callerTID)
 	}
-	if rid := w.Header().Get("X-Request-ID"); rid != "caller-chosen-id" {
-		t.Fatalf("response X-Request-ID %q, want the backend's echo", rid)
+	tid, pid, sampled, ok := trace.ParseTraceparent(gotTP)
+	if !ok {
+		t.Fatalf("backend saw malformed traceparent %q", gotTP)
+	}
+	if tid != callerTID || !sampled {
+		t.Fatalf("router must stay in the caller's trace: got %s sampled=%v", tid, sampled)
+	}
+	if pid == callerSpan {
+		t.Fatal("router must mint a child span id per hop, not forward the caller's")
+	}
+	if got := w.Header().Get("X-BGPC-Trace"); got != callerTID {
+		t.Fatalf("response X-BGPC-Trace %q, want the caller's trace id", got)
 	}
 
 	// No client id at all: the router mints one for the hop.

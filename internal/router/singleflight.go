@@ -23,6 +23,10 @@ type flightResult struct {
 	header  map[string][]string
 	body    []byte
 	backend string // which backend served it (X-BGPC-Backend)
+	// traceID/spanID identify the leader's serving hop span so a
+	// dedup follower's trace can point at the execution it rode.
+	traceID string
+	spanID  string
 }
 
 // flight is one in-progress shared execution.

@@ -13,6 +13,7 @@ import (
 	"bgpc/internal/graph"
 	"bgpc/internal/limits"
 	"bgpc/internal/obs"
+	"bgpc/internal/trace"
 	"bgpc/internal/verify"
 )
 
@@ -73,6 +74,8 @@ type DeltaResponse struct {
 	QueueMS float64 `json:"queue_ms"`
 	// RequestID echoes the request's correlation id.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID mirrors the X-BGPC-Trace header, as in ColorResponse.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // deltaSpec is a validated delta request bound to its base fingerprint.
@@ -145,6 +148,7 @@ func (s *Server) writeDeltaMiss(w http.ResponseWriter, rec *obs.Recorder, recove
 		Error:       fmt.Sprintf(format, args...),
 		RequestID:   w.Header().Get("X-Request-ID"),
 		Recoverable: recoverable,
+		TraceID:     w.Header().Get("X-BGPC-Trace"),
 	})
 }
 
@@ -169,7 +173,7 @@ func validFingerprint(fp string) bool {
 // merge and must not bypass the backpressure model.
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	rec := obs.RecorderFromContext(r.Context())
-	decode := rec.StartSpan("decode")
+	decode := rec.StartSpanKind("decode", trace.KindDecode)
 	body := io.LimitReader(r.Body, s.cfg.MaxRequestBytes+1)
 	raw, err := io.ReadAll(body)
 	if err != nil {
@@ -275,7 +279,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	j.run = func(ctx context.Context) {
 		wait := time.Since(enqueued)
 		obs.SvcQueueWait.Observe(wait.Seconds())
-		rec.AddSpan("queue", enqueued, wait)
+		rec.AddSpanKind("queue", trace.KindQueue, enqueued, wait)
 		resp, jobStatus, jobErr = s.executeDelta(ctx, spec, entry, base, wait)
 	}
 	if err := s.pool.submit(j); err != nil {
@@ -318,6 +322,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	s.quar.clear(spec.key)
 	resp.RequestID = w.Header().Get("X-Request-ID")
+	resp.TraceID = w.Header().Get("X-BGPC-Trace")
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -336,7 +341,7 @@ func (s *Server) executeDelta(ctx context.Context, spec *deltaSpec, entry *cache
 	rec := obs.RecorderFromContext(ctx)
 	start := time.Now()
 
-	apply := rec.StartSpan("apply")
+	apply := rec.StartSpanKind("apply", trace.KindApply)
 	g2, inserted, removed, err := delta.Apply(entry.g, spec.d)
 	apply.End()
 	if err != nil {
@@ -358,7 +363,7 @@ func (s *Server) executeDelta(ctx context.Context, spec *deltaSpec, entry *cache
 		}
 	}
 
-	recolor := rec.StartSpan("recolor")
+	recolor := rec.StartSpanKind("recolor", trace.KindRecolor)
 	var colors []int32
 	var st delta.Stats
 	if spec.d2mode {
@@ -376,7 +381,7 @@ func (s *Server) executeDelta(ctx context.Context, spec *deltaSpec, entry *cache
 
 	// Same contract as a full color: never hand out an unverified
 	// coloring, and never cache one either.
-	vspan := rec.StartSpan("verify")
+	vspan := rec.StartSpanKind("verify", trace.KindVerify)
 	if spec.d2mode {
 		err = verify.D2GC(ug2, colors)
 	} else {
@@ -399,7 +404,7 @@ func (s *Server) executeDelta(ctx context.Context, spec *deltaSpec, entry *cache
 	// Durability before acknowledgement: the delta record (base
 	// fingerprint + edge lists) is what lets the chain survive cache
 	// eviction and restarts.
-	s.walAppendDelta(entry.fpU, pub, mode, spec.d, colors)
+	s.walAppendDelta(rec, entry.fpU, pub, mode, spec.d, colors)
 	obs.SvcDeltaApplied.Inc()
 	rec.Annotate("outcome", "ok")
 

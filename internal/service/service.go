@@ -53,6 +53,7 @@ import (
 	"bgpc/internal/limits"
 	"bgpc/internal/mtx"
 	"bgpc/internal/obs"
+	"bgpc/internal/trace"
 	"bgpc/internal/verify"
 	"bgpc/internal/wal"
 )
@@ -133,6 +134,27 @@ type Config struct {
 	// The server never closes the log — the owner (cmd/bgpcd) does.
 	// Nil means in-memory only (X-BGPC-Durability: none).
 	WAL *wal.Log
+	// TraceRing bounds the per-process completed-trace fragment ring
+	// served by GET /debug/trace/{traceid}; 0 means 256, negative
+	// disables distributed tracing entirely (requests carry no trace
+	// context and the endpoint 404s).
+	TraceRing int
+	// TraceSample is the head-sampling ratio for traces this process
+	// originates (inbound traceparent decisions are always honored);
+	// 0 means 1.0 — sample everything — and negative means 0: only the
+	// tail conditions (error status, TraceSlow) retain traces.
+	TraceSample float64
+	// TraceSlow, when positive, tail-keeps any trace at least this
+	// slow even when head sampling passed on it.
+	TraceSlow time.Duration
+	// Diag, when set, arms the anomaly-triggered flight recorder:
+	// watchdog trips, the WAL fuse, and DiagLatency breaches each
+	// write one bounded diagnostic bundle (profiles, metrics, recent
+	// timelines, the triggering trace) into its directory.
+	Diag *trace.Flight
+	// DiagLatency, when positive (and Diag is set), triggers a bundle
+	// whenever a request takes at least this long end to end.
+	DiagLatency time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -175,6 +197,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.RequestRing < 0 {
 		out.RequestRing = 0
+	}
+	if out.TraceRing == 0 {
+		out.TraceRing = 256
 	}
 	out.ParseLimits = out.ParseLimits.WithDefaults()
 	return out
@@ -251,6 +276,11 @@ type ColorResponse struct {
 	// X-Request-ID response header): the key into /debug/requests/{id}
 	// and the daemon's access log.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the distributed-trace id this request ran under (also
+	// in the X-BGPC-Trace response header): the key into
+	// /debug/trace/{traceid} here and /rtr/trace/{traceid} on the
+	// router. Empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 status. Retryable
@@ -276,21 +306,27 @@ type ErrorResponse struct {
 	// False (or absent) is a definitive miss: re-color from scratch and
 	// resume the chain from the new fingerprint.
 	Recoverable bool `json:"recoverable,omitempty"`
+	// TraceID is the distributed-trace id, when the failing request ran
+	// under one (mirrors the X-BGPC-Trace header) — error-kept traces
+	// are exactly the ones worth looking up.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Server is the coloring daemon: an http.Handler backed by the worker
 // pool and graph cache. Create with New, shut down with Drain.
 type Server struct {
-	cfg    Config
-	pool   *pool
-	budget *limits.Budget
-	cache  *graphCache
-	quar   *quarantine
-	mux    *http.ServeMux
-	log    *slog.Logger
-	ring   *requestRing
-	start  time.Time
-	warmed int // (fingerprint, mode) colorings re-verified from the WAL at boot
+	cfg     Config
+	pool    *pool
+	budget  *limits.Budget
+	cache   *graphCache
+	quar    *quarantine
+	mux     *http.ServeMux
+	log     *slog.Logger
+	ring    *requestRing
+	traces  *trace.Ring // nil when tracing is disabled
+	sampler trace.Sampler
+	start   time.Time
+	warmed  int // (fingerprint, mode) colorings re-verified from the WAL at boot
 }
 
 // New returns a ready Server with cfg's defaults applied and its
@@ -309,6 +345,14 @@ func New(cfg Config) *Server {
 		ring:   newRequestRing(cfg.RequestRing),
 		start:  time.Now(),
 	}
+	if cfg.TraceRing > 0 {
+		ratio := cfg.TraceSample
+		if ratio == 0 {
+			ratio = 1
+		}
+		s.sampler = trace.Sampler{HeadRatio: ratio, KeepErrors: true, SlowNS: int64(cfg.TraceSlow)}
+		s.traces = trace.NewRing(cfg.TraceRing)
+	}
 	if s.log == nil {
 		s.log = discardLogger()
 	}
@@ -319,6 +363,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/requests", s.handleRequests)
 	s.mux.HandleFunc("GET /debug/requests/{id}", s.handleRequestByID)
+	s.mux.HandleFunc("GET /debug/trace/{traceid}", s.handleTraceByID)
 	s.registerGauges()
 	s.warmed = s.warmFromWAL()
 	return s
@@ -351,6 +396,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rec = obs.NewRecorder(id, 0, 0)
 		if adopted {
 			rec.Annotate("id_source", "client")
+		}
+		if s.traces != nil {
+			// Join (or start) the distributed trace: a valid inbound
+			// traceparent is adopted — its parent span id becomes this
+			// process's remote parent — otherwise the request id doubles
+			// as the trace id and the head sampler decides. The trace id
+			// rides the X-BGPC-Trace response header on every outcome.
+			sc := trace.Extract(r.Header.Get("traceparent"), id, s.sampler)
+			w.Header().Set("X-BGPC-Trace", sc.TraceID)
+			rec.SetTraceContext(sc.TraceID, sc.SpanID, sc.ParentID, sc.Sampled)
 		}
 		r = r.WithContext(obs.ContextWithRecorder(r.Context(), rec))
 	}
@@ -430,7 +485,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rec := obs.RecorderFromContext(r.Context())
-	decode := rec.StartSpan("decode")
+	decode := rec.StartSpanKind("decode", trace.KindDecode)
 	body := io.LimitReader(r.Body, s.cfg.MaxRequestBytes+1)
 	raw, err := io.ReadAll(body)
 	if err != nil {
@@ -485,7 +540,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		// "slow" decomposes into "queued" vs. "coloring".
 		wait := time.Since(enqueued)
 		obs.SvcQueueWait.Observe(wait.Seconds())
-		rec.AddSpan("queue", enqueued, wait)
+		rec.AddSpanKind("queue", trace.KindQueue, enqueued, wait)
 		resp, jobStatus, jobErr = s.execute(ctx, spec, wait)
 	}
 	if err := s.pool.submit(j); err != nil {
@@ -538,6 +593,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	}
 	s.quar.clear(spec.key)
 	resp.RequestID = w.Header().Get("X-Request-ID")
+	resp.TraceID = w.Header().Get("X-BGPC-Trace")
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -734,7 +790,7 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 		return nil, http.StatusTooManyRequests, fmt.Errorf("deadline expired before the job could start (queued %s)", queued.Round(time.Microsecond))
 	}
 	rec := obs.RecorderFromContext(ctx)
-	build := rec.StartSpan("build")
+	build := rec.StartSpanKind("build", trace.KindBuild)
 	entry, hit, err := s.buildGraph(spec)
 	build.End()
 	if err != nil {
@@ -771,7 +827,7 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 
 	start := time.Now()
 	var res *core.Result
-	color := rec.StartSpan("color")
+	color := rec.StartSpanKind("color", trace.KindColor)
 	if spec.d2mode {
 		res, err = d2.ColorCtx(runCtx, ug, spec.opts)
 	} else {
@@ -798,7 +854,7 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 		// Graceful degradation: the canceled runner already repaired
 		// the colored prefix; finish the rest sequentially so the
 		// client still gets a complete valid coloring.
-		repair := rec.StartSpan("repair")
+		repair := rec.StartSpanKind("repair", trace.KindRepair)
 		if spec.d2mode {
 			resp.DegradedFinished = d2.FinishSequential(ug, res.Colors)
 		} else {
@@ -812,6 +868,8 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 			resp.Livelock = true
 			rec.Annotate("outcome", "livelock")
 			s.logf("service: watchdog canceled job (graph %s): no progress within %s", spec.key, s.cfg.WatchdogWindow)
+			s.diagTriggerFromRec("watchdog",
+				fmt.Sprintf("no conflict-count progress within %s (graph %s)", s.cfg.WatchdogWindow, spec.key), rec)
 		}
 	case errors.Is(err, core.ErrNoFixedPoint):
 		return nil, http.StatusInternalServerError, fmt.Errorf("coloring failed: %w", err)
@@ -825,7 +883,7 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 
 	// A service must not hand out invalid colorings: the check is one
 	// O(nnz) pass, far cheaper than the run itself.
-	vspan := rec.StartSpan("verify")
+	vspan := rec.StartSpanKind("verify", trace.KindVerify)
 	if spec.d2mode {
 		err = verify.D2GC(ug, res.Colors)
 	} else {
@@ -845,7 +903,7 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec, queued time.Duratio
 		mode = "d2"
 	}
 	entry.storeColoring(mode, res.Colors)
-	s.walAppendFull(entry, mode, res.Colors)
+	s.walAppendFull(rec, entry, mode, res.Colors)
 
 	resp.Colors = res.Colors
 	resp.Iterations = res.Iterations
@@ -870,6 +928,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{
 		Error:     fmt.Sprintf(format, args...),
 		RequestID: w.Header().Get("X-Request-ID"),
+		TraceID:   w.Header().Get("X-BGPC-Trace"),
 	})
 }
 
@@ -889,6 +948,7 @@ func (s *Server) writeRetryable(w http.ResponseWriter, err error) {
 		QueueDepth:  depth,
 		RetryAfterS: retry,
 		RequestID:   w.Header().Get("X-Request-ID"),
+		TraceID:     w.Header().Get("X-BGPC-Trace"),
 	})
 }
 

@@ -2,12 +2,14 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"bgpc/internal/obs"
+	"bgpc/internal/trace"
 )
 
 // Request-scoped telemetry: every inbound request gets exactly one
@@ -143,6 +145,21 @@ func (s *Server) finishRequest(sw *statusWriter, r *http.Request, rec *obs.Recor
 		t.Status = status
 		t.DurNS = dur.Nanoseconds()
 		s.ring.add(t)
+		if s.traces != nil && t.TraceID != "" {
+			// Export decision: head-sampled traces always export; the
+			// rest export only when a tail condition (5xx, slow) fired.
+			// The drop path is pure arithmetic plus a counter bump.
+			if s.sampler.Keep(t.Sampled, status, t.DurNS) {
+				s.traces.Add(trace.FragmentFromTimeline(t, "bgpcd"))
+				obs.TraceKept.Inc()
+			} else {
+				obs.TraceDropped.Inc()
+			}
+		}
+		if s.cfg.Diag != nil && s.cfg.DiagLatency > 0 && dur >= s.cfg.DiagLatency {
+			s.diagTrigger("slow_request",
+				fmt.Sprintf("request %s took %s (threshold %s)", id, dur.Round(time.Millisecond), s.cfg.DiagLatency), t)
+		}
 	}
 
 	s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
@@ -212,6 +229,54 @@ func (s *Server) registerGauges() {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WritePrometheus(w)
+}
+
+// diagTrigger fires the flight recorder (asynchronously — a profile
+// dump must never sit on a request path) with the triggering request's
+// own fragment as the bundled trace plus the recent-timeline ring.
+func (s *Server) diagTrigger(reason, detail string, t obs.Timeline) {
+	if s.cfg.Diag == nil {
+		return
+	}
+	var asm *trace.Assembled
+	if t.TraceID != "" {
+		asm = &trace.Assembled{
+			TraceID:   t.TraceID,
+			Fragments: []trace.Fragment{trace.FragmentFromTimeline(t, "bgpcd")},
+		}
+	}
+	s.cfg.Diag.TriggerAsync(reason, detail, asm, s.ring.list())
+}
+
+// diagTriggerFromRec is diagTrigger for anomaly sites that hold a live
+// recorder (the watchdog) rather than a completed timeline.
+func (s *Server) diagTriggerFromRec(reason, detail string, rec *obs.Recorder) {
+	if s.cfg.Diag == nil {
+		return
+	}
+	s.diagTrigger(reason, detail, rec.Snapshot())
+}
+
+// handleTraceByID serves this process's retained fragments for one
+// trace id, wrapped in the same Assembled shape the router's
+// /rtr/trace/{traceid} returns — one schema for both endpoints.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	tid := r.PathValue("traceid")
+	if s.traces == nil {
+		writeError(w, http.StatusNotFound, "tracing is disabled on this daemon (-trace-ring < 0)")
+		return
+	}
+	if !trace.ValidTraceID(tid) {
+		writeError(w, http.StatusBadRequest, "malformed trace id %q (want 32 lowercase hex digits)", tid)
+		return
+	}
+	frags := s.traces.Get(tid)
+	if len(frags) == 0 {
+		writeError(w, http.StatusNotFound,
+			"no fragments for trace %s (sampled out, evicted from the ring, or served elsewhere)", tid)
+		return
+	}
+	writeJSON(w, http.StatusOK, trace.Assembled{TraceID: tid, Fragments: frags})
 }
 
 // handleRequests lists the retained timelines, newest first.

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"strconv"
 	"sync"
+	"time"
 
 	"bgpc/internal/delta"
 	"bgpc/internal/obs"
+	"bgpc/internal/trace"
 	"bgpc/internal/verify"
 	"bgpc/internal/wal"
 )
@@ -38,29 +40,54 @@ var walWarnOnce sync.Once
 // (fingerprint, mode) pairs are skipped — any verified coloring for a
 // pair is interchangeable warm-start material, and re-coloring a hot
 // cached graph must not grow the log.
-func (s *Server) walAppendFull(entry *cacheEntry, mode string, colors []int32) {
+func (s *Server) walAppendFull(rec *obs.Recorder, entry *cacheEntry, mode string, colors []int32) {
 	if s.cfg.WAL == nil || s.cfg.WAL.HasColoring(entry.fpU, mode) {
 		return
 	}
-	if err := s.cfg.WAL.AppendFull(entry.fpU, mode, entry.g, colors); err != nil {
+	t0, syncs0 := time.Now(), obs.WalSyncs.Load()
+	err := s.cfg.WAL.AppendFull(entry.fpU, mode, entry.g, colors)
+	s.walSpan(rec, t0, syncs0, err)
+	if err != nil {
 		s.walDegraded(err)
 	}
 }
 
 // walAppendDelta logs one verified delta application (base fingerprint
 // plus edge lists — the graph is reconstructible by chain replay).
-func (s *Server) walAppendDelta(baseFPU uint64, entry *cacheEntry, mode string, d delta.Delta, colors []int32) {
+func (s *Server) walAppendDelta(rec *obs.Recorder, baseFPU uint64, entry *cacheEntry, mode string, d delta.Delta, colors []int32) {
 	if s.cfg.WAL == nil || s.cfg.WAL.HasColoring(entry.fpU, mode) {
 		return
 	}
-	if err := s.cfg.WAL.AppendDelta(baseFPU, entry.fpU, mode, d.Insert, d.Remove, colors); err != nil {
+	t0, syncs0 := time.Now(), obs.WalSyncs.Load()
+	err := s.cfg.WAL.AppendDelta(baseFPU, entry.fpU, mode, d.Insert, d.Remove, colors)
+	s.walSpan(rec, t0, syncs0, err)
+	if err != nil {
 		s.walDegraded(err)
 	}
+}
+
+// walSpan records the durability hop on the request timeline: how long
+// the append held the 200 back, whether a sync batch happened to land
+// inside it (best-effort — the sync loop is global, so the attribute
+// means "a batch completed while this append was in flight"), and the
+// failure that tripped the fuse, if any.
+func (s *Server) walSpan(rec *obs.Recorder, start time.Time, syncs0 int64, err error) {
+	if rec == nil {
+		return
+	}
+	attrs := map[string]string{"synced": strconv.FormatBool(obs.WalSyncs.Load() > syncs0)}
+	if err != nil {
+		attrs["error"] = err.Error()
+	}
+	rec.AddSpanFull("", "wal.append", trace.KindWAL, start, time.Since(start), attrs)
 }
 
 func (s *Server) walDegraded(err error) {
 	walWarnOnce.Do(func() {
 		s.logf("service: WAL degraded to in-memory-only mode: %v", err)
+		if s.cfg.Diag != nil {
+			s.cfg.Diag.TriggerAsync("wal_fuse", err.Error(), nil, s.ring.list())
+		}
 	})
 }
 

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"bgpc/internal/obs"
+)
+
+// Fragment is one process's slice of a distributed trace: a synthetic
+// root span covering the whole request plus the timeline spans
+// recorded under it, with span identity resolved. Fragments are the
+// unit of per-process export (GET /debug/trace/{traceid} returns the
+// process's fragments for a trace id) and of router-side assembly.
+//
+// Clocks are per-process: span offsets are nanoseconds from the
+// fragment's own start, never compared across fragments. Cross-process
+// structure comes only from span parentage — a backend fragment's
+// ParentID is the router hop span that reached it.
+type Fragment struct {
+	TraceID string `json:"trace_id"`
+	// Process names the exporting process role ("bgpcd", "bgpcrouter").
+	Process string `json:"process"`
+	// RequestID is the request-id the process served this trace slice
+	// under — the key into its /debug/requests and access log.
+	RequestID string `json:"request_id,omitempty"`
+	// RootID is the fragment's root span id; ParentID is the remote
+	// parent span id ("" when this fragment is the trace root).
+	RootID   string            `json:"root_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Start    time.Time         `json:"start"`
+	Status   int               `json:"status,omitempty"`
+	DurNS    int64             `json:"dur_ns,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Spans    []obs.Span        `json:"spans"`
+}
+
+// FragmentFromTimeline converts a completed, trace-stamped Timeline
+// into an export-ready Fragment: a KindServer root span is synthesized
+// from the request envelope, and every recorded span without explicit
+// identity gets a deterministically derived id parented to the root.
+func FragmentFromTimeline(t obs.Timeline, process string) Fragment {
+	f := Fragment{
+		TraceID:   t.TraceID,
+		Process:   process,
+		RequestID: t.ID,
+		RootID:    t.SpanID,
+		ParentID:  t.ParentID,
+		Start:     t.Start,
+		Status:    t.Status,
+		DurNS:     t.DurNS,
+		Attrs:     t.Attrs,
+	}
+	f.Spans = make([]obs.Span, 0, len(t.Spans)+1)
+	f.Spans = append(f.Spans, obs.Span{
+		Name:    "request",
+		Kind:    KindServer,
+		ID:      t.SpanID,
+		Parent:  t.ParentID,
+		StartNS: 0,
+		DurNS:   t.DurNS,
+	})
+	for i, sp := range t.Spans {
+		if sp.ID == "" {
+			sp.ID = DeriveSpanID(t.SpanID, i, sp.Name)
+		}
+		if sp.Parent == "" {
+			sp.Parent = t.SpanID
+		}
+		f.Spans = append(f.Spans, sp)
+	}
+	return f
+}
+
+// Assembled is one merged distributed trace: every fragment the
+// assembling process could collect for a trace id, across processes.
+// The span tree is implicit in span ids and parent pointers; Validate
+// checks its structural invariants.
+type Assembled struct {
+	TraceID   string     `json:"trace_id"`
+	Fragments []Fragment `json:"fragments"`
+}
+
+// Validate checks the assembled trace's structural contract:
+//
+//   - the trace id is well-formed and every fragment carries it
+//   - span ids are well-formed and unique across the whole trace
+//   - parent pointers form a forest: acyclic, with every chain
+//     terminating at a root (no parent, or an external parent — a
+//     span id that lives in a process that did not export, like the
+//     originating client)
+//   - at least one root exists
+//
+// It is the schema gate the selftest, the e2e fleet test and the CI
+// tracecheck tool all share.
+func (a *Assembled) Validate() error {
+	if a == nil {
+		return fmt.Errorf("trace: nil assembled trace")
+	}
+	if !ValidTraceID(a.TraceID) {
+		return fmt.Errorf("trace: malformed trace id %q", a.TraceID)
+	}
+	if len(a.Fragments) == 0 {
+		return fmt.Errorf("trace %s: no fragments", a.TraceID)
+	}
+	parent := make(map[string]string)
+	for fi, f := range a.Fragments {
+		if f.TraceID != a.TraceID {
+			return fmt.Errorf("trace %s: fragment %d carries trace id %q", a.TraceID, fi, f.TraceID)
+		}
+		if f.Process == "" {
+			return fmt.Errorf("trace %s: fragment %d names no process", a.TraceID, fi)
+		}
+		if !ValidSpanID(f.RootID) {
+			return fmt.Errorf("trace %s: fragment %d (%s) has malformed root id %q", a.TraceID, fi, f.Process, f.RootID)
+		}
+		if len(f.Spans) == 0 {
+			return fmt.Errorf("trace %s: fragment %d (%s) has no spans", a.TraceID, fi, f.Process)
+		}
+		for si, sp := range f.Spans {
+			if !ValidSpanID(sp.ID) {
+				return fmt.Errorf("trace %s: %s span %d (%s) has malformed id %q", a.TraceID, f.Process, si, sp.Name, sp.ID)
+			}
+			if _, dup := parent[sp.ID]; dup {
+				return fmt.Errorf("trace %s: duplicate span id %s (%s/%s)", a.TraceID, sp.ID, f.Process, sp.Name)
+			}
+			parent[sp.ID] = sp.Parent
+		}
+	}
+	// Walk every parent chain. External parents (ids no exported span
+	// owns) terminate a chain like a true root does; a revisit within
+	// one walk is a cycle.
+	roots := 0
+	state := make(map[string]int, len(parent)) // 0 unvisited, 1 in-progress, 2 done
+	var walk func(id string) error
+	walk = func(id string) error {
+		switch state[id] {
+		case 1:
+			return fmt.Errorf("trace %s: span parentage cycle through %s", a.TraceID, id)
+		case 2:
+			return nil
+		}
+		state[id] = 1
+		p := parent[id]
+		if p != "" {
+			if _, exported := parent[p]; exported {
+				if err := walk(p); err != nil {
+					return err
+				}
+			}
+		}
+		state[id] = 2
+		return nil
+	}
+	for id, p := range parent {
+		if p == "" {
+			roots++
+		} else if _, exported := parent[p]; !exported {
+			roots++
+		}
+		if err := walk(id); err != nil {
+			return err
+		}
+	}
+	if roots == 0 {
+		return fmt.Errorf("trace %s: no root span (every parent chain is internal — impossible without a cycle)", a.TraceID)
+	}
+	return nil
+}
+
+// Processes returns the distinct process names across fragments, in
+// first-seen order.
+func (a *Assembled) Processes() []string {
+	var out []string
+	seen := make(map[string]bool, 4)
+	for _, f := range a.Fragments {
+		if !seen[f.Process] {
+			seen[f.Process] = true
+			out = append(out, f.Process)
+		}
+	}
+	return out
+}
+
+// FindSpans returns every span of the given kind across fragments —
+// the lookup assertions and tools use ("the failover hop", "the
+// successor's color span").
+func (a *Assembled) FindSpans(kind string) []obs.Span {
+	var out []obs.Span
+	for _, f := range a.Fragments {
+		for _, sp := range f.Spans {
+			if sp.Kind == kind {
+				out = append(out, sp)
+			}
+		}
+	}
+	return out
+}
+
+// SpanCount returns the total span count across fragments.
+func (a *Assembled) SpanCount() int {
+	n := 0
+	for _, f := range a.Fragments {
+		n += len(f.Spans)
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+package trace
+
+import "sync"
+
+// Ring is a process's bounded retention buffer for completed trace
+// fragments — the store behind GET /debug/trace/{traceid}. Newest
+// fragments evict oldest; a trace that fans out inside one process
+// (e.g. a replayed request) may hold several fragments, and Get
+// returns all that survive.
+//
+// A nil *Ring is a valid disabled ring: Add and Get are no-ops, so the
+// serving layer calls them unconditionally and tracing-off deployments
+// pay a pointer test.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Fragment
+	next int
+	full bool
+}
+
+// NewRing returns a ring retaining up to size fragments. size < 1
+// returns nil — the disabled ring.
+func NewRing(size int) *Ring {
+	if size < 1 {
+		return nil
+	}
+	return &Ring{buf: make([]Fragment, size)}
+}
+
+// Add retains a completed fragment, evicting the oldest when full.
+// Nil-safe; fragments without a valid trace id are dropped (they could
+// never be looked up).
+func (r *Ring) Add(f Fragment) {
+	if r == nil || !ValidTraceID(f.TraceID) {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = f
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Get returns every retained fragment for the trace id, oldest first.
+// Nil-safe (nil slice).
+func (r *Ring) Get(traceID string) []Fragment {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Fragment
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	// Oldest-first: in a full ring the oldest entry sits at next.
+	start := 0
+	if r.full {
+		start = r.next
+	}
+	for i := 0; i < n; i++ {
+		f := r.buf[(start+i)%len(r.buf)]
+		if f.TraceID == traceID {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained fragments. Nil-safe (0).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
